@@ -1,0 +1,36 @@
+//! Benchmarks Algorithm 1 (Doom-Switch) end to end on the Theorem 5.4
+//! adversarial instances (matching + coloring + water-filling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clos_core::constructions::theorem_5_4;
+use clos_core::doom_switch::doom_switch;
+
+fn bench_doom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doom_switch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for (n, k) in [(7usize, 8usize), (15, 16), (31, 16)] {
+        let t = theorem_5_4(n, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(doom_switch(
+                        &t.instance.clos,
+                        &t.instance.ms,
+                        &t.instance.flows,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_doom);
+criterion_main!(benches);

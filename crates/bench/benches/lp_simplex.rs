@@ -1,0 +1,67 @@
+//! Benchmarks the exact LP machinery: raw simplex solves and the
+//! iterative-LP max-min fairness derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clos_core::lp_models::{max_min_via_lp, splittable_max_min};
+use clos_lp::LinearProgram;
+use clos_net::{ClosNetwork, Flow, Routing};
+use clos_rational::Rational;
+use clos_workloads::Workload;
+
+fn bench_raw_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for size in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                // A dense assignment-flavored LP of growing size.
+                let mut lp = LinearProgram::maximize(
+                    size,
+                    (1..=size)
+                        .map(|i| Rational::from_integer(i as i128))
+                        .collect(),
+                );
+                for i in 0..size {
+                    let mut row = vec![Rational::ZERO; size];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = Rational::new(((i + j) % 3 + 1) as i128, 2);
+                    }
+                    lp.add_le(row, Rational::from_integer((i + 2) as i128));
+                }
+                black_box(lp.solve())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_fairness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_max_min");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let clos = ClosNetwork::standard(2);
+    for flows in [4usize, 8] {
+        let collection: Vec<Flow> = Workload::UniformRandom { flows }.generate(&clos, 5);
+        let routing: Routing = collection
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| clos.path_via(f, i % 2))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("routed", flows), &flows, |b, _| {
+            b.iter(|| black_box(max_min_via_lp(clos.network(), &collection, &routing)));
+        });
+        group.bench_with_input(BenchmarkId::new("splittable", flows), &flows, |b, _| {
+            b.iter(|| black_box(splittable_max_min(&clos, &collection)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_simplex, bench_lp_fairness);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks the graph substrates: Hopcroft–Karp maximum matching
+//! (Lemma 3.2, `T^MT`) and König edge coloring (Lemma 5.2, link-disjoint
+//! routing) on flow multigraphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clos_core::graphs::{ms_flow_multigraph, tor_flow_multigraph};
+use clos_graph::{edge_coloring, maximum_matching};
+use clos_net::{ClosNetwork, MacroSwitch};
+use clos_workloads::Workload;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximum_matching");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [4usize, 8, 16] {
+        let ms = MacroSwitch::standard(n);
+        let clos = ClosNetwork::standard(n);
+        let hosts = clos.tor_count() * clos.hosts_per_tor();
+        let flows = Workload::UniformRandom { flows: 4 * hosts }.generate(&clos, 3);
+        let ms_flows = ms.translate_flows(&clos, &flows);
+        let g = ms_flow_multigraph(&ms, &ms_flows);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(maximum_matching(&g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("konig_coloring");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [4usize, 8, 16] {
+        let clos = ClosNetwork::standard(n);
+        // Permutation traffic: per-ToR degree exactly n, the tight case.
+        let flows = Workload::Permutation.generate(&clos, 5);
+        let g = tor_flow_multigraph(&clos, &flows);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(edge_coloring(&g, n).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the exhaustive routing-objective searches (Definitions 2.4
+//! and 2.5) with their symmetry reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clos_core::constructions::example_2_3;
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_net::{ClosNetwork, Flow};
+use clos_workloads::Workload;
+
+fn bench_example_2_3(c: &mut Criterion) {
+    let ex = example_2_3();
+    c.bench_function("lex_max_min/example_2_3", |b| {
+        b.iter(|| black_box(search_lex_max_min(&ex.instance.clos, &ex.instance.flows)));
+    });
+    c.bench_function("throughput_max_min/example_2_3", |b| {
+        b.iter(|| {
+            black_box(search_throughput_max_min(
+                &ex.instance.clos,
+                &ex.instance.flows,
+            ))
+        });
+    });
+}
+
+fn bench_random_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lex_max_min_random");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for flows in [6usize, 8, 10] {
+        let clos = ClosNetwork::standard(2);
+        let collection: Vec<Flow> = Workload::UniformRandom { flows }.generate(&clos, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| black_box(search_lex_max_min(&clos, &collection)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_example_2_3, bench_random_instances);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks the water-filling allocator: exact vs floating point, as a
+//! function of fabric size and flow count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clos_fairness::max_min_fair;
+use clos_net::{ClosNetwork, Routing};
+use clos_rational::{Rational, TotalF64};
+use clos_workloads::Workload;
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [2usize, 4, 8] {
+        let clos = ClosNetwork::standard(n);
+        let hosts = clos.tor_count() * clos.hosts_per_tor();
+        let flows = Workload::UniformRandom { flows: 4 * hosts }.generate(&clos, 7);
+        // A fixed pseudo-random routing.
+        let routing: Routing = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| clos.path_via(f, (i * 7 + 3) % n))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(max_min_fair::<TotalF64>(clos.network(), &flows, &routing).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_waterfill);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! repro [--experiment e1|e2|...|e8|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks sweep sizes so the full run finishes in seconds
+//! (useful in CI); the default parameters match `EXPERIMENTS.md`.
+
+use std::process::ExitCode;
+
+use clos_bench::experiments::{
+    e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e1_example_2_3,
+    e2_price_of_fairness, e3_replication, e4_starvation, e5_doom_switch, e6_rate_study, e7_fct,
+    e8_exactness, e9_relative_fairness,
+};
+
+struct Options {
+    experiment: String,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiment = "all".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = args
+                    .next()
+                    .ok_or_else(|| "--experiment needs a value".to_string())?;
+            }
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => {
+                return Err("usage: repro [--experiment e1..e12|all] [--quick]".to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Options { experiment, quick })
+}
+
+fn heading(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+fn run_e1() {
+    heading(
+        "E1",
+        "Figure 1 / Example 2.3 — allocations depend on routing",
+    );
+    println!("{}", e1_example_2_3::render(&e1_example_2_3::run()));
+}
+
+fn run_e2(quick: bool) {
+    heading(
+        "E2",
+        "Figure 2 / Theorem 3.4 — price of fairness in a macro-switch",
+    );
+    let ks: Vec<usize> = if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 64, 256, 1024]
+    };
+    let ns = if quick { vec![1] } else { vec![1, 2, 4] };
+    println!(
+        "{}",
+        e2_price_of_fairness::render(&e2_price_of_fairness::run(&ns, &ks))
+    );
+    println!("Theorem 3.4: ratio >= 1/2 always; tends to 1/2 as k grows.");
+}
+
+fn run_e3(quick: bool) {
+    heading(
+        "E3",
+        "Figure 3 / Theorem 4.2 — macro-switch rates cannot be replicated",
+    );
+    let ns: Vec<usize> = if quick { vec![3] } else { vec![3, 4, 5, 8, 16] };
+    let exact_limit = 3;
+    println!(
+        "{}",
+        e3_replication::render(&e3_replication::run(&ns, exact_limit))
+    );
+    println!("Theorem 4.2: the full collection is infeasible at macro rates");
+    println!("(exact search at n = 3, Claim 4.5 arithmetic certificate for all");
+    println!("n); dropping the type-3 flow restores feasibility.");
+}
+
+fn run_e4(quick: bool) {
+    heading(
+        "E4",
+        "Theorem 4.3 — lex-max-min fairness starves a flow to 1/n",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![3, 4]
+    } else {
+        vec![3, 4, 5, 6, 8, 12, 16, 24, 32]
+    };
+    let samples = if quick { 10 } else { 200 };
+    println!(
+        "{}",
+        e4_starvation::render(&e4_starvation::run(&ns, samples))
+    );
+    println!("Theorem 4.3: starvation factor exactly 1/n at the lex optimum.");
+}
+
+fn run_e5(quick: bool) {
+    heading(
+        "E5",
+        "Figure 4 / Theorem 5.4 — Doom-Switch doubles throughput",
+    );
+    let pairs: Vec<(usize, usize)> = if quick {
+        vec![(3, 4), (7, 1), (7, 16)]
+    } else {
+        vec![
+            (3, 4),
+            (5, 8),
+            (7, 1),
+            (7, 16),
+            (9, 16),
+            (15, 32),
+            (21, 64),
+            (33, 128),
+        ]
+    };
+    println!("{}", e5_doom_switch::render(&e5_doom_switch::run(&pairs)));
+    println!("Theorem 5.4: gain <= 2, approaching 2 as n and k grow; the");
+    println!("doomed flows' rates approach 0.");
+}
+
+fn run_e6(quick: bool) {
+    heading("E6", "§6 — stochastic rate study (network rate / MS rate)");
+    let (n, seeds) = if quick { (3, 3) } else { (4, 10) };
+    println!("{}", e6_rate_study::render(&e6_rate_study::run(n, seeds)));
+    println!("Stochastic inputs track the macro-switch closely; the");
+    println!("adversarial instance does not (Theorem 4.3).");
+}
+
+fn run_e7(quick: bool) {
+    heading("E7", "§7 (R1) — FCT: congestion control vs scheduling");
+    let loads = [0.4, 0.8, 1.2, 1.6];
+    let (flows, n) = if quick { (200, 2) } else { (2000, 3) };
+    println!("{}", e7_fct::render(&e7_fct::run(n, &loads, flows, 1)));
+    println!("Scheduling (admission control) lowers mean FCT under heavy");
+    println!("load, as §7 suggests.");
+}
+
+fn run_e8(quick: bool) {
+    heading(
+        "E8",
+        "Definitions 2.4/2.5 — exhaustive optima sanity checks",
+    );
+    let seeds: Vec<u64> = if quick {
+        (0..4).collect()
+    } else {
+        (0..16).collect()
+    };
+    let flows = if quick { 6 } else { 9 };
+    println!(
+        "{}",
+        e8_exactness::render(&e8_exactness::run(&seeds, flows))
+    );
+    println!("Every bound chain of the paper holds on random instances.");
+}
+
+fn run_e9(quick: bool) {
+    heading(
+        "E9",
+        "§7 (R2) — relative max-min fairness, the open question",
+    );
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3, 4] };
+    let flows = if quick { 6 } else { 8 };
+    println!(
+        "{}",
+        e9_relative_fairness::render(&e9_relative_fairness::run(&seeds, flows))
+    );
+    println!("Optimizing ratios directly protects the worst-off flow better");
+    println!("than absolute lex-max-min fairness (strictly so on Example 2.3).");
+}
+
+fn run_e10(quick: bool) {
+    heading(
+        "E10",
+        "ablation — middle switches vs replicability (multirate rearrangeability)",
+    );
+    let trials = if quick { 8 } else { 40 };
+    println!(
+        "{}",
+        e10_oversubscription::render(&e10_oversubscription::run(3, 3, trials))
+    );
+    println!("Replicability of macro-switch max-min rates improves with spare");
+    println!("middle switches, reaching 100% by m = 2h - 1 on sampled inputs");
+    println!("(the Chung-Ross rearrangeability regime).");
+}
+
+fn run_e11(quick: bool) {
+    heading(
+        "E11",
+        "LP cross-validation — iterative-LP fairness vs water-filling; splittable = macro",
+    );
+    let seeds: Vec<u64> = if quick {
+        (0..2).collect()
+    } else {
+        (0..6).collect()
+    };
+    let flows = if quick { 5 } else { 8 };
+    println!(
+        "{}",
+        e11_lp_cross_validation::render(&e11_lp_cross_validation::run(&seeds, flows))
+    );
+    println!("Two independent derivations of max-min fairness agree exactly;");
+    println!("splitting flows restores the macro-switch abstraction (§1).");
+}
+
+fn run_e12(quick: bool) {
+    heading(
+        "E12",
+        "ablation — weighted (macro-rate-proportional) congestion control",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![3, 4]
+    } else {
+        vec![3, 4, 6, 8, 12, 16]
+    };
+    println!(
+        "{}",
+        e12_weighted_fairness::render(&e12_weighted_fairness::run(&ns))
+    );
+    println!("Sharing bottlenecks in proportion to macro-switch rates lifts the");
+    println!("Theorem 4.3 victim from 1/n to n/(2n-1) > 1/2 — a constant");
+    println!("relative guarantee on this instance.");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_one = |id: &str| match id {
+        "e1" => run_e1(),
+        "e2" => run_e2(opts.quick),
+        "e3" => run_e3(opts.quick),
+        "e4" => run_e4(opts.quick),
+        "e5" => run_e5(opts.quick),
+        "e6" => run_e6(opts.quick),
+        "e7" => run_e7(opts.quick),
+        "e8" => run_e8(opts.quick),
+        "e9" => run_e9(opts.quick),
+        "e10" => run_e10(opts.quick),
+        "e11" => run_e11(opts.quick),
+        "e12" => run_e12(opts.quick),
+        other => eprintln!("unknown experiment {other}; use e1..e12 or all"),
+    };
+    if opts.experiment == "all" {
+        for id in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+        ] {
+            run_one(id);
+        }
+    } else {
+        run_one(&opts.experiment);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,99 @@
+//! E1 — Figure 1 / Example 2.3: max-min fair allocations depend on the
+//! routing, and none replicates the macro-switch.
+
+use clos_core::constructions::example_2_3;
+use clos_core::objectives::{lex_max_min, throughput_max_min};
+use clos_fairness::Allocation;
+use clos_rational::Rational;
+
+use crate::table::Table;
+
+/// One scenario of Example 2.3: an allocation and where it came from.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Scenario label ("macro-switch", "routing 1", ...).
+    pub scenario: &'static str,
+    /// The sorted rate vector `a↑`.
+    pub sorted: Vec<Rational>,
+    /// The throughput `t(a)`.
+    pub throughput: Rational,
+}
+
+fn row(scenario: &'static str, allocation: &Allocation<Rational>) -> Row {
+    Row {
+        scenario,
+        sorted: allocation.sorted().rates().to_vec(),
+        throughput: allocation.throughput(),
+    }
+}
+
+/// Reproduces every allocation discussed in Example 2.3, plus the two
+/// §2.3 optima computed by exhaustive search.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let ex = example_2_3();
+    let rows = vec![
+        row("macro-switch", &ex.instance.macro_allocation()),
+        row("routing 1 (paper)", &ex.routing_1().allocation),
+        row("routing 2 (paper)", &ex.routing_2().allocation),
+        row(
+            "lex-max-min (exhaustive)",
+            &lex_max_min(&ex.instance.clos, &ex.instance.flows).allocation,
+        ),
+        row(
+            "throughput-max-min (exhaustive)",
+            &throughput_max_min(&ex.instance.clos, &ex.instance.flows).allocation,
+        ),
+    ];
+    rows
+}
+
+/// Renders the E1 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["scenario", "sorted rates a^", "throughput"]);
+    for r in rows {
+        let sorted = r
+            .sorted
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row(vec![
+            r.scenario.to_string(),
+            format!("[{sorted}]"),
+            r.throughput.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_vectors() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+        let r = |n, d| Rational::new(n, d);
+        assert_eq!(
+            rows[0].sorted,
+            vec![r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), Rational::ONE]
+        );
+        assert_eq!(
+            rows[1].sorted,
+            vec![r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), r(2, 3)]
+        );
+        assert_eq!(
+            rows[2].sorted,
+            vec![r(1, 3), r(1, 3), r(1, 3), r(1, 3), r(2, 3), Rational::ONE]
+        );
+        // The lex optimum coincides with routing 1.
+        assert_eq!(rows[3].sorted, rows[1].sorted);
+        assert_eq!(rows[4].throughput, Rational::from_integer(3));
+        let rendered = render(&rows);
+        assert!(rendered.contains("macro-switch"));
+        assert!(rendered.contains("2/3"));
+    }
+}

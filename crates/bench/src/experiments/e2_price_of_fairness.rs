@@ -1,0 +1,105 @@
+//! E2 — Figure 2 / Theorem 3.4: the price of fairness in a macro-switch is
+//! at most ½ and the bound is tight (`T^MmF/T^MT → ½` as `k → ∞`).
+
+use clos_core::constructions::theorem_3_4;
+use clos_core::macro_switch::price_of_fairness;
+use clos_rational::Rational;
+
+use crate::table::Table;
+
+/// One sweep point of the Theorem 3.4 tightness experiment.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Macro-switch size.
+    pub n: usize,
+    /// Parasitic flow multiplicity.
+    pub k: usize,
+    /// Measured `T^MmF`.
+    pub t_max_min: Rational,
+    /// Measured `T^MT`.
+    pub t_max_throughput: Rational,
+    /// Measured ratio `T^MmF / T^MT`.
+    pub ratio: Rational,
+    /// The paper's predicted ratio `½ (1 + 1/(k+1))`.
+    pub predicted: Rational,
+    /// Whether the Theorem 3.4 lower bound `ratio ≥ ½` held.
+    pub bound_holds: bool,
+}
+
+/// Runs the sweep for the given `(n, k)` grid.
+#[must_use]
+pub fn run(ns: &[usize], ks: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            let t = theorem_3_4(n, k);
+            let pof = price_of_fairness(&t.ms, &t.flows);
+            let ratio = pof.ratio().expect("T^MT = 2 > 0");
+            let predicted = (Rational::ONE + Rational::new(1, (k + 1) as i128)) / Rational::TWO;
+            rows.push(Row {
+                n,
+                k,
+                t_max_min: pof.t_max_min,
+                t_max_throughput: pof.t_max_throughput,
+                ratio,
+                predicted,
+                bound_holds: ratio >= Rational::new(1, 2),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E2 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "n",
+        "k",
+        "T^MmF",
+        "T^MT",
+        "ratio",
+        "predicted",
+        ">=1/2",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.k.to_string(),
+            r.t_max_min.to_string(),
+            r.t_max_throughput.to_string(),
+            format!("{:.4}", r.ratio.to_f64()),
+            format!("{:.4}", r.predicted.to_f64()),
+            r.bound_holds.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_matches_prediction_and_tends_to_half() {
+        let rows = run(&[1, 2], &[1, 4, 16, 64, 256]);
+        for r in &rows {
+            assert!(r.bound_holds, "n={}, k={}", r.n, r.k);
+            assert_eq!(r.ratio, r.predicted, "n={}, k={}", r.n, r.k);
+        }
+        // Monotone convergence toward 1/2 in k.
+        let last = rows.iter().rfind(|r| r.n == 1).unwrap();
+        assert!(last.ratio < Rational::new(51, 100));
+        assert!(last.ratio > Rational::new(1, 2));
+        let first = rows.iter().find(|r| r.n == 1).unwrap();
+        assert!(first.ratio > last.ratio);
+    }
+
+    #[test]
+    fn render_contains_columns() {
+        let rows = run(&[1], &[1]);
+        let s = render(&rows);
+        assert!(s.contains("T^MmF"));
+        assert!(s.contains("3/2"));
+    }
+}

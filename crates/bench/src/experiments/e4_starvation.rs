@@ -1,0 +1,177 @@
+//! E4 — Theorem 4.3: lex-max-min fairness starves a flow to `1/n` of its
+//! macro-switch rate.
+//!
+//! For each `n`, the adversarial instance's certificate routing (Lemma 4.6
+//! Step 1) is evaluated and double-checked: its allocation is max-min fair
+//! (bottleneck property), matches the rates of Lemma 4.6, and its sorted
+//! vector dominates a battery of alternative routings (all single-flow
+//! deviations plus random assignments) — a sampled version of Lemma 4.6
+//! Step 2.
+
+use clos_core::constructions::theorem_4_3;
+use clos_fairness::{max_min_fair, verify_bottleneck_property};
+use clos_net::{FlowId, Routing};
+use clos_rational::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+
+/// One sweep point of the starvation experiment.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Network size.
+    pub n: usize,
+    /// Macro-switch rate of the type-3 flow (always 1 per Lemma 4.4).
+    pub macro_rate: Rational,
+    /// Lex-max-min rate of the type-3 flow (the paper predicts `1/n`).
+    pub lex_rate: Rational,
+    /// `lex_rate / macro_rate` — the starvation factor.
+    pub starvation: Rational,
+    /// Whether the certificate allocation passed the bottleneck property.
+    pub certificate_max_min: bool,
+    /// How many alternative routings were checked against the certificate.
+    pub alternatives_checked: usize,
+    /// Whether the certificate's sorted vector dominated all of them.
+    pub dominates_alternatives: bool,
+}
+
+/// Maximum instance size (in flows) for which the dominance battery
+/// (single-flow deviations + random samples) is run; larger instances
+/// report only the certificate checks, which stay cheap at any size.
+const DOMINANCE_FLOW_LIMIT: usize = 400;
+
+/// Runs the sweep; `samples` random alternative routings are checked per
+/// `n` in addition to all single-flow deviations, for instances up to
+/// 400 flows (larger instances report only the certificate checks).
+#[must_use]
+pub fn run(ns: &[usize], samples: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        let t = theorem_4_3(n);
+        let clos = &t.instance.clos;
+        let flows = &t.instance.flows;
+        let macro_alloc = t.instance.macro_allocation();
+        let cert = t.certificate();
+        let cert_sorted = cert.allocation.sorted();
+
+        let certificate_max_min = verify_bottleneck_property(
+            clos.network(),
+            flows,
+            &cert.routing,
+            &cert.allocation,
+            Rational::ZERO,
+        )
+        .is_ok();
+
+        // Recover the certificate's middle assignment for perturbation.
+        let assignment: Vec<usize> = (0..flows.len())
+            .map(|i| {
+                clos.middle_of_path(cert.routing.path(FlowId::from(i)))
+                    .expect("certificate paths cross the fabric")
+            })
+            .collect();
+
+        let evaluate = |assignment: &[usize]| -> clos_fairness::SortedRates<Rational> {
+            let routing: Routing = flows
+                .iter()
+                .zip(assignment)
+                .map(|(&f, &m)| clos.path_via(f, m))
+                .collect();
+            max_min_fair::<Rational>(clos.network(), flows, &routing)
+                .expect("Clos links are finite")
+                .sorted()
+        };
+
+        let mut alternatives_checked = 0;
+        let mut dominates = true;
+        if flows.len() <= DOMINANCE_FLOW_LIMIT {
+            // All single-flow deviations.
+            for i in 0..flows.len() {
+                for m in 0..n {
+                    if m == assignment[i] {
+                        continue;
+                    }
+                    let mut alt = assignment.clone();
+                    alt[i] = m;
+                    alternatives_checked += 1;
+                    if evaluate(&alt) > cert_sorted {
+                        dominates = false;
+                    }
+                }
+            }
+            // Random assignments.
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for _ in 0..samples {
+                let alt: Vec<usize> = (0..flows.len()).map(|_| rng.gen_range(0..n)).collect();
+                alternatives_checked += 1;
+                if evaluate(&alt) > cert_sorted {
+                    dominates = false;
+                }
+            }
+        }
+
+        let macro_rate = macro_alloc.rate(t.type3_flow());
+        let lex_rate = cert.allocation.rate(t.type3_flow());
+        rows.push(Row {
+            n,
+            macro_rate,
+            lex_rate,
+            starvation: lex_rate / macro_rate,
+            certificate_max_min,
+            alternatives_checked,
+            dominates_alternatives: dominates,
+        });
+    }
+    rows
+}
+
+/// Renders the E4 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "n",
+        "MS rate",
+        "lex-MmF rate",
+        "starvation",
+        "cert is MmF",
+        "alts checked",
+        "dominates",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.macro_rate.to_string(),
+            r.lex_rate.to_string(),
+            r.starvation.to_string(),
+            r.certificate_max_min.to_string(),
+            r.alternatives_checked.to_string(),
+            r.dominates_alternatives.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starvation_is_exactly_one_over_n() {
+        let rows = run(&[3, 4], 20);
+        for r in &rows {
+            assert_eq!(r.macro_rate, Rational::ONE);
+            assert_eq!(r.lex_rate, Rational::new(1, r.n as i128));
+            assert_eq!(r.starvation, Rational::new(1, r.n as i128));
+            assert!(r.certificate_max_min);
+            assert!(r.dominates_alternatives, "n={}", r.n);
+            assert!(r.alternatives_checked > 0);
+        }
+    }
+
+    #[test]
+    fn render_mentions_starvation() {
+        let rows = run(&[3], 2);
+        assert!(render(&rows).contains("starvation"));
+    }
+}

@@ -1,0 +1,114 @@
+//! E5 — Figure 4 / Theorem 5.4: routing for throughput doubles the
+//! max-min throughput of the macro-switch, zeroing most flows' rates.
+
+use clos_core::constructions::theorem_5_4;
+use clos_core::doom_switch::doom_switch;
+use clos_rational::Rational;
+
+use crate::table::Table;
+
+/// One sweep point of the Doom-Switch experiment.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Network size (odd).
+    pub n: usize,
+    /// Parasitic multiplicity per gadget.
+    pub k: usize,
+    /// Macro-switch max-min throughput `T^MmF`.
+    pub t_macro: Rational,
+    /// Doom-Switch max-min throughput (a lower bound on `T^T-MmF`).
+    pub t_doom: Rational,
+    /// Measured gain `t_doom / t_macro` (approaches 2).
+    pub gain: Rational,
+    /// The paper's lower bound `n − 2` on the Doom-Switch throughput.
+    pub lower_bound: Rational,
+    /// Whether `t_doom ≥ n − 2` held.
+    pub lower_holds: bool,
+    /// Whether the Theorem 5.4 upper bound `t_doom ≤ 2 · t_macro` held.
+    pub upper_holds: bool,
+    /// Smallest surviving type-2 rate under Doom-Switch (→ 0 as the gain
+    /// → 2: the cost of the throughput).
+    pub min_doomed_rate: Rational,
+}
+
+/// Runs the sweep over `(n, k)` pairs (each `n` must be odd and ≥ 3).
+#[must_use]
+pub fn run(pairs: &[(usize, usize)]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(n, k) in pairs {
+        let t = theorem_5_4(n, k);
+        let t_macro = t.instance.macro_allocation().throughput();
+        let doomed = doom_switch(&t.instance.clos, &t.instance.ms, &t.instance.flows);
+        let t_doom = doomed.throughput();
+        let min_doomed_rate = t
+            .type2()
+            .iter()
+            .map(|&f| doomed.allocation.rate(f))
+            .min()
+            .expect("at least one type-2 flow");
+        rows.push(Row {
+            n,
+            k,
+            t_macro,
+            t_doom,
+            gain: t_doom / t_macro,
+            lower_bound: t.expected_doom_throughput_lower(),
+            lower_holds: t_doom >= t.expected_doom_throughput_lower(),
+            upper_holds: t_doom <= Rational::TWO * t_macro,
+            min_doomed_rate,
+        });
+    }
+    rows
+}
+
+/// Renders the E5 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "n",
+        "k",
+        "T^MmF (MS)",
+        "T doom",
+        "gain",
+        ">= n-2",
+        "<= 2x",
+        "min doomed rate",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.k.to_string(),
+            r.t_macro.to_string(),
+            r.t_doom.to_string(),
+            format!("{:.4}", r.gain.to_f64()),
+            r.lower_holds.to_string(),
+            r.upper_holds.to_string(),
+            format!("{:.5}", r.min_doomed_rate.to_f64()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_and_gain_grows() {
+        let rows = run(&[(3, 4), (7, 1), (7, 16), (15, 16), (31, 32)]);
+        for r in &rows {
+            assert!(r.lower_holds, "n={}, k={}", r.n, r.k);
+            assert!(r.upper_holds, "n={}, k={}", r.n, r.k);
+        }
+        // Example 5.3 row: throughput 9/2 -> 5.
+        let ex = rows.iter().find(|r| r.n == 7 && r.k == 1).unwrap();
+        assert_eq!(ex.t_macro, Rational::new(9, 2));
+        assert_eq!(ex.t_doom, Rational::from_integer(5));
+        // Gain approaches 2 with larger n, k; doomed rates approach 0.
+        let big = rows.last().unwrap();
+        assert!(big.gain > Rational::new(9, 5));
+        assert!(big.min_doomed_rate < Rational::new(1, 100));
+        let small = rows.first().unwrap();
+        assert!(big.gain > small.gain);
+    }
+}

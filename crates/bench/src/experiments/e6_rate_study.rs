@@ -1,0 +1,163 @@
+//! E6 — §6 / extended-version evaluation: how closely do practical routers
+//! track the macro-switch rates on stochastic inputs, and how badly do
+//! they fail on adversarial ones?
+
+use clos_core::constructions::theorem_4_3;
+use clos_core::routers::{
+    AnnealingRouter, EcmpRouter, FirstFitRouter, GreedyRouter, LocalSearchRouter,
+    ReplicationFirstRouter, Router,
+};
+use clos_net::{ClosNetwork, MacroSwitch};
+use clos_sim::{rate_ratio_study, RatioSummary};
+use clos_workloads::Workload;
+
+use crate::table::Table;
+
+/// One (workload, router) cell of the rate study.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Router name.
+    pub router: String,
+    /// Ratio summary over flows (and seeds, pooled).
+    pub summary: RatioSummary,
+}
+
+/// The baselines of §6, freshly seeded.
+fn routers(seed: u64) -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(EcmpRouter::new(seed)),
+        Box::new(GreedyRouter::new()),
+        Box::new(FirstFitRouter::new()),
+        Box::new(LocalSearchRouter::default()),
+        Box::new(AnnealingRouter::new(seed, 800)),
+        Box::new(ReplicationFirstRouter::new()),
+    ]
+}
+
+/// Number of router baselines in the study.
+pub const ROUTER_COUNT: usize = 6;
+
+/// Runs the stochastic study on `C_n`: every workload × router, pooling
+/// per-flow ratios over `seeds` seeds, plus one adversarial row
+/// (Theorem 4.3's instance under the greedy router).
+#[must_use]
+pub fn run(n: usize, seeds: u64) -> Vec<Row> {
+    let clos = ClosNetwork::standard(n);
+    let ms = MacroSwitch::standard(n);
+    let host_count = clos.tor_count() * clos.hosts_per_tor();
+    let workloads = vec![
+        Workload::UniformRandom {
+            flows: 2 * host_count,
+        },
+        Workload::Permutation,
+        Workload::Incast {
+            senders: host_count / 2,
+        },
+        Workload::Zipf {
+            flows: 2 * host_count,
+            exponent: 1.2,
+        },
+        Workload::Stride {
+            stride: clos.hosts_per_tor(),
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        for ri in 0..ROUTER_COUNT {
+            let mut pooled = Vec::new();
+            let mut name = String::new();
+            for seed in 0..seeds {
+                let flows = w.generate(&clos, seed);
+                let mut router_set = routers(seed);
+                name = router_set[ri].name().to_string();
+                let study = rate_ratio_study(&clos, &ms, &flows, router_set[ri].as_mut());
+                pooled.extend(study.ratios);
+            }
+            rows.push(Row {
+                workload: w.name(),
+                router: name,
+                summary: clos_sim::summarize(&pooled),
+            });
+        }
+    }
+
+    // Adversarial contrast row (only meaningful when the construction
+    // fits, i.e. n >= 3).
+    if n >= 3 {
+        let t = theorem_4_3(n);
+        let study = rate_ratio_study(
+            &t.instance.clos,
+            &t.instance.ms,
+            &t.instance.flows,
+            &mut GreedyRouter::new(),
+        );
+        rows.push(Row {
+            workload: format!("adversarial thm-4.3(n={n})"),
+            router: "greedy".to_string(),
+            summary: study.summary,
+        });
+    }
+    rows
+}
+
+/// Renders the E6 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "workload", "router", "min", "p10", "p50", "mean", "p99", "max",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.router.to_string(),
+            format!("{:.3}", r.summary.min),
+            format!("{:.3}", r.summary.p10),
+            format!("{:.3}", r.summary.p50),
+            format!("{:.3}", r.summary.mean),
+            format!("{:.3}", r.summary.p99),
+            format!("{:.3}", r.summary.max),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stochastic_inputs_track_macro_switch() {
+        let rows = run(3, 3);
+        // Greedy and local-search on stochastic inputs: median ratio at or
+        // near 1 (the §6 claim).
+        for r in rows
+            .iter()
+            .filter(|r| r.router != "ecmp" && !r.workload.starts_with("adversarial"))
+        {
+            assert!(
+                r.summary.p50 > 0.9,
+                "{} under {}: p50 = {}",
+                r.workload,
+                r.router,
+                r.summary.p50
+            );
+        }
+        // The adversarial row shows real degradation.
+        let adv = rows
+            .iter()
+            .find(|r| r.workload.starts_with("adversarial"))
+            .unwrap();
+        assert!(adv.summary.min < 0.9);
+    }
+
+    #[test]
+    fn table_has_row_per_cell() {
+        let rows = run(2, 2);
+        // 5 workloads x 3 routers, no adversarial row for n = 2.
+        assert_eq!(rows.len(), 5 * ROUTER_COUNT);
+        assert!(render(&rows).contains("permutation"));
+    }
+}

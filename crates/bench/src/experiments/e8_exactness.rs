@@ -1,0 +1,140 @@
+//! E8 — Definitions 2.4/2.5 exactness: on small random instances, the
+//! exhaustively computed optima dominate every heuristic, and every bound
+//! chain of the paper holds simultaneously.
+//!
+//! Checked per instance:
+//!
+//! * `a^MmF(MS)↑ ≥ a^L-MmF↑ ≥` every heuristic's sorted vector (§2.3);
+//! * `T^T-MmF ≥ T(doom-switch)` (Algorithm 1 approximates from below);
+//! * `T^T-MmF ≤ 2 · T^MmF(MS)` (Theorem 5.4 upper bound);
+//! * `T^MmF(MS) ≥ ½ · T^MT` (Theorem 3.4);
+//! * `T^MT = T^T-MT` realized link-disjointly (Lemma 5.2).
+
+use clos_core::doom_switch::{doom_switch, link_disjoint_max_throughput};
+use clos_core::macro_switch::{macro_max_min, max_throughput};
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_core::routers::{route_and_allocate, EcmpRouter, GreedyRouter};
+use clos_net::{ClosNetwork, MacroSwitch};
+use clos_rational::Rational;
+use clos_workloads::Workload;
+
+use crate::table::Table;
+
+/// Results of the exactness checks for one random instance.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Seed of the random instance.
+    pub seed: u64,
+    /// Number of flows.
+    pub flows: usize,
+    /// Routings examined by the exhaustive searches.
+    pub routings_examined: u64,
+    /// `T^MmF` in the macro-switch.
+    pub t_ms: Rational,
+    /// Exhaustive `T^T-MmF`.
+    pub t_tmmf: Rational,
+    /// Doom-Switch throughput.
+    pub t_doom: Rational,
+    /// Whether every check listed in the module docs passed.
+    pub all_checks_pass: bool,
+}
+
+/// Runs the exactness experiment on `C_2` with `flows_per_instance`
+/// uniformly random flows per seed.
+#[must_use]
+pub fn run(seeds: &[u64], flows_per_instance: usize) -> Vec<Row> {
+    let clos = ClosNetwork::standard(2);
+    let ms = MacroSwitch::standard(2);
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let flows = Workload::UniformRandom {
+            flows: flows_per_instance,
+        }
+        .generate(&clos, seed);
+        let ms_flows = ms.translate_flows(&clos, &flows);
+
+        let ms_alloc = macro_max_min(&ms, &ms_flows);
+        let ms_mt = max_throughput(&ms, &ms_flows);
+        let (lex, stats) = search_lex_max_min(&clos, &flows);
+        let (tmmf, _) = search_throughput_max_min(&clos, &flows);
+        let doom = doom_switch(&clos, &ms, &flows);
+        let disjoint = link_disjoint_max_throughput(&clos, &ms, &flows);
+        let greedy = route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows);
+        let ecmp = route_and_allocate(&mut EcmpRouter::new(seed), &clos, &ms, &flows);
+
+        let lex_sorted = lex.allocation.sorted();
+        let mut ok = true;
+        // Lexicographic dominance chain.
+        ok &= ms_alloc.sorted() >= lex_sorted;
+        ok &= lex_sorted >= doom.allocation.sorted();
+        ok &= lex_sorted >= greedy.allocation.sorted();
+        ok &= lex_sorted >= ecmp.allocation.sorted();
+        // Throughput chain.
+        ok &= tmmf.throughput() >= doom.throughput();
+        ok &= tmmf.throughput() <= Rational::TWO * ms_alloc.throughput();
+        ok &= Rational::TWO * ms_alloc.throughput() >= ms_mt.throughput();
+        // Lemma 5.2: matching throughput realized in the network.
+        ok &= disjoint.throughput() == ms_mt.throughput();
+        // T^T-MmF cannot exceed T^T-MT = T^MT.
+        ok &= tmmf.throughput() <= ms_mt.throughput();
+
+        rows.push(Row {
+            seed,
+            flows: flows.len(),
+            routings_examined: stats.routings_examined,
+            t_ms: ms_alloc.throughput(),
+            t_tmmf: tmmf.throughput(),
+            t_doom: doom.throughput(),
+            all_checks_pass: ok,
+        });
+    }
+    rows
+}
+
+/// Renders the E8 table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "seed",
+        "flows",
+        "routings",
+        "T^MmF(MS)",
+        "T^T-MmF",
+        "T doom",
+        "all checks",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.seed.to_string(),
+            r.flows.to_string(),
+            r.routings_examined.to_string(),
+            r.t_ms.to_string(),
+            r.t_tmmf.to_string(),
+            r.t_doom.to_string(),
+            r.all_checks_pass.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_checks_pass_on_random_instances() {
+        let rows = run(&[0, 1, 2, 3, 4], 7);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.all_checks_pass, "seed {} failed a check", r.seed);
+            assert!(r.t_doom <= r.t_tmmf);
+            assert!(r.routings_examined >= 1);
+        }
+    }
+
+    #[test]
+    fn render_lists_seeds() {
+        let rows = run(&[42], 5);
+        assert!(render(&rows).contains("42"));
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per experiment; see the crate docs for the paper mapping.
+
+pub mod e10_oversubscription;
+pub mod e11_lp_cross_validation;
+pub mod e12_weighted_fairness;
+pub mod e1_example_2_3;
+pub mod e2_price_of_fairness;
+pub mod e3_replication;
+pub mod e4_starvation;
+pub mod e5_doom_switch;
+pub mod e6_rate_study;
+pub mod e7_fct;
+pub mod e8_exactness;
+pub mod e9_relative_fairness;

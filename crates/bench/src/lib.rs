@@ -1,0 +1,28 @@
+//! Experiment harness for the clos-routing workspace.
+//!
+//! Every figure, worked example, and theorem bound of the paper maps to one
+//! experiment module (the index lives in `DESIGN.md`; measured-vs-paper
+//! numbers in `EXPERIMENTS.md`):
+//!
+//! | Id | Paper artifact | Module |
+//! |----|----------------|--------|
+//! | E1 | Figure 1 / Example 2.3 | [`experiments::e1_example_2_3`] |
+//! | E2 | Figure 2 / Theorem 3.4 (price of fairness) | [`experiments::e2_price_of_fairness`] |
+//! | E3 | Figure 3 / Theorem 4.2 (replication infeasibility) | [`experiments::e3_replication`] |
+//! | E4 | Theorem 4.3 (1/n starvation) | [`experiments::e4_starvation`] |
+//! | E5 | Figure 4 / Theorem 5.4 (Doom-Switch) | [`experiments::e5_doom_switch`] |
+//! | E6 | §6 stochastic rate study | [`experiments::e6_rate_study`] |
+//! | E7 | §7 scheduling vs congestion control (FCT) | [`experiments::e7_fct`] |
+//! | E8 | Definitions 2.4/2.5 exactness cross-checks | [`experiments::e8_exactness`] |
+//!
+//! Run them all with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p clos-bench --bin repro -- --experiment all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,181 @@
+//! The two bipartite multigraphs the paper derives from a flow collection.
+
+use clos_graph::BipartiteMultigraph;
+use clos_net::{ClosNetwork, Flow, MacroSwitch};
+
+/// Builds `G^MS`, the bipartite multigraph pertaining to a flow collection
+/// in a macro-switch (§3): left nodes are sources, right nodes are
+/// destinations, and each flow contributes one edge.
+///
+/// Lemma 3.2: a maximum matching of `G^MS` (rate 1 to matched flows, 0 to
+/// the rest) is a maximum-throughput allocation, so `T^MT` equals the
+/// matching size. Edge `i` of the result corresponds to `flows[i]`.
+///
+/// # Panics
+///
+/// Panics if any flow endpoint is not a source/destination of `ms`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::graphs::ms_flow_multigraph;
+/// use clos_graph::maximum_matching;
+/// use clos_net::{Flow, MacroSwitch};
+///
+/// let ms = MacroSwitch::standard(1);
+/// let flows = [
+///     Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+/// ];
+/// let g = ms_flow_multigraph(&ms, &flows);
+/// assert_eq!(maximum_matching(&g).len(), 2); // T^MT = 2 (Figure 2a)
+/// ```
+#[must_use]
+pub fn ms_flow_multigraph(ms: &MacroSwitch, flows: &[Flow]) -> BipartiteMultigraph {
+    let hosts = ms.hosts_per_tor();
+    let count = ms.tor_count() * hosts;
+    let edges = flows
+        .iter()
+        .map(|f| {
+            let (si, sj) = ms.source_coords(f.src());
+            let (ti, tj) = ms.destination_coords(f.dst());
+            (si * hosts + sj, ti * hosts + tj)
+        })
+        .collect();
+    BipartiteMultigraph::from_edges(count, count, edges)
+}
+
+/// Builds `G^C`, the bipartite multigraph pertaining to a flow collection
+/// in a Clos network (§5): left nodes are input ToRs, right nodes are
+/// output ToRs, and each flow contributes one edge identified by its ToR
+/// pair.
+///
+/// Footnote 5: if `G^C` has maximum degree at most `n`, König's theorem
+/// yields an `n`-edge-coloring, which *is* a link-disjoint routing (color
+/// `m` ↔ middle switch `M_m`). Edge `i` of the result corresponds to
+/// `flows[i]`.
+///
+/// # Panics
+///
+/// Panics if any flow endpoint is not a source/destination of `clos`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::graphs::tor_flow_multigraph;
+/// use clos_graph::edge_coloring;
+/// use clos_net::{ClosNetwork, Flow};
+///
+/// let clos = ClosNetwork::standard(2);
+/// let flows = [
+///     Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+///     Flow::new(clos.source(0, 1), clos.destination(3, 0)),
+/// ];
+/// let g = tor_flow_multigraph(&clos, &flows);
+/// // Degree 2 at input ToR 0 still colors with n = 2 colors.
+/// assert!(edge_coloring(&g, 2).is_ok());
+/// ```
+#[must_use]
+pub fn tor_flow_multigraph(clos: &ClosNetwork, flows: &[Flow]) -> BipartiteMultigraph {
+    let tors = clos.tor_count();
+    let edges = flows
+        .iter()
+        .map(|f| (clos.src_tor(*f), clos.dst_tor(*f)))
+        .collect();
+    BipartiteMultigraph::from_edges(tors, tors, edges)
+}
+
+/// Builds `G^C` restricted to a sub-collection of flows, preserving the
+/// mapping back to positions in `subset`.
+///
+/// Used by the Doom-Switch algorithm, which colors only the maximum
+/// matching `F' ⊆ F`.
+///
+/// # Panics
+///
+/// Panics if any selected flow endpoint is not a source/destination of
+/// `clos`, or an index in `subset` is out of range for `flows`.
+#[must_use]
+pub fn tor_flow_multigraph_subset(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    subset: &[usize],
+) -> BipartiteMultigraph {
+    let tors = clos.tor_count();
+    let edges = subset
+        .iter()
+        .map(|&i| {
+            let f = flows[i];
+            (clos.src_tor(f), clos.dst_tor(f))
+        })
+        .collect();
+    BipartiteMultigraph::from_edges(tors, tors, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_graph_indexes_hosts_globally() {
+        let ms = MacroSwitch::standard(2);
+        let flows = [
+            Flow::new(ms.source(0, 1), ms.destination(3, 0)),
+            Flow::new(ms.source(2, 0), ms.destination(0, 1)),
+        ];
+        let g = ms_flow_multigraph(&ms, &flows);
+        assert_eq!(g.left_count(), 8);
+        assert_eq!(g.right_count(), 8);
+        assert_eq!(g.edge(0), (1, 6)); // s_0^1 = 0*2+1, t_3^0 = 3*2+0
+        assert_eq!(g.edge(1), (4, 1));
+    }
+
+    #[test]
+    fn tor_graph_collapses_hosts() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(3, 0), clos.destination(0, 0)),
+        ];
+        let g = tor_flow_multigraph(&clos, &flows);
+        assert_eq!(g.left_count(), 4);
+        // Both host-distinct flows collapse to the same ToR pair edge.
+        assert_eq!(g.edge(0), (0, 2));
+        assert_eq!(g.edge(1), (0, 2));
+        assert_eq!(g.edge(2), (3, 0));
+        assert_eq!(g.left_degree(0), 2);
+    }
+
+    #[test]
+    fn subset_graph_preserves_positions() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(2, 0), clos.destination(0, 0)),
+        ];
+        let g = tor_flow_multigraph_subset(&clos, &flows, &[2, 0]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(0), (2, 0)); // flows[2]
+        assert_eq!(g.edge(1), (0, 2)); // flows[0]
+    }
+
+    #[test]
+    fn degree_bound_for_full_fabric_traffic() {
+        // Every source sends one flow: per-ToR degree equals hosts_per_tor
+        // = n, so an n-coloring (a link-disjoint routing) exists.
+        let clos = ClosNetwork::standard(3);
+        let mut flows = Vec::new();
+        for i in 0..clos.tor_count() {
+            for j in 0..clos.hosts_per_tor() {
+                let ti = (i + 1) % clos.tor_count();
+                flows.push(Flow::new(clos.source(i, j), clos.destination(ti, j)));
+            }
+        }
+        let g = tor_flow_multigraph(&clos, &flows);
+        assert_eq!(g.max_degree(), 3);
+        assert!(clos_graph::edge_coloring(&g, 3).is_ok());
+    }
+}

@@ -1,0 +1,550 @@
+//! Linear-programming formulations of the paper's rate-allocation
+//! problems, built on the exact simplex of `clos-lp`.
+//!
+//! These serve two purposes:
+//!
+//! * **Independent verification** — [`max_min_via_lp`] recomputes the
+//!   max-min fair allocation of a routed collection by the classical
+//!   iterative-LP algorithm (maximize the common rate `t`; a flow is
+//!   *bottlenecked* iff it cannot exceed `t` while everyone else keeps
+//!   `t`; fix bottlenecked flows and repeat). Water-filling and the LP
+//!   derivation share no code, so their agreement (checked by tests and
+//!   E11) certifies both.
+//! * **The splittable relaxations of §1** — [`splittable_max_min`] and
+//!   [`max_splittable_throughput`] allocate per-path variables
+//!   (one per middle switch), realizing "classic network flow" inside the
+//!   fabric. The headline consequence, *demand satisfaction*, becomes a
+//!   checkable identity: the splittable max-min fair allocation of `C_n`
+//!   equals the macro-switch max-min fair allocation exactly.
+
+#![allow(clippy::needless_range_loop)]
+
+use clos_fairness::Allocation;
+use clos_lp::{LinearProgram, LpOutcome};
+use clos_net::{ClosNetwork, Flow, Network, Routing};
+use clos_rational::Rational;
+
+fn expect_optimal(outcome: LpOutcome, context: &str) -> (Rational, Vec<Rational>) {
+    match outcome {
+        LpOutcome::Optimal { value, solution } => (value, solution),
+        other => panic!("{context}: expected optimal LP outcome, got {other:?}"),
+    }
+}
+
+/// Computes the max-min fair allocation of a routed collection by the
+/// iterative LP algorithm, exactly.
+///
+/// Exponentially slower than water-filling (`O(F)` LP solves per fixing
+/// round) but derived from Definition 2.1 through completely different
+/// machinery — the designated cross-check oracle.
+///
+/// # Panics
+///
+/// Panics if the routing does not match the flows, a path uses no
+/// finite-capacity link (rates would be unbounded), or the LP solver
+/// overflows.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::lp_models::max_min_via_lp;
+/// use clos_fairness::max_min_fair;
+/// use clos_net::{Flow, MacroSwitch};
+/// use clos_rational::Rational;
+///
+/// let ms = MacroSwitch::standard(1);
+/// let flows = [
+///     Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+/// ];
+/// let routing = ms.routing(&flows);
+/// let lp = max_min_via_lp(ms.network(), &flows, &routing);
+/// let wf = max_min_fair::<Rational>(ms.network(), &flows, &routing).unwrap();
+/// assert_eq!(lp, wf);
+/// ```
+#[must_use]
+pub fn max_min_via_lp(net: &Network, flows: &[Flow], routing: &Routing) -> Allocation<Rational> {
+    assert_eq!(routing.len(), flows.len(), "routing/flows length mismatch");
+    let f_count = flows.len();
+    if f_count == 0 {
+        return Allocation::from_rates(vec![]);
+    }
+
+    // Finite links and their member flows.
+    let mut link_caps = Vec::new();
+    let mut link_members: Vec<Vec<usize>> = Vec::new();
+    {
+        let members = routing.flows_per_link(net);
+        for link in net.links() {
+            if let Some(cap) = link.capacity().finite() {
+                let flows_here: Vec<usize> = members[link.id().index()]
+                    .iter()
+                    .map(|f| f.index())
+                    .collect();
+                if !flows_here.is_empty() {
+                    link_caps.push(cap);
+                    link_members.push(flows_here);
+                }
+            }
+        }
+    }
+    for (i, path) in routing.paths().iter().enumerate() {
+        let has_finite = path
+            .links()
+            .iter()
+            .any(|&e| net.link(e).capacity().finite().is_some());
+        assert!(has_finite, "flow {i} has unbounded rate (no finite link)");
+    }
+
+    let mut fixed: Vec<Option<Rational>> = vec![None; f_count];
+    while fixed.iter().any(Option::is_none) {
+        let unfixed: Vec<usize> = (0..f_count).filter(|&i| fixed[i].is_none()).collect();
+        let var_of: std::collections::HashMap<usize, usize> =
+            unfixed.iter().enumerate().map(|(v, &f)| (f, v)).collect();
+        let residuals: Vec<Rational> = (0..link_caps.len())
+            .map(|link| {
+                let mut cap = link_caps[link];
+                for &f in &link_members[link] {
+                    if let Some(v) = fixed[f] {
+                        cap -= v;
+                    }
+                }
+                cap
+            })
+            .collect();
+        let residual = |link: usize| -> Rational { residuals[link] };
+
+        // LP1: maximize t subject to capacities and x_f >= t.
+        let nv = unfixed.len() + 1; // [x_unfixed..., t]
+        let t_var = unfixed.len();
+        let mut obj = vec![Rational::ZERO; nv];
+        obj[t_var] = Rational::ONE;
+        let mut lp1 = LinearProgram::maximize(nv, obj);
+        for link in 0..link_caps.len() {
+            let mut row = vec![Rational::ZERO; nv];
+            let mut any = false;
+            for &f in &link_members[link] {
+                if let Some(&v) = var_of.get(&f) {
+                    row[v] += Rational::ONE;
+                    any = true;
+                }
+            }
+            if any {
+                lp1.add_le(row, residual(link));
+            }
+        }
+        for (v, _) in unfixed.iter().enumerate() {
+            let mut row = vec![Rational::ZERO; nv];
+            row[v] = Rational::ONE;
+            row[t_var] = -Rational::ONE;
+            lp1.add_ge(row, Rational::ZERO);
+        }
+        let (t_star, _) = expect_optimal(lp1.solve(), "max-min LP1");
+
+        // LP2 per flow: can x_f exceed t* while everyone keeps t*?
+        let mut fixed_any = false;
+        for (v, &f) in unfixed.iter().enumerate() {
+            let nv = unfixed.len();
+            let mut obj = vec![Rational::ZERO; nv];
+            obj[v] = Rational::ONE;
+            let mut lp2 = LinearProgram::maximize(nv, obj);
+            for link in 0..link_caps.len() {
+                let mut row = vec![Rational::ZERO; nv];
+                let mut any = false;
+                for &g in &link_members[link] {
+                    if let Some(&w) = var_of.get(&g) {
+                        row[w] += Rational::ONE;
+                        any = true;
+                    }
+                }
+                if any {
+                    lp2.add_le(row, residual(link));
+                }
+            }
+            for w in 0..nv {
+                let mut row = vec![Rational::ZERO; nv];
+                row[w] = Rational::ONE;
+                lp2.add_ge(row, t_star);
+            }
+            let (best, _) = expect_optimal(lp2.solve(), "max-min LP2");
+            debug_assert!(best >= t_star);
+            if best == t_star {
+                fixed[f] = Some(t_star);
+                fixed_any = true;
+            }
+        }
+        assert!(fixed_any, "max-min iteration must fix at least one flow");
+    }
+
+    Allocation::from_rates(fixed.into_iter().map(|v| v.expect("all fixed")).collect())
+}
+
+/// Index helpers for the splittable per-path variables `z[f][m]`.
+struct SplitVars {
+    middles: usize,
+}
+
+impl SplitVars {
+    fn z(&self, flow: usize, middle: usize) -> usize {
+        flow * self.middles + middle
+    }
+
+    fn count(&self, flows: usize) -> usize {
+        flows * self.middles
+    }
+}
+
+/// Adds one capacity row per (used) link of `clos` over the `z[f][m]`
+/// variables, with `extra` additional trailing variables left at zero.
+fn add_split_capacity_rows(
+    lp: &mut LinearProgram,
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    vars: &SplitVars,
+    extra: usize,
+) {
+    let n = clos.middle_count();
+    let nv = vars.count(flows.len()) + extra;
+    let cap = clos.params().link_capacity;
+    // Host uplinks and downlinks: all of a flow's paths share them.
+    let mut by_source: std::collections::HashMap<clos_net::NodeId, Vec<usize>> =
+        std::collections::HashMap::new();
+    let mut by_dest: std::collections::HashMap<clos_net::NodeId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        by_source.entry(f.src()).or_default().push(i);
+        by_dest.entry(f.dst()).or_default().push(i);
+    }
+    for members in by_source.values().chain(by_dest.values()) {
+        let mut row = vec![Rational::ZERO; nv];
+        for &f in members {
+            for m in 0..n {
+                row[vars.z(f, m)] = Rational::ONE;
+            }
+        }
+        lp.add_le(row, cap);
+    }
+    // Fabric links: uplink (i, m) and downlink (m, o).
+    for tor in 0..clos.tor_count() {
+        for m in 0..n {
+            let mut row = vec![Rational::ZERO; nv];
+            let mut any = false;
+            for (i, f) in flows.iter().enumerate() {
+                if clos.src_tor(*f) == tor {
+                    row[vars.z(i, m)] = Rational::ONE;
+                    any = true;
+                }
+            }
+            if any {
+                lp.add_le(row, cap);
+            }
+        }
+    }
+    for m in 0..n {
+        for tor in 0..clos.tor_count() {
+            let mut row = vec![Rational::ZERO; nv];
+            let mut any = false;
+            for (i, f) in flows.iter().enumerate() {
+                if clos.dst_tor(*f) == tor {
+                    row[vars.z(i, m)] = Rational::ONE;
+                    any = true;
+                }
+            }
+            if any {
+                lp.add_le(row, cap);
+            }
+        }
+    }
+}
+
+/// Computes the max-min fair allocation of `flows` in `clos` when flows
+/// may be **split** across all middle switches ("classic network flow",
+/// §1), by the iterative LP algorithm over per-path variables.
+///
+/// Demand satisfaction implies this equals the macro-switch max-min fair
+/// allocation — the identity E11 verifies.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is invalid for `clos` or the LP overflows.
+#[must_use]
+pub fn splittable_max_min(clos: &ClosNetwork, flows: &[Flow]) -> Allocation<Rational> {
+    if flows.is_empty() {
+        return Allocation::from_rates(vec![]);
+    }
+    let n = clos.middle_count();
+    let vars = SplitVars { middles: n };
+    let zc = vars.count(flows.len());
+
+    let mut fixed: Vec<Option<Rational>> = vec![None; flows.len()];
+    while fixed.iter().any(Option::is_none) {
+        // LP1: maximize t; variables [z..., t].
+        let nv = zc + 1;
+        let mut obj = vec![Rational::ZERO; nv];
+        obj[zc] = Rational::ONE;
+        let mut lp1 = LinearProgram::maximize(nv, obj);
+        add_split_capacity_rows(&mut lp1, clos, flows, &vars, 1);
+        for (i, _) in flows.iter().enumerate() {
+            let mut row = vec![Rational::ZERO; nv];
+            for m in 0..n {
+                row[vars.z(i, m)] = Rational::ONE;
+            }
+            match fixed[i] {
+                Some(v) => lp1.add_eq(row, v),
+                None => {
+                    row[zc] = -Rational::ONE;
+                    lp1.add_ge(row, Rational::ZERO);
+                }
+            }
+        }
+        let (t_star, _) = expect_optimal(lp1.solve(), "splittable LP1");
+
+        // LP2 per unfixed flow.
+        let mut fixed_any = false;
+        for i in 0..flows.len() {
+            if fixed[i].is_some() {
+                continue;
+            }
+            let mut obj = vec![Rational::ZERO; zc];
+            for m in 0..n {
+                obj[vars.z(i, m)] = Rational::ONE;
+            }
+            let mut lp2 = LinearProgram::maximize(zc, obj);
+            add_split_capacity_rows(&mut lp2, clos, flows, &vars, 0);
+            for (g, _) in flows.iter().enumerate() {
+                let mut row = vec![Rational::ZERO; zc];
+                for m in 0..n {
+                    row[vars.z(g, m)] = Rational::ONE;
+                }
+                match fixed[g] {
+                    Some(v) => lp2.add_eq(row, v),
+                    None => lp2.add_ge(row, t_star),
+                }
+            }
+            let (best, _) = expect_optimal(lp2.solve(), "splittable LP2");
+            debug_assert!(best >= t_star);
+            if best == t_star {
+                fixed[i] = Some(t_star);
+                fixed_any = true;
+            }
+        }
+        assert!(fixed_any, "splittable max-min must fix at least one flow");
+    }
+    Allocation::from_rates(fixed.into_iter().map(|v| v.expect("all fixed")).collect())
+}
+
+/// Computes the maximum total throughput achievable for a **fixed
+/// routing** (a single LP over per-flow rates).
+///
+/// This is `T^MT` *of the routed network*, the denominator in the
+/// generalized form of Theorem 3.4: the paper's conclusion notes that
+/// "for every interconnection network … the imposition of max-min fair
+/// constraints up to halves the maximum throughput", i.e.
+/// `t(a_r^MmF) ≥ ½ · max_throughput_for_routing(r)` for every routing
+/// `r` — a bound the `lp_cross_check` property suite verifies on random
+/// routings.
+///
+/// # Panics
+///
+/// Panics if the routing does not match the flows or the LP overflows.
+/// Flows whose paths meet no finite link make the LP unbounded, which
+/// also panics (mirrors [`max_min_via_lp`]).
+#[must_use]
+pub fn max_throughput_for_routing(net: &Network, flows: &[Flow], routing: &Routing) -> Rational {
+    assert_eq!(routing.len(), flows.len(), "routing/flows length mismatch");
+    if flows.is_empty() {
+        return Rational::ZERO;
+    }
+    let members = routing.flows_per_link(net);
+    let mut lp = LinearProgram::maximize(flows.len(), vec![Rational::ONE; flows.len()]);
+    for link in net.links() {
+        if let Some(cap) = link.capacity().finite() {
+            let on_link = &members[link.id().index()];
+            if on_link.is_empty() {
+                continue;
+            }
+            let mut row = vec![Rational::ZERO; flows.len()];
+            for f in on_link {
+                row[f.index()] += Rational::ONE;
+            }
+            lp.add_le(row, cap);
+        }
+    }
+    let (value, _) = expect_optimal(lp.solve(), "routed max throughput");
+    value
+}
+
+/// Computes the maximum total throughput of `flows` in `clos` with
+/// splittable routing (a single LP).
+///
+/// Always at least the unsplittable `T^MT` (a matching allocation is
+/// splittable-feasible) and, by demand satisfaction, equal to the
+/// macro-switch's maximum throughput LP.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is invalid for `clos` or the LP overflows.
+#[must_use]
+pub fn max_splittable_throughput(clos: &ClosNetwork, flows: &[Flow]) -> Rational {
+    if flows.is_empty() {
+        return Rational::ZERO;
+    }
+    let n = clos.middle_count();
+    let vars = SplitVars { middles: n };
+    let zc = vars.count(flows.len());
+    let obj = vec![Rational::ONE; zc];
+    let mut lp = LinearProgram::maximize(zc, obj);
+    add_split_capacity_rows(&mut lp, clos, flows, &vars, 0);
+    let (value, _) = expect_optimal(lp.solve(), "splittable throughput");
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{example_2_3, theorem_3_4, theorem_4_2};
+    use crate::macro_switch::{macro_max_min, max_throughput};
+    use clos_fairness::max_min_fair;
+    use clos_net::MacroSwitch;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn lp_matches_waterfill_on_figure_2() {
+        let t = theorem_3_4(1, 3);
+        let routing = t.ms.routing(&t.flows);
+        let lp = max_min_via_lp(t.ms.network(), &t.flows, &routing);
+        let wf = max_min_fair::<Rational>(t.ms.network(), &t.flows, &routing).unwrap();
+        assert_eq!(lp, wf);
+        assert!(lp.rates().iter().all(|&x| x == r(1, 4)));
+    }
+
+    #[test]
+    fn lp_matches_waterfill_on_clos_routings() {
+        let ex = example_2_3();
+        let clos = &ex.instance.clos;
+        for routed in [ex.routing_1(), ex.routing_2()] {
+            let lp = max_min_via_lp(clos.network(), &ex.instance.flows, &routed.routing);
+            assert_eq!(lp, routed.allocation);
+        }
+    }
+
+    #[test]
+    fn lp_handles_multi_level_cascades() {
+        let ms = MacroSwitch::standard(2);
+        let flows = [
+            Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+            Flow::new(ms.source(0, 0), ms.destination(0, 1)),
+            Flow::new(ms.source(0, 0), ms.destination(1, 0)),
+            Flow::new(ms.source(1, 1), ms.destination(1, 0)),
+            Flow::new(ms.source(1, 0), ms.destination(3, 0)),
+        ];
+        let routing = ms.routing(&flows);
+        let lp = max_min_via_lp(ms.network(), &flows, &routing);
+        let wf = max_min_fair::<Rational>(ms.network(), &flows, &routing).unwrap();
+        assert_eq!(lp, wf);
+        // Three distinct levels: 1/3 (shared source), 2/3 (rest of the
+        // contended destination), 1 (isolated flow).
+        assert_eq!(lp.rates()[4], Rational::ONE);
+        assert_eq!(lp.rates()[3], r(2, 3));
+    }
+
+    #[test]
+    fn splittable_max_min_equals_macro_switch() {
+        // §1 demand satisfaction under fairness: splitting restores the
+        // macro-switch allocation exactly — even on the Theorem 4.2
+        // adversarial collection that unsplittable routing cannot serve.
+        let t = theorem_4_2(3);
+        let split = splittable_max_min(&t.instance.clos, &t.instance.flows);
+        let ms_alloc = macro_max_min(&t.instance.ms, &t.instance.ms_flows);
+        assert_eq!(split, ms_alloc);
+    }
+
+    #[test]
+    fn splittable_max_min_on_small_collection() {
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(2, 1)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 0)),
+        ];
+        let split = splittable_max_min(&clos, &flows);
+        let ms_flows = ms.translate_flows(&clos, &flows);
+        assert_eq!(split, macro_max_min(&ms, &ms_flows));
+        assert_eq!(split.rates(), &[r(1, 2), r(1, 2), r(1, 2)]);
+    }
+
+    #[test]
+    fn splittable_throughput_sandwich() {
+        // T^MT (matching) <= splittable throughput; equality on the Fig. 2
+        // gadget (host links bind either way).
+        let t = theorem_3_4(2, 4);
+        let clos = ClosNetwork::standard(2);
+        // Build the same flows on the Clos network.
+        let flows: Vec<Flow> = t
+            .flows
+            .iter()
+            .map(|f| {
+                let (si, sj) = t.ms.source_coords(f.src());
+                let (ti, tj) = t.ms.destination_coords(f.dst());
+                Flow::new(clos.source(si, sj), clos.destination(ti, tj))
+            })
+            .collect();
+        let split = max_splittable_throughput(&clos, &flows);
+        let mt = max_throughput(&t.ms, &t.flows).throughput();
+        assert!(split >= mt);
+        assert_eq!(split, Rational::TWO);
+    }
+
+    #[test]
+    fn routed_max_throughput_on_figure_2() {
+        // Fixed (unique) routing of MS_1: T^MT = 2 regardless of k.
+        let t = theorem_3_4(1, 5);
+        let routing = t.ms.routing(&t.flows);
+        assert_eq!(
+            max_throughput_for_routing(t.ms.network(), &t.flows, &routing),
+            Rational::TWO
+        );
+        // And the generalized Theorem 3.4 inequality holds.
+        let mmf = max_min_fair::<Rational>(t.ms.network(), &t.flows, &routing).unwrap();
+        assert!(
+            mmf.throughput() * Rational::TWO
+                >= max_throughput_for_routing(t.ms.network(), &t.flows, &routing)
+        );
+    }
+
+    #[test]
+    fn routed_max_throughput_respects_fabric_constraints() {
+        // Two flows forced onto one uplink: routed T^MT = 1; spreading
+        // them over distinct middles restores 2.
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+        ];
+        let squeezed: Routing = flows.iter().map(|&f| clos.path_via(f, 0)).collect();
+        assert_eq!(
+            max_throughput_for_routing(clos.network(), &flows, &squeezed),
+            Rational::ONE
+        );
+        let spread = Routing::new(vec![clos.path_via(flows[0], 0), clos.path_via(flows[1], 1)]);
+        assert_eq!(
+            max_throughput_for_routing(clos.network(), &flows, &spread),
+            Rational::TWO
+        );
+    }
+
+    #[test]
+    fn empty_collections() {
+        let clos = ClosNetwork::standard(1);
+        assert!(splittable_max_min(&clos, &[]).is_empty());
+        assert_eq!(max_splittable_throughput(&clos, &[]), Rational::ZERO);
+        let ms = MacroSwitch::standard(1);
+        let routing = ms.routing(&[]);
+        assert!(max_min_via_lp(ms.network(), &[], &routing).is_empty());
+    }
+}

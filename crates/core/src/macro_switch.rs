@@ -1,0 +1,287 @@
+//! Analysis of the macro-switch abstraction: max-min fairness, maximum
+//! throughput, and the price of fairness (§3).
+
+use clos_fairness::{max_min_fair, Allocation};
+use clos_graph::{maximum_matching, Matching};
+use clos_net::{Flow, MacroSwitch};
+use clos_rational::Rational;
+
+use crate::graphs::ms_flow_multigraph;
+
+/// Computes the (unique) max-min fair allocation `a^MmF` in a macro-switch.
+///
+/// The macro-switch has a single routing, so congestion control determines
+/// the allocation completely; its sorted vector dominates every feasible
+/// allocation of the corresponding Clos network (§2.3).
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is not a source/destination of `ms`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::macro_switch::macro_max_min;
+/// use clos_net::{Flow, MacroSwitch};
+/// use clos_rational::Rational;
+///
+/// let ms = MacroSwitch::standard(1);
+/// let flows = [
+///     Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+/// ];
+/// let a = macro_max_min(&ms, &flows);
+/// assert_eq!(a.rates(), &[Rational::new(1, 2), Rational::new(1, 2)]);
+/// ```
+#[must_use]
+pub fn macro_max_min(ms: &MacroSwitch, flows: &[Flow]) -> Allocation<Rational> {
+    let routing = ms.routing(flows);
+    max_min_fair::<Rational>(ms.network(), flows, &routing)
+        .expect("macro-switch host links are finite")
+}
+
+/// A maximum-throughput allocation `a^MT` in a macro-switch, built from a
+/// maximum matching per Lemma 3.2.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MaxThroughput {
+    /// The allocation: rate 1 on matched flows, 0 elsewhere.
+    pub allocation: Allocation<Rational>,
+    /// The underlying maximum matching of `G^MS` (edge indices = flow
+    /// positions).
+    pub matching: Matching,
+}
+
+impl MaxThroughput {
+    /// Returns `T^MT`, the maximum throughput across the macro-switch
+    /// (equal to the matching size by Lemma 3.2).
+    #[must_use]
+    pub fn throughput(&self) -> Rational {
+        Rational::from_integer(self.matching.len() as i128)
+    }
+}
+
+/// Computes a maximum-throughput allocation across a macro-switch
+/// (Definition 3.1) via bipartite maximum matching (Lemma 3.2).
+///
+/// From the admission-control viewpoint, matched flows are accepted and
+/// transmitted at link capacity; unmatched flows are rejected.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is not a source/destination of `ms`.
+///
+/// # Examples
+///
+/// The Figure 2a gadget: both type-1 flows accepted, the crossing type-2
+/// flow rejected, `T^MT = 2`:
+///
+/// ```
+/// use clos_core::macro_switch::max_throughput;
+/// use clos_net::{Flow, MacroSwitch};
+/// use clos_rational::Rational;
+///
+/// let ms = MacroSwitch::standard(1);
+/// let flows = [
+///     Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+/// ];
+/// let mt = max_throughput(&ms, &flows);
+/// assert_eq!(mt.throughput(), Rational::TWO);
+/// assert_eq!(mt.allocation.rates()[2], Rational::ZERO);
+/// ```
+#[must_use]
+pub fn max_throughput(ms: &MacroSwitch, flows: &[Flow]) -> MaxThroughput {
+    let g = ms_flow_multigraph(ms, flows);
+    let matching = maximum_matching(&g);
+    let rates = (0..flows.len())
+        .map(|i| {
+            if matching.contains(i) {
+                Rational::ONE
+            } else {
+                Rational::ZERO
+            }
+        })
+        .collect();
+    MaxThroughput {
+        allocation: Allocation::from_rates(rates),
+        matching,
+    }
+}
+
+/// The price of fairness of a flow collection in a macro-switch: the
+/// throughputs of the max-min fair and maximum-throughput allocations.
+///
+/// Theorem 3.4 bounds the ratio: `T^MmF ≥ ½ T^MT` for every collection, and
+/// the bound is approached by the adversarial collections of
+/// [`theorem_3_4`].
+///
+/// [`theorem_3_4`]: crate::constructions::theorem_3_4
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PriceOfFairness {
+    /// `T^MmF`: throughput of the max-min fair allocation.
+    pub t_max_min: Rational,
+    /// `T^MT`: the maximum throughput (matching size).
+    pub t_max_throughput: Rational,
+}
+
+impl PriceOfFairness {
+    /// Returns `T^MmF / T^MT`, or `None` for an empty collection
+    /// (`T^MT = 0`).
+    ///
+    /// Theorem 3.4 guarantees the value is in `[1/2, 1]`.
+    #[must_use]
+    pub fn ratio(&self) -> Option<Rational> {
+        if self.t_max_throughput.is_zero() {
+            None
+        } else {
+            Some(self.t_max_min / self.t_max_throughput)
+        }
+    }
+}
+
+/// Computes the price of fairness for a flow collection in a macro-switch
+/// (§3, research question Q1).
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is not a source/destination of `ms`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::macro_switch::price_of_fairness;
+/// use clos_net::{Flow, MacroSwitch};
+/// use clos_rational::Rational;
+///
+/// let ms = MacroSwitch::standard(1);
+/// let flows = [
+///     Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+///     Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+/// ];
+/// let pof = price_of_fairness(&ms, &flows);
+/// assert_eq!(pof.t_max_min, Rational::new(3, 2));
+/// assert_eq!(pof.t_max_throughput, Rational::TWO);
+/// assert_eq!(pof.ratio(), Some(Rational::new(3, 4)));
+/// ```
+#[must_use]
+pub fn price_of_fairness(ms: &MacroSwitch, flows: &[Flow]) -> PriceOfFairness {
+    PriceOfFairness {
+        t_max_min: macro_max_min(ms, flows).throughput(),
+        t_max_throughput: max_throughput(ms, flows).throughput(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_fairness::{is_feasible, verify_bottleneck_property};
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn example_2_3_macro_rates() {
+        let ms = MacroSwitch::standard(2);
+        let flows = [
+            Flow::new(ms.source(0, 1), ms.destination(0, 1)),
+            Flow::new(ms.source(0, 1), ms.destination(1, 0)),
+            Flow::new(ms.source(0, 1), ms.destination(1, 1)),
+            Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+            Flow::new(ms.source(1, 1), ms.destination(1, 1)),
+            Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+        ];
+        let a = macro_max_min(&ms, &flows);
+        assert_eq!(
+            a.rates(),
+            &[r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), Rational::ONE]
+        );
+    }
+
+    #[test]
+    fn max_throughput_is_feasible_but_not_fair() {
+        let ms = MacroSwitch::standard(1);
+        let flows = [
+            Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+            Flow::new(ms.source(1, 0), ms.destination(1, 0)),
+            Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+        ];
+        let mt = max_throughput(&ms, &flows);
+        let routing = ms.routing(&flows);
+        assert!(is_feasible(ms.network(), &flows, &routing, &mt.allocation).is_ok());
+        assert!(verify_bottleneck_property(
+            ms.network(),
+            &flows,
+            &routing,
+            &mt.allocation,
+            Rational::ZERO
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matching_respects_parallel_flows() {
+        let ms = MacroSwitch::standard(1);
+        // Five parallel flows on one pair: T^MT = 1.
+        let flows = vec![Flow::new(ms.source(0, 0), ms.destination(1, 0)); 5];
+        let mt = max_throughput(&ms, &flows);
+        assert_eq!(mt.throughput(), Rational::ONE);
+        let ones = mt
+            .allocation
+            .rates()
+            .iter()
+            .filter(|&&x| x == Rational::ONE)
+            .count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn price_of_fairness_one_for_permutation_traffic() {
+        // A permutation (one flow per source and destination) loses nothing
+        // to fairness: every flow gets rate 1 either way.
+        let ms = MacroSwitch::standard(2);
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            for j in 0..2 {
+                flows.push(Flow::new(ms.source(i, j), ms.destination(3 - i, 1 - j)));
+            }
+        }
+        let pof = price_of_fairness(&ms, &flows);
+        assert_eq!(pof.t_max_min, Rational::from_integer(8));
+        assert_eq!(pof.t_max_throughput, Rational::from_integer(8));
+        assert_eq!(pof.ratio(), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn price_of_fairness_empty_collection() {
+        let ms = MacroSwitch::standard(1);
+        let pof = price_of_fairness(&ms, &[]);
+        assert_eq!(pof.ratio(), None);
+    }
+
+    #[test]
+    fn theorem_3_4_lower_bound_on_small_cases() {
+        // T^MmF >= T^MT / 2 on a handful of handcrafted collections.
+        let ms = MacroSwitch::standard(2);
+        let collections: Vec<Vec<Flow>> = vec![
+            vec![Flow::new(ms.source(0, 0), ms.destination(0, 0))],
+            vec![
+                Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+                Flow::new(ms.source(0, 0), ms.destination(0, 1)),
+                Flow::new(ms.source(0, 1), ms.destination(0, 1)),
+                Flow::new(ms.source(1, 0), ms.destination(0, 0)),
+            ],
+            (0..8)
+                .map(|k| Flow::new(ms.source(k % 4, 0), ms.destination((k + 1) % 4, k % 2)))
+                .collect(),
+        ];
+        for flows in collections {
+            let pof = price_of_fairness(&ms, &flows);
+            assert!(pof.t_max_min * Rational::TWO >= pof.t_max_throughput);
+            let ratio = pof.ratio().unwrap();
+            assert!(ratio >= r(1, 2) && ratio <= Rational::ONE);
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The routing objectives of §2.3, computed exactly by exhaustive search.
+//!
+//! In a Clos network `C_n`, a collection of `F` flows admits `n^F` routings
+//! (each flow independently picks a middle switch). The paper's two
+//! objectives optimize over all of them:
+//!
+//! * **lex-max-min fairness** (Definition 2.4): maximize the sorted
+//!   max-min-fair rate vector in lexicographic order;
+//! * **throughput-max-min fairness** (Definition 2.5): maximize the
+//!   throughput of the max-min fair allocation.
+//!
+//! Both are computed here by enumeration with two sound symmetry
+//! reductions (all links have equal capacity, so relabeling middle switches
+//! and permuting identical flows preserve allocations):
+//!
+//! * flows between the same source–destination pair are interchangeable,
+//!   so only sorted middle assignments are enumerated within such a group;
+//! * when all flows are distinct, middle labels are canonicalized by first
+//!   use (flow `i` may only use a middle index at most one above the
+//!   largest used so far).
+//!
+//! Exhaustive search is exponential; it is intended for the small instances
+//! where the paper's statements are verified end-to-end (`n ≤ 3`, a dozen
+//! flows). The adversarial constructions for large `n` come with optimal
+//! *certificate* routings from the paper's proofs instead (see
+//! [`constructions`]).
+//!
+//! [`constructions`]: crate::constructions
+
+use clos_fairness::max_min_fair;
+use clos_net::{ClosNetwork, Flow, Routing};
+use clos_rational::Rational;
+
+use crate::RoutedAllocation;
+
+/// Statistics from an exhaustive routing search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchStats {
+    /// Number of (canonical) routings whose allocation was evaluated.
+    pub routings_examined: u64,
+}
+
+/// Invokes `visit` with every canonical middle-switch assignment for
+/// `flows` in `clos`.
+///
+/// The assignment slice maps flow positions to middle-switch indices. At
+/// least one representative of every routing orbit (under middle-switch
+/// relabeling and identical-flow permutation) is visited.
+///
+/// # Panics
+///
+/// Panics if any flow endpoint is not a source/destination of `clos`.
+pub fn for_each_canonical_assignment(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    mut visit: impl FnMut(&[usize]),
+) {
+    let n = clos.middle_count();
+    if flows.is_empty() {
+        visit(&[]);
+        return;
+    }
+
+    // Group consecutive positions of identical flows: assignments within a
+    // group are enumerated in non-decreasing order.
+    let mut group_of = vec![0usize; flows.len()];
+    {
+        use std::collections::HashMap;
+        let mut seen: HashMap<(clos_net::NodeId, clos_net::NodeId), usize> = HashMap::new();
+        let mut next = 0;
+        for (i, f) in flows.iter().enumerate() {
+            let key = (f.src(), f.dst());
+            let g = *seen.entry(key).or_insert_with(|| {
+                let g = next;
+                next += 1;
+                g
+            });
+            group_of[i] = g;
+        }
+    }
+    let all_distinct = {
+        let mut counts = std::collections::HashMap::new();
+        for &g in &group_of {
+            *counts.entry(g).or_insert(0usize) += 1;
+        }
+        counts.values().all(|&c| c == 1)
+    };
+    // Previous position in the same group, for the sortedness constraint.
+    let mut prev_in_group = vec![None; flows.len()];
+    {
+        let mut last: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for i in 0..flows.len() {
+            if let Some(&p) = last.get(&group_of[i]) {
+                prev_in_group[i] = Some(p);
+            }
+            last.insert(group_of[i], i);
+        }
+    }
+
+    let mut assignment = vec![0usize; flows.len()];
+    // Iterative depth-first enumeration.
+    fn recurse(
+        i: usize,
+        n: usize,
+        all_distinct: bool,
+        prev_in_group: &[Option<usize>],
+        assignment: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if i == assignment.len() {
+            visit(assignment);
+            return;
+        }
+        let lower = prev_in_group[i].map_or(0, |p| assignment[p]);
+        let upper = if all_distinct {
+            // First-use canonicalization of middle labels.
+            let max_used = assignment[..i].iter().copied().max().map_or(0, |m| m + 1);
+            (max_used + 1).min(n)
+        } else {
+            n
+        };
+        for m in lower..upper {
+            assignment[i] = m;
+            recurse(i + 1, n, all_distinct, prev_in_group, assignment, visit);
+        }
+    }
+    recurse(
+        0,
+        n,
+        all_distinct,
+        &prev_in_group,
+        &mut assignment,
+        &mut visit,
+    );
+}
+
+fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> Routing {
+    flows
+        .iter()
+        .zip(assignment)
+        .map(|(&f, &m)| clos.path_via(f, m))
+        .collect()
+}
+
+/// Computes a lex-max-min fair allocation `a^L-MmF` (Definition 2.4) by
+/// exhaustive search, returning the optimal routing, its allocation, and
+/// search statistics.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty-endpoint-invalid for `clos`. The search is
+/// exponential in the number of flows; see the module docs for intended
+/// instance sizes.
+#[must_use]
+pub fn search_lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> (RoutedAllocation, SearchStats) {
+    let mut best: Option<RoutedAllocation> = None;
+    let mut best_sorted = None;
+    let mut examined = 0u64;
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        examined += 1;
+        let routing = routing_from_assignment(clos, flows, assignment);
+        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
+            .expect("Clos links are finite");
+        let sorted = allocation.sorted();
+        let better = match &best_sorted {
+            None => true,
+            Some(current) => sorted > *current,
+        };
+        if better {
+            best_sorted = Some(sorted);
+            best = Some(RoutedAllocation {
+                routing,
+                allocation,
+            });
+        }
+    });
+    (
+        best.expect("at least one routing exists"),
+        SearchStats {
+            routings_examined: examined,
+        },
+    )
+}
+
+/// Computes a lex-max-min fair allocation (Definition 2.4); convenience
+/// wrapper over [`search_lex_max_min`].
+///
+/// # Panics
+///
+/// See [`search_lex_max_min`].
+///
+/// # Examples
+///
+/// For Example 2.3's flows in `C_2`, the lex-max-min sorted vector is
+/// `[1/3, 1/3, 1/3, 2/3, 2/3, 2/3]` — strictly below the macro-switch's
+/// `[1/3, 1/3, 1/3, 2/3, 2/3, 1]`:
+///
+/// ```
+/// use clos_core::constructions::example_2_3;
+/// use clos_core::objectives::lex_max_min;
+/// use clos_rational::Rational;
+///
+/// let ex = example_2_3();
+/// let best = lex_max_min(&ex.instance.clos, &ex.instance.flows);
+/// let r = |n, d| Rational::new(n, d);
+/// assert_eq!(
+///     best.allocation.sorted().rates(),
+///     &[r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), r(2, 3)]
+/// );
+/// ```
+#[must_use]
+pub fn lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
+    search_lex_max_min(clos, flows).0
+}
+
+/// Computes a throughput-max-min fair allocation `a^T-MmF`
+/// (Definition 2.5) by exhaustive search.
+///
+/// # Panics
+///
+/// See [`search_lex_max_min`].
+#[must_use]
+pub fn search_throughput_max_min(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+) -> (RoutedAllocation, SearchStats) {
+    let mut best: Option<RoutedAllocation> = None;
+    let mut best_throughput = None;
+    let mut examined = 0u64;
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        examined += 1;
+        let routing = routing_from_assignment(clos, flows, assignment);
+        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
+            .expect("Clos links are finite");
+        let throughput = allocation.throughput();
+        let better = match best_throughput {
+            None => true,
+            Some(current) => throughput > current,
+        };
+        if better {
+            best_throughput = Some(throughput);
+            best = Some(RoutedAllocation {
+                routing,
+                allocation,
+            });
+        }
+    });
+    (
+        best.expect("at least one routing exists"),
+        SearchStats {
+            routings_examined: examined,
+        },
+    )
+}
+
+/// Computes a throughput-max-min fair allocation (Definition 2.5);
+/// convenience wrapper over [`search_throughput_max_min`].
+///
+/// # Panics
+///
+/// See [`search_lex_max_min`].
+#[must_use]
+pub fn throughput_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
+    search_throughput_max_min(clos, flows).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_fairness::verify_bottleneck_property;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn example_2_3_flows(clos: &ClosNetwork) -> Vec<Flow> {
+        vec![
+            Flow::new(clos.source(0, 1), clos.destination(0, 1)),
+            Flow::new(clos.source(0, 1), clos.destination(1, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(1, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(1, 0)),
+            Flow::new(clos.source(1, 1), clos.destination(1, 1)),
+            Flow::new(clos.source(0, 0), clos.destination(0, 0)),
+        ]
+    }
+
+    #[test]
+    fn canonical_enumeration_counts() {
+        let clos = ClosNetwork::standard(2);
+        // Three distinct flows, first-use canonicalization: assignments are
+        // 0xx with x in {0,1} once a second label is introduced:
+        // 000, 001, 010, 011 -> 4 instead of 8.
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+        ];
+        let mut count = 0;
+        for_each_canonical_assignment(&clos, &flows, |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn identical_flows_enumerate_multisets() {
+        let clos = ClosNetwork::standard(3);
+        // Three identical flows over 3 middles: multisets of size 3 from 3
+        // = C(5,2) = 10 instead of 27.
+        let flows = vec![Flow::new(clos.source(0, 0), clos.destination(3, 0)); 3];
+        let mut count = 0;
+        let mut sorted_ok = true;
+        for_each_canonical_assignment(&clos, &flows, |a| {
+            count += 1;
+            sorted_ok &= a.windows(2).all(|w| w[0] <= w[1]);
+        });
+        assert_eq!(count, 10);
+        assert!(sorted_ok);
+    }
+
+    #[test]
+    fn empty_collection_has_one_routing() {
+        let clos = ClosNetwork::standard(2);
+        let mut count = 0;
+        for_each_canonical_assignment(&clos, &[], |a| {
+            assert!(a.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn lex_max_min_on_example_2_3() {
+        let clos = ClosNetwork::standard(2);
+        let flows = example_2_3_flows(&clos);
+        let (best, stats) = search_lex_max_min(&clos, &flows);
+        assert!(stats.routings_examined >= 1);
+        assert_eq!(
+            best.allocation.sorted().rates(),
+            &[r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), r(2, 3)]
+        );
+        // The optimum is itself max-min fair for its routing.
+        assert!(verify_bottleneck_property(
+            clos.network(),
+            &flows,
+            &best.routing,
+            &best.allocation,
+            Rational::ZERO
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn throughput_max_min_on_example_2_3() {
+        let clos = ClosNetwork::standard(2);
+        let flows = example_2_3_flows(&clos);
+        let best = throughput_max_min(&clos, &flows);
+        // Both routings of Example 2.3 total 3 (so does the macro-switch
+        // allocation); no routing beats it here. The type-1 source link
+        // caps its three flows at 1 in aggregate, and each type-2/type-3
+        // flow at 1.
+        assert_eq!(best.throughput(), Rational::from_integer(3));
+    }
+
+    #[test]
+    fn single_flow_gets_rate_one() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 1))];
+        let best = lex_max_min(&clos, &flows);
+        assert_eq!(best.allocation.rates(), &[Rational::ONE]);
+        let best = throughput_max_min(&clos, &flows);
+        assert_eq!(best.allocation.rates(), &[Rational::ONE]);
+    }
+
+    #[test]
+    fn two_flows_same_tor_pair_split_across_middles() {
+        let clos = ClosNetwork::standard(2);
+        // Two flows from distinct sources under ToR 0 to distinct
+        // destinations under ToR 2: on one middle they'd share the uplink
+        // (1/2 each); lex-max-min spreads them (1 each).
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+        ];
+        let best = lex_max_min(&clos, &flows);
+        assert_eq!(best.allocation.rates(), &[Rational::ONE, Rational::ONE]);
+        let m0 = clos.middle_of_path(best.routing.path(clos_net::FlowId::new(0)));
+        let m1 = clos.middle_of_path(best.routing.path(clos_net::FlowId::new(1)));
+        assert_ne!(m0, m1);
+    }
+
+    #[test]
+    fn lex_optimum_dominates_every_examined_routing() {
+        let clos = ClosNetwork::standard(2);
+        let flows = example_2_3_flows(&clos);
+        let best = lex_max_min(&clos, &flows);
+        let best_sorted = best.allocation.sorted();
+        for_each_canonical_assignment(&clos, &flows, |assignment| {
+            let routing = routing_from_assignment(&clos, &flows, assignment);
+            let a = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+            assert!(best_sorted >= a.sorted());
+        });
+    }
+
+    #[test]
+    fn throughput_optimum_dominates_every_examined_routing() {
+        let clos = ClosNetwork::standard(2);
+        let flows = example_2_3_flows(&clos);
+        let best = throughput_max_min(&clos, &flows);
+        for_each_canonical_assignment(&clos, &flows, |assignment| {
+            let routing = routing_from_assignment(&clos, &flows, assignment);
+            let a = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+            assert!(best.throughput() >= a.throughput());
+        });
+    }
+}

@@ -1,0 +1,360 @@
+//! Relative max-min fairness: the open question of §7 (R2).
+//!
+//! Lex-max-min fairness can starve a flow to `1/n` of its macro-switch
+//! rate (Theorem 4.3) because it compares *absolute* rates: upholding many
+//! small rates always beats upholding one large one. The paper's
+//! conclusion proposes **relative max-min fairness** as the alternative
+//! objective: judge a routing by each flow's rate *relative to its
+//! macro-switch rate*, and max-min those ratios instead. Whether this
+//! objective admits a constant-factor guarantee is open; this module makes
+//! the objective computable so the question can be explored empirically:
+//!
+//! * [`search_relative_max_min`] — exact optimum by symmetry-pruned
+//!   exhaustive search (small instances);
+//! * [`relative_local_search`] — greedy seeding plus single-flow local
+//!   search on the sorted ratio vector (any instance size).
+
+use clos_fairness::{max_min_fair, Allocation, SortedRates};
+use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
+use clos_rational::Rational;
+
+use crate::macro_switch::macro_max_min;
+use crate::objectives::{for_each_canonical_assignment, SearchStats};
+use crate::routers::{GreedyRouter, Router};
+use crate::RoutedAllocation;
+
+/// The outcome of a relative max-min fairness optimization.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelativeOutcome {
+    /// The chosen routing with its max-min fair allocation.
+    pub routed: RoutedAllocation,
+    /// Per-flow ratios `a(f) / a^MmF_MS(f)`, in flow order.
+    pub ratios: Vec<Rational>,
+}
+
+impl RelativeOutcome {
+    /// Returns the smallest ratio — the relative-max-min figure of merit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow collection was empty.
+    #[must_use]
+    pub fn min_ratio(&self) -> Rational {
+        self.ratios
+            .iter()
+            .copied()
+            .min()
+            .expect("nonempty flow collection")
+    }
+
+    /// Returns the sorted ratio vector (the object being lexicographically
+    /// maximized).
+    #[must_use]
+    pub fn sorted_ratios(&self) -> SortedRates<Rational> {
+        Allocation::from_rates(self.ratios.clone()).sorted()
+    }
+}
+
+/// Computes each flow's macro-switch max-min rate (the denominators of the
+/// relative objective).
+#[must_use]
+pub fn macro_reference_rates(
+    clos: &ClosNetwork,
+    ms: &MacroSwitch,
+    flows: &[Flow],
+) -> Vec<Rational> {
+    let ms_flows = ms.translate_flows(clos, flows);
+    macro_max_min(ms, &ms_flows).rates().to_vec()
+}
+
+fn ratios_for(allocation: &Allocation<Rational>, reference: &[Rational]) -> Vec<Rational> {
+    allocation
+        .rates()
+        .iter()
+        .zip(reference)
+        .map(|(a, m)| {
+            debug_assert!(m.is_positive(), "macro-switch rates are positive");
+            *a / *m
+        })
+        .collect()
+}
+
+fn outcome_for(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    routing: Routing,
+    reference: &[Rational],
+) -> RelativeOutcome {
+    let allocation =
+        max_min_fair::<Rational>(clos.network(), flows, &routing).expect("finite links");
+    let ratios = ratios_for(&allocation, reference);
+    RelativeOutcome {
+        routed: RoutedAllocation {
+            routing,
+            allocation,
+        },
+        ratios,
+    }
+}
+
+/// Computes a relative-max-min fair allocation exactly: over all routings,
+/// maximize in lexicographic order the sorted vector of per-flow ratios
+/// `a_r^MmF(f) / a^MmF_MS(f)`.
+///
+/// Exponential in the number of flows (same enumeration as
+/// [`search_lex_max_min`]); intended for small instances.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty or a flow endpoint is invalid for
+/// `clos`/`ms`.
+///
+/// # Examples
+///
+/// On Example 2.3, relative fairness spares the type-3 flow the haircut
+/// that lex-max-min fairness imposes:
+///
+/// ```
+/// use clos_core::constructions::example_2_3;
+/// use clos_core::relative::search_relative_max_min;
+/// use clos_rational::Rational;
+///
+/// let ex = example_2_3();
+/// let (best, _) = search_relative_max_min(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows);
+/// // Every flow keeps at least 3/4 of its macro-switch rate — strictly
+/// // better than the 2/3 the lex-max-min fair routing offers its worst
+/// // flow in relative terms.
+/// assert_eq!(best.min_ratio(), Rational::new(3, 4));
+/// ```
+///
+/// [`search_lex_max_min`]: crate::objectives::search_lex_max_min
+#[must_use]
+pub fn search_relative_max_min(
+    clos: &ClosNetwork,
+    ms: &MacroSwitch,
+    flows: &[Flow],
+) -> (RelativeOutcome, SearchStats) {
+    assert!(!flows.is_empty(), "need at least one flow");
+    let reference = macro_reference_rates(clos, ms, flows);
+    let mut best: Option<RelativeOutcome> = None;
+    let mut best_sorted: Option<SortedRates<Rational>> = None;
+    let mut examined = 0u64;
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        examined += 1;
+        let routing: Routing = flows
+            .iter()
+            .zip(assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect();
+        let candidate = outcome_for(clos, flows, routing, &reference);
+        let sorted = candidate.sorted_ratios();
+        let better = match &best_sorted {
+            None => true,
+            Some(current) => sorted > *current,
+        };
+        if better {
+            best_sorted = Some(sorted);
+            best = Some(candidate);
+        }
+    });
+    (
+        best.expect("at least one routing"),
+        SearchStats {
+            routings_examined: examined,
+        },
+    )
+}
+
+/// Approximates a relative-max-min fair allocation: greedy seeding, then
+/// single-flow moves that lexicographically improve the sorted ratio
+/// vector, for at most `max_rounds` passes.
+///
+/// # Panics
+///
+/// Panics if `flows` is empty or a flow endpoint is invalid for
+/// `clos`/`ms`.
+#[must_use]
+pub fn relative_local_search(
+    clos: &ClosNetwork,
+    ms: &MacroSwitch,
+    flows: &[Flow],
+    max_rounds: usize,
+) -> RelativeOutcome {
+    assert!(!flows.is_empty(), "need at least one flow");
+    let n = clos.middle_count();
+    let reference = macro_reference_rates(clos, ms, flows);
+
+    let seed_routing = GreedyRouter::new().route(clos, ms, flows);
+    let mut assignment: Vec<usize> = (0..flows.len())
+        .map(|i| {
+            clos.middle_of_path(&seed_routing.paths()[i])
+                .expect("greedy paths cross the fabric")
+        })
+        .collect();
+
+    let evaluate = |assignment: &[usize]| -> (SortedRates<Rational>, RelativeOutcome) {
+        let routing: Routing = flows
+            .iter()
+            .zip(assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect();
+        let outcome = outcome_for(clos, flows, routing, &reference);
+        (outcome.sorted_ratios(), outcome)
+    };
+
+    let (mut best_sorted, mut best_outcome) = evaluate(&assignment);
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        // Phase 1: single-flow moves.
+        for i in 0..flows.len() {
+            let original = assignment[i];
+            for m in 0..n {
+                if m == original {
+                    continue;
+                }
+                assignment[i] = m;
+                let (sorted, outcome) = evaluate(&assignment);
+                if sorted > best_sorted {
+                    best_sorted = sorted;
+                    best_outcome = outcome;
+                    improved = true;
+                    break; // keep the move
+                }
+                assignment[i] = original;
+            }
+        }
+        // Phase 2: pair moves, which escape the plateaus single moves
+        // cannot (e.g. pairing two flows on one uplink so both drop a
+        // little instead of one dropping a lot).
+        if !improved {
+            'pairs: for i in 0..flows.len() {
+                for j in (i + 1)..flows.len() {
+                    let (oi, oj) = (assignment[i], assignment[j]);
+                    for mi in 0..n {
+                        for mj in 0..n {
+                            if (mi, mj) == (oi, oj) {
+                                continue;
+                            }
+                            assignment[i] = mi;
+                            assignment[j] = mj;
+                            let (sorted, outcome) = evaluate(&assignment);
+                            if sorted > best_sorted {
+                                best_sorted = sorted;
+                                best_outcome = outcome;
+                                improved = true;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                    assignment[i] = oi;
+                    assignment[j] = oj;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best_outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{example_2_3, theorem_4_3};
+    use crate::objectives::search_lex_max_min;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn example_2_3_relative_optimum_protects_type3() {
+        let ex = example_2_3();
+        let (best, stats) =
+            search_relative_max_min(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows);
+        assert!(stats.routings_examined > 0);
+        // The relative optimum is NOT the paper's routing 1 (whose ratios
+        // are [2/3, 1, 1, 1, 1, 1]): pairing the two type-2 flows on one
+        // uplink costs each of them only a 3/4 ratio while every other
+        // flow — including type 3 — keeps its macro-switch rate.
+        assert_eq!(best.min_ratio(), r(3, 4));
+        // The corresponding allocation trades absolute fairness away...
+        assert_eq!(
+            best.routed.allocation.sorted().rates(),
+            &[r(1, 3), r(1, 3), r(1, 3), r(1, 2), r(1, 2), Rational::ONE]
+        );
+        // ...so the absolute lex optimum strictly dominates it in the
+        // absolute order, while it strictly dominates the lex optimum in
+        // the relative order: the two objectives genuinely diverge.
+        let (lex, _) = search_lex_max_min(&ex.instance.clos, &ex.instance.flows);
+        assert!(lex.allocation.sorted() > best.routed.allocation.sorted());
+    }
+
+    #[test]
+    fn relative_ratios_are_at_most_slightly_above_one() {
+        // A flow can exceed its macro-switch rate only if another is
+        // degraded; on the trivial instance all ratios are exactly 1.
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+        ];
+        let (best, _) = search_relative_max_min(&clos, &ms, &flows);
+        assert!(best.ratios.iter().all(|&x| x == Rational::ONE));
+        assert_eq!(best.min_ratio(), Rational::ONE);
+    }
+
+    #[test]
+    fn local_search_matches_exhaustive_on_small_instance() {
+        let ex = example_2_3();
+        let (exact, _) =
+            search_relative_max_min(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows);
+        let heuristic =
+            relative_local_search(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows, 8);
+        assert_eq!(heuristic.min_ratio(), exact.min_ratio());
+    }
+
+    #[test]
+    fn relative_objective_on_theorem_4_3_beats_starvation_sometimes() {
+        // The open question: lex-max-min yields min ratio 1/n; relative
+        // local search must do at least as well as the lex certificate's
+        // worst ratio (it directly optimizes the ratio).
+        let t = theorem_4_3(3);
+        let heuristic =
+            relative_local_search(&t.instance.clos, &t.instance.ms, &t.instance.flows, 4);
+        // The certificate's worst ratio is 1/3 (the type-3 flow).
+        assert!(
+            heuristic.min_ratio() >= r(1, 4),
+            "local search min ratio {}",
+            heuristic.min_ratio()
+        );
+        // And no flow's ratio exceeds its fair-share blow-up bound n.
+        assert!(heuristic
+            .ratios
+            .iter()
+            .all(|&x| x <= Rational::from_integer(3)));
+    }
+
+    #[test]
+    fn macro_reference_rates_match_macro_allocation() {
+        let ex = example_2_3();
+        let reference =
+            macro_reference_rates(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows);
+        assert_eq!(reference, ex.instance.macro_allocation().rates());
+    }
+
+    #[test]
+    fn sorted_ratios_order() {
+        let outcome = RelativeOutcome {
+            routed: RoutedAllocation {
+                routing: Routing::new(vec![]),
+                allocation: Allocation::from_rates(vec![r(1, 2), Rational::ONE]),
+            },
+            ratios: vec![Rational::ONE, r(1, 2)],
+        };
+        assert_eq!(outcome.min_ratio(), r(1, 2));
+        assert_eq!(outcome.sorted_ratios().rates(), &[r(1, 2), Rational::ONE]);
+    }
+}

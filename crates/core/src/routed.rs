@@ -1,0 +1,55 @@
+//! A routing paired with its max-min fair allocation.
+
+use clos_fairness::Allocation;
+use clos_net::Routing;
+use clos_rational::Rational;
+
+/// A routing together with the max-min fair allocation it induces.
+///
+/// Every routing objective in this crate (lex-max-min, throughput-max-min,
+/// Doom-Switch, the practical routers) ultimately produces one of these:
+/// congestion control imposes the max-min fair allocation *for the chosen
+/// routing* (§2.2), so a routing and "its" allocation always travel
+/// together.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::objectives::throughput_max_min;
+/// use clos_net::{ClosNetwork, Flow};
+///
+/// let clos = ClosNetwork::standard(2);
+/// let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 0))];
+/// let best = throughput_max_min(&clos, &flows);
+/// assert_eq!(best.routing.len(), 1);
+/// assert_eq!(best.allocation.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutedAllocation {
+    /// The chosen routing.
+    pub routing: Routing,
+    /// The max-min fair allocation for that routing.
+    pub allocation: Allocation<Rational>,
+}
+
+impl RoutedAllocation {
+    /// Returns the throughput `t(a)` of the allocation.
+    #[must_use]
+    pub fn throughput(&self) -> Rational {
+        self.allocation.throughput()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_delegates() {
+        let ra = RoutedAllocation {
+            routing: Routing::new(vec![]),
+            allocation: Allocation::from_rates(vec![Rational::ONE, Rational::new(1, 2)]),
+        };
+        assert_eq!(ra.throughput(), Rational::new(3, 2));
+    }
+}

@@ -1,0 +1,670 @@
+//! Practical data-center routing baselines (§6).
+//!
+//! The paper's extended-version evaluation compares how closely the
+//! max-min fair rates under practical routing algorithms track the
+//! macro-switch rates. Three families are modeled here:
+//!
+//! * [`EcmpRouter`] — ECMP, the long-standing default: each flow picks a
+//!   middle switch uniformly at random;
+//! * [`GreedyRouter`] — greedy congestion-aware routing in the style of
+//!   Hedera/CONGA: flows are offered with their macro-switch rates as
+//!   demands and placed, largest first, on the path minimizing resulting
+//!   congestion;
+//! * [`LocalSearchRouter`] — greedy followed by single-flow local search
+//!   that lexicographically reduces the sorted link-congestion vector.
+//!
+//! All routers implement [`Router`] and produce a [`Routing`]; congestion
+//! control (the max-min fair allocation for that routing) is applied
+//! downstream by `clos-fairness`.
+
+use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
+use clos_rational::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::macro_switch::macro_max_min;
+
+/// A routing algorithm for Clos networks.
+///
+/// Routers may be randomized (hence `&mut self`); deterministic routers
+/// simply ignore the mutability. The macro-switch is supplied because
+/// state-of-the-art algorithms use macro-switch rates as flow demands
+/// (§6).
+pub trait Router {
+    /// A short human-readable name for reports ("ecmp", "greedy", ...).
+    fn name(&self) -> &str;
+
+    /// Routes each flow onto one of its `n` middle-switch paths.
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing;
+}
+
+/// ECMP: every flow independently hashes to a uniformly random middle
+/// switch.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::routers::{EcmpRouter, Router};
+/// use clos_net::{ClosNetwork, Flow, MacroSwitch};
+///
+/// let clos = ClosNetwork::standard(2);
+/// let ms = MacroSwitch::standard(2);
+/// let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 0))];
+/// let mut router = EcmpRouter::new(42);
+/// let routing = router.route(&clos, &ms, &flows);
+/// assert!(routing.validate(clos.network(), &flows).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EcmpRouter {
+    rng: StdRng,
+}
+
+impl EcmpRouter {
+    /// Creates an ECMP router with a deterministic seed (reproducible
+    /// experiments).
+    #[must_use]
+    pub fn new(seed: u64) -> EcmpRouter {
+        EcmpRouter {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Router for EcmpRouter {
+    fn name(&self) -> &str {
+        "ecmp"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, _ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let n = clos.middle_count();
+        flows
+            .iter()
+            .map(|&f| clos.path_via(f, self.rng.gen_range(0..n)))
+            .collect()
+    }
+}
+
+/// Computes per-flow demands as macro-switch max-min rates (§6: flows "are
+/// offered to the data-center with their macro-switch rates").
+fn macro_demands(clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Vec<Rational> {
+    let ms_flows = ms.translate_flows(clos, flows);
+    macro_max_min(ms, &ms_flows).rates().to_vec()
+}
+
+/// Greedy congestion-aware routing: flows in decreasing-demand order, each
+/// placed on the middle switch minimizing the congestion of its path after
+/// placement (congestion of a path = maximum congestion of its links, §6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyRouter;
+
+impl GreedyRouter {
+    /// Creates the (stateless) greedy router.
+    #[must_use]
+    pub fn new() -> GreedyRouter {
+        GreedyRouter
+    }
+
+    fn assignment(clos: &ClosNetwork, demands: &[Rational], flows: &[Flow]) -> Vec<usize> {
+        let n = clos.middle_count();
+        let tors = clos.tor_count();
+        let mut up = vec![vec![Rational::ZERO; n]; tors];
+        let mut down = vec![vec![Rational::ZERO; tors]; n];
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by(|&a, &b| demands[b].cmp(&demands[a]).then(a.cmp(&b)));
+        let mut assignment = vec![0usize; flows.len()];
+        for &i in &order {
+            let f = flows[i];
+            let src = clos.src_tor(f);
+            let dst = clos.dst_tor(f);
+            let demand = demands[i];
+            let best = (0..n)
+                .min_by_key(|&m| {
+                    // Path congestion after placement (unit capacities).
+                    let c = (up[src][m] + demand).max(down[m][dst] + demand);
+                    (c, m)
+                })
+                .expect("n >= 1");
+            up[src][best] += demand;
+            down[best][dst] += demand;
+            assignment[i] = best;
+        }
+        assignment
+    }
+}
+
+impl Router for GreedyRouter {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let demands = macro_demands(clos, ms, flows);
+        let assignment = GreedyRouter::assignment(clos, &demands, flows);
+        flows
+            .iter()
+            .zip(&assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect()
+    }
+}
+
+/// Greedy placement followed by single-flow local search (§6's
+/// "local-search algorithms"): repeatedly move one flow to a different
+/// middle switch if doing so lexicographically decreases the sorted (from
+/// highest) vector of fabric-link congestions; stop at a local optimum or
+/// after `max_rounds` passes.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearchRouter {
+    /// Maximum full passes over the flow collection.
+    pub max_rounds: usize,
+}
+
+impl LocalSearchRouter {
+    /// Creates a local-search router with the given pass budget.
+    #[must_use]
+    pub fn new(max_rounds: usize) -> LocalSearchRouter {
+        LocalSearchRouter { max_rounds }
+    }
+}
+
+impl Default for LocalSearchRouter {
+    fn default() -> LocalSearchRouter {
+        LocalSearchRouter::new(16)
+    }
+}
+
+/// Sorted-descending congestion vector of the fabric links.
+fn congestion_vector(
+    clos: &ClosNetwork,
+    up: &[Vec<Rational>],
+    down: &[Vec<Rational>],
+) -> Vec<Rational> {
+    let mut v = Vec::with_capacity(2 * clos.tor_count() * clos.middle_count());
+    for row in up {
+        v.extend(row.iter().copied());
+    }
+    for row in down {
+        v.extend(row.iter().copied());
+    }
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+impl Router for LocalSearchRouter {
+    fn name(&self) -> &str {
+        "local-search"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let n = clos.middle_count();
+        let tors = clos.tor_count();
+        let demands = macro_demands(clos, ms, flows);
+        let mut assignment = GreedyRouter::assignment(clos, &demands, flows);
+
+        let mut up = vec![vec![Rational::ZERO; n]; tors];
+        let mut down = vec![vec![Rational::ZERO; tors]; n];
+        for (i, &f) in flows.iter().enumerate() {
+            up[clos.src_tor(f)][assignment[i]] += demands[i];
+            down[assignment[i]][clos.dst_tor(f)] += demands[i];
+        }
+
+        for _ in 0..self.max_rounds {
+            let mut improved = false;
+            for (i, &f) in flows.iter().enumerate() {
+                if demands[i].is_zero() {
+                    continue;
+                }
+                let src = clos.src_tor(f);
+                let dst = clos.dst_tor(f);
+                let current = congestion_vector(clos, &up, &down);
+                let from = assignment[i];
+                let mut best_move = None;
+                for m in 0..n {
+                    if m == from {
+                        continue;
+                    }
+                    up[src][from] -= demands[i];
+                    down[from][dst] -= demands[i];
+                    up[src][m] += demands[i];
+                    down[m][dst] += demands[i];
+                    let candidate = congestion_vector(clos, &up, &down);
+                    let better = match &best_move {
+                        None => candidate < current,
+                        Some((_, best)) => candidate < *best,
+                    };
+                    if better {
+                        best_move = Some((m, candidate));
+                    }
+                    up[src][m] -= demands[i];
+                    down[m][dst] -= demands[i];
+                    up[src][from] += demands[i];
+                    down[from][dst] += demands[i];
+                }
+                if let Some((m, _)) = best_move {
+                    up[src][from] -= demands[i];
+                    down[from][dst] -= demands[i];
+                    up[src][m] += demands[i];
+                    down[m][dst] += demands[i];
+                    assignment[i] = m;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        flows
+            .iter()
+            .zip(&assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect()
+    }
+}
+
+/// Hedera-style "global first fit": flows in decreasing-demand order are
+/// placed on the first middle switch whose uplink and downlink still have
+/// room for the full demand; if none fits, the least-congested middle is
+/// used instead (the flow will be squeezed by congestion control).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFitRouter;
+
+impl FirstFitRouter {
+    /// Creates the (stateless) global-first-fit router.
+    #[must_use]
+    pub fn new() -> FirstFitRouter {
+        FirstFitRouter
+    }
+}
+
+impl Router for FirstFitRouter {
+    fn name(&self) -> &str {
+        "first-fit"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let n = clos.middle_count();
+        let tors = clos.tor_count();
+        let cap = clos.params().link_capacity;
+        let demands = macro_demands(clos, ms, flows);
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by(|&a, &b| demands[b].cmp(&demands[a]).then(a.cmp(&b)));
+
+        let mut up = vec![vec![Rational::ZERO; n]; tors];
+        let mut down = vec![vec![Rational::ZERO; tors]; n];
+        let mut assignment = vec![0usize; flows.len()];
+        for &i in &order {
+            let f = flows[i];
+            let src = clos.src_tor(f);
+            let dst = clos.dst_tor(f);
+            let demand = demands[i];
+            let chosen = (0..n)
+                .find(|&m| up[src][m] + demand <= cap && down[m][dst] + demand <= cap)
+                .unwrap_or_else(|| {
+                    // No middle fits: fall back to least congestion.
+                    (0..n)
+                        .min_by_key(|&m| (up[src][m].max(down[m][dst]), m))
+                        .expect("n >= 1")
+                });
+            up[src][chosen] += demand;
+            down[chosen][dst] += demand;
+            assignment[i] = chosen;
+        }
+        flows
+            .iter()
+            .zip(&assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect()
+    }
+}
+
+/// Simulated annealing over middle-switch assignments (the second Hedera
+/// placement algorithm): single-flow moves, accepted when they improve the
+/// sorted congestion vector or with a decaying probability otherwise.
+#[derive(Clone, Debug)]
+pub struct AnnealingRouter {
+    /// Random seed for the move proposals.
+    pub seed: u64,
+    /// Number of proposed moves.
+    pub iterations: usize,
+}
+
+impl AnnealingRouter {
+    /// Creates an annealing router with the given seed and move budget.
+    #[must_use]
+    pub fn new(seed: u64, iterations: usize) -> AnnealingRouter {
+        AnnealingRouter { seed, iterations }
+    }
+}
+
+impl Default for AnnealingRouter {
+    fn default() -> AnnealingRouter {
+        AnnealingRouter::new(0, 2000)
+    }
+}
+
+impl Router for AnnealingRouter {
+    fn name(&self) -> &str {
+        "annealing"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let n = clos.middle_count();
+        let tors = clos.tor_count();
+        let demands = macro_demands(clos, ms, flows);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Seed with greedy, then anneal.
+        let mut assignment = GreedyRouter::assignment(clos, &demands, flows);
+        let mut up = vec![vec![Rational::ZERO; n]; tors];
+        let mut down = vec![vec![Rational::ZERO; tors]; n];
+        for (i, &f) in flows.iter().enumerate() {
+            up[clos.src_tor(f)][assignment[i]] += demands[i];
+            down[assignment[i]][clos.dst_tor(f)] += demands[i];
+        }
+        let score = |up: &[Vec<Rational>], down: &[Vec<Rational>]| -> Vec<Rational> {
+            congestion_vector(clos, up, down)
+        };
+        let mut current_score = score(&up, &down);
+        let mut best = assignment.clone();
+        let mut best_score = current_score.clone();
+
+        if flows.is_empty() || n < 2 {
+            return flows
+                .iter()
+                .zip(&assignment)
+                .map(|(&f, &m)| clos.path_via(f, m))
+                .collect();
+        }
+        for step in 0..self.iterations {
+            let i = rng.gen_range(0..flows.len());
+            if demands[i].is_zero() {
+                continue;
+            }
+            let from = assignment[i];
+            let to = (from + rng.gen_range(1..n)) % n;
+            let f = flows[i];
+            let (src, dst) = (clos.src_tor(f), clos.dst_tor(f));
+            up[src][from] -= demands[i];
+            down[from][dst] -= demands[i];
+            up[src][to] += demands[i];
+            down[to][dst] += demands[i];
+            let candidate = score(&up, &down);
+            // Acceptance: always when improving, with decaying probability
+            // otherwise (temperature halves every eighth of the budget).
+            let phase = 8 * step / self.iterations.max(1);
+            let accept_prob = 0.5f64.powi(phase as i32 + 1);
+            let accept = candidate <= current_score || rng.gen::<f64>() < accept_prob;
+            if accept {
+                assignment[i] = to;
+                if candidate < best_score {
+                    best_score = candidate.clone();
+                    best = assignment.clone();
+                }
+                current_score = candidate;
+            } else {
+                up[src][to] -= demands[i];
+                down[to][dst] -= demands[i];
+                up[src][from] += demands[i];
+                down[from][dst] += demands[i];
+            }
+        }
+        flows
+            .iter()
+            .zip(&best)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect()
+    }
+}
+
+/// Replication-first routing: try to *replicate the macro-switch rates*
+/// with the first-fit heuristic (the multirate-rearrangeability approach,
+/// §6 related work); fall back to greedy congestion-aware placement when
+/// no first-fit replication exists.
+///
+/// When replication succeeds, the macro-switch rates fit the chosen
+/// routing simultaneously, so the congestion-controlled allocation tracks
+/// them closely (exactly, on every instance in this workspace's tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicationFirstRouter;
+
+impl ReplicationFirstRouter {
+    /// Creates the (stateless) replication-first router.
+    #[must_use]
+    pub fn new() -> ReplicationFirstRouter {
+        ReplicationFirstRouter
+    }
+}
+
+impl Router for ReplicationFirstRouter {
+    fn name(&self) -> &str {
+        "replication-first"
+    }
+
+    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
+        let demands = macro_demands(clos, ms, flows);
+        match crate::replication::first_fit_routing(clos, flows, &demands) {
+            Some(routing) => routing,
+            None => GreedyRouter::new().route(clos, ms, flows),
+        }
+    }
+}
+
+/// Evaluates a router: routes the flows and computes the resulting max-min
+/// fair allocation.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is invalid for `clos`/`ms`.
+#[must_use]
+pub fn route_and_allocate(
+    router: &mut dyn Router,
+    clos: &ClosNetwork,
+    ms: &MacroSwitch,
+    flows: &[Flow],
+) -> crate::RoutedAllocation {
+    let routing = router.route(clos, ms, flows);
+    let allocation = clos_fairness::max_min_fair::<Rational>(clos.network(), flows, &routing)
+        .expect("Clos links are finite");
+    crate::RoutedAllocation {
+        routing,
+        allocation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_net::FlowId as Fid;
+
+    fn setup(n: usize) -> (ClosNetwork, MacroSwitch) {
+        (ClosNetwork::standard(n), MacroSwitch::standard(n))
+    }
+
+    fn permutation_flows(clos: &ClosNetwork) -> Vec<Flow> {
+        let mut flows = Vec::new();
+        for i in 0..clos.tor_count() {
+            for j in 0..clos.hosts_per_tor() {
+                flows.push(Flow::new(
+                    clos.source(i, j),
+                    clos.destination((i + 1) % clos.tor_count(), j),
+                ));
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn ecmp_is_seed_deterministic() {
+        let (clos, ms) = setup(3);
+        let flows = permutation_flows(&clos);
+        let r1 = EcmpRouter::new(7).route(&clos, &ms, &flows);
+        let r2 = EcmpRouter::new(7).route(&clos, &ms, &flows);
+        let r3 = EcmpRouter::new(8).route(&clos, &ms, &flows);
+        assert_eq!(r1, r2);
+        assert!(r1.validate(clos.network(), &flows).is_ok());
+        assert!(r3.validate(clos.network(), &flows).is_ok());
+    }
+
+    #[test]
+    fn greedy_routes_permutation_disjointly() {
+        // A permutation has macro rate 1 per flow; greedy must spread the n
+        // flows per ToR pair over the n middles, giving everyone rate 1.
+        let (clos, ms) = setup(3);
+        let flows = permutation_flows(&clos);
+        let out = route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows);
+        assert!(out.allocation.rates().iter().all(|&x| x == Rational::ONE));
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy_max_congestion() {
+        let (clos, ms) = setup(2);
+        // Adversarial order for greedy: two big flows first on the same
+        // pair, then crossing flows.
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(1, 1), clos.destination(3, 0)),
+            Flow::new(clos.source(3, 0), clos.destination(0, 0)),
+        ];
+        let g = route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows);
+        let l = route_and_allocate(&mut LocalSearchRouter::default(), &clos, &ms, &flows);
+        // Compare realized max-min throughput: local search should not be
+        // worse on this instance.
+        assert!(l.throughput() >= g.throughput() || l.allocation.sorted() >= g.allocation.sorted());
+    }
+
+    #[test]
+    fn routers_report_names() {
+        assert_eq!(EcmpRouter::new(0).name(), "ecmp");
+        assert_eq!(GreedyRouter::new().name(), "greedy");
+        assert_eq!(LocalSearchRouter::default().name(), "local-search");
+        assert_eq!(FirstFitRouter::new().name(), "first-fit");
+        assert_eq!(AnnealingRouter::default().name(), "annealing");
+    }
+
+    #[test]
+    fn first_fit_routes_permutation_disjointly() {
+        // Unit demands fit exactly once per fabric link, so first fit is
+        // forced into a König-style disjoint placement on permutations.
+        let (clos, ms) = setup(3);
+        let flows = permutation_flows(&clos);
+        let out = route_and_allocate(&mut FirstFitRouter::new(), &clos, &ms, &flows);
+        assert!(out.allocation.rates().iter().all(|&x| x == Rational::ONE));
+    }
+
+    #[test]
+    fn first_fit_fallback_still_produces_valid_routing() {
+        // Four unit-demand flows on one ToR pair with only 2 middles: two
+        // cannot fit and take the fallback path.
+        let (clos, ms) = setup(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(1, 1), clos.destination(2, 1)),
+        ];
+        let out = route_and_allocate(&mut FirstFitRouter::new(), &clos, &ms, &flows);
+        assert!(out.routing.validate(clos.network(), &flows).is_ok());
+        assert!(out.allocation.rates().iter().all(|&x| x.is_positive()));
+    }
+
+    #[test]
+    fn annealing_is_seed_deterministic_and_no_worse_than_greedy() {
+        let (clos, ms) = setup(2);
+        let flows = permutation_flows(&clos);
+        let mut a1 = AnnealingRouter::new(5, 500);
+        let mut a2 = AnnealingRouter::new(5, 500);
+        assert_eq!(a1.route(&clos, &ms, &flows), a2.route(&clos, &ms, &flows));
+        // Annealing keeps the best-seen assignment, which starts at
+        // greedy's, so its final max congestion cannot be worse.
+        let g = route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows);
+        let a = route_and_allocate(&mut AnnealingRouter::new(5, 500), &clos, &ms, &flows);
+        assert!(a.allocation.sorted() >= g.allocation.sorted() || a.throughput() >= g.throughput());
+    }
+
+    #[test]
+    fn replication_first_achieves_macro_rates_when_it_fits() {
+        let (clos, ms) = setup(3);
+        let flows = permutation_flows(&clos);
+        let out = route_and_allocate(&mut ReplicationFirstRouter::new(), &clos, &ms, &flows);
+        // A permutation replicates: everyone keeps rate 1.
+        assert!(out.allocation.rates().iter().all(|&x| x == Rational::ONE));
+        assert_eq!(ReplicationFirstRouter::new().name(), "replication-first");
+    }
+
+    #[test]
+    fn replication_first_falls_back_gracefully() {
+        // The Theorem 4.2 collection admits no replication; the router
+        // must still return a valid routing (greedy fallback).
+        let t = crate::constructions::theorem_4_2(3);
+        let out = route_and_allocate(
+            &mut ReplicationFirstRouter::new(),
+            &t.instance.clos,
+            &t.instance.ms,
+            &t.instance.flows,
+        );
+        assert!(out
+            .routing
+            .validate(t.instance.clos.network(), &t.instance.flows)
+            .is_ok());
+        assert!(out.allocation.rates().iter().all(|&x| x.is_positive()));
+    }
+
+    #[test]
+    fn annealing_handles_degenerate_inputs() {
+        let clos = ClosNetwork::standard(1); // single middle: nothing to move
+        let ms = MacroSwitch::standard(1);
+        let flows = vec![Flow::new(clos.source(0, 0), clos.destination(1, 0))];
+        let out = route_and_allocate(&mut AnnealingRouter::default(), &clos, &ms, &flows);
+        assert_eq!(out.allocation.rates(), &[Rational::ONE]);
+        // Empty collection.
+        let out = AnnealingRouter::default().route(&clos, &ms, &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let (clos, ms) = setup(2);
+        let flows = permutation_flows(&clos);
+        let mut g = GreedyRouter::new();
+        assert_eq!(g.route(&clos, &ms, &flows), g.route(&clos, &ms, &flows));
+    }
+
+    #[test]
+    fn ecmp_collisions_reduce_rates_sometimes() {
+        // With 2 middles and 4 same-pair flows, ECMP cannot do better than
+        // 1/2 per flow (two flows per uplink); exact value depends on seed
+        // but every rate is at most 1 and the routing stays valid.
+        let (clos, ms) = setup(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(1, 1), clos.destination(3, 1)),
+        ];
+        let out = route_and_allocate(&mut EcmpRouter::new(3), &clos, &ms, &flows);
+        assert!(out.allocation.rates().iter().all(|&x| x <= Rational::ONE));
+        assert!(out.allocation.rates().iter().all(|&x| x.is_positive()));
+    }
+
+    #[test]
+    fn local_search_fixes_greedy_blind_spot() {
+        // Construct a case where a later huge flow makes greedy's earlier
+        // placement suboptimal, and local search can undo it.
+        let (clos, ms) = setup(2);
+        let flows = vec![
+            // Two medium flows (macro rate 1/2 each, sharing a source).
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(2, 1)),
+            // Two full-rate flows from the sibling source.
+            Flow::new(clos.source(0, 1), clos.destination(3, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(2, 0)),
+        ];
+        let l = route_and_allocate(&mut LocalSearchRouter::default(), &clos, &ms, &flows);
+        assert!(l.routing.validate(clos.network(), &flows).is_ok());
+        // Flow 2 is alone on its pair; a decent routing gives it rate >= 1/2.
+        assert!(l.allocation.rate(Fid::new(2)) >= Rational::new(1, 2));
+    }
+}

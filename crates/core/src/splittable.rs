@@ -1,0 +1,396 @@
+//! The §1 baseline regimes where the macro-switch abstraction is exact.
+//!
+//! The paper's impossibility results bite only because flows are
+//! unsplittable and congestion-controlled. This module implements the two
+//! classical regimes where they do not:
+//!
+//! * **Demand satisfaction** (splittable flows): any demands satisfying
+//!   the server-link capacities can be routed *inside* the fabric by
+//!   splitting each ToR-pair aggregate evenly over all middle switches —
+//!   the hose-model argument. [`demand_satisfaction`] computes the even
+//!   split and certifies that no fabric link exceeds its capacity.
+//! * **Throughput maximization** (admission control): with at most one
+//!   unit-rate flow per source and destination, a link-disjoint routing
+//!   exists (König); see
+//!   [`link_disjoint_max_throughput`](crate::doom_switch::link_disjoint_max_throughput).
+//!
+//! Contrast: the Theorem 4.2 adversarial rates are *splittably* routable
+//! (this module proves it constructively) yet *unsplittably* infeasible
+//! ([`find_feasible_routing`](crate::replication::find_feasible_routing)
+//! returns `None`) — the gap the paper quantifies.
+
+use std::error::Error;
+use std::fmt;
+
+use clos_net::{ClosNetwork, Flow, LinkId, NodeId};
+use clos_rational::Rational;
+
+/// Aggregate ToR-pair demands of a rated flow collection.
+///
+/// `demand(i, o)` is the total rate of flows from input ToR `i` to output
+/// ToR `o` — the granularity at which splittable routing operates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DemandMatrix {
+    tors: usize,
+    demands: Vec<Rational>,
+}
+
+impl DemandMatrix {
+    /// Aggregates per-flow rates into ToR-pair demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` and `flows` differ in length or a flow endpoint
+    /// is invalid for `clos`.
+    #[must_use]
+    pub fn from_flows(clos: &ClosNetwork, flows: &[Flow], rates: &[Rational]) -> DemandMatrix {
+        assert_eq!(flows.len(), rates.len(), "rates/flows length mismatch");
+        let tors = clos.tor_count();
+        let mut demands = vec![Rational::ZERO; tors * tors];
+        for (f, &rate) in flows.iter().zip(rates) {
+            demands[clos.src_tor(*f) * tors + clos.dst_tor(*f)] += rate;
+        }
+        DemandMatrix { tors, demands }
+    }
+
+    /// Returns the number of ToRs per side.
+    #[must_use]
+    pub fn tor_count(&self) -> usize {
+        self.tors
+    }
+
+    /// Returns the aggregate demand from input ToR `i` to output ToR `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn demand(&self, i: usize, o: usize) -> Rational {
+        assert!(i < self.tors && o < self.tors, "ToR index out of range");
+        self.demands[i * self.tors + o]
+    }
+
+    /// Returns the total demand leaving input ToR `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row_sum(&self, i: usize) -> Rational {
+        assert!(i < self.tors, "ToR index out of range");
+        (0..self.tors)
+            .map(|o| self.demands[i * self.tors + o])
+            .sum()
+    }
+
+    /// Returns the total demand entering output ToR `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    #[must_use]
+    pub fn col_sum(&self, o: usize) -> Rational {
+        assert!(o < self.tors, "ToR index out of range");
+        (0..self.tors)
+            .map(|i| self.demands[i * self.tors + o])
+            .sum()
+    }
+}
+
+/// A certificate that demands were routed splittably inside the fabric.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SplitCertificate {
+    /// The aggregated demands that were routed.
+    pub demands: DemandMatrix,
+    /// The maximum load placed on any fabric (uplink/downlink) link by the
+    /// even split.
+    pub max_fabric_load: Rational,
+    /// The fabric link capacity the load is measured against.
+    pub capacity: Rational,
+}
+
+impl SplitCertificate {
+    /// Returns `true` if the certificate witnesses feasibility.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.max_fabric_load <= self.capacity
+    }
+}
+
+/// The error returned when demands cannot be satisfied even splittably.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SplitError {
+    /// A server link is overloaded before routing even begins; no routing
+    /// (splittable or not) can help.
+    HostOverloaded {
+        /// The overloaded server (source or destination).
+        node: NodeId,
+        /// The offered load.
+        load: Rational,
+        /// The link capacity.
+        capacity: Rational,
+    },
+    /// The even split overloads a fabric link (possible only in
+    /// oversubscribed generalized fabrics).
+    FabricOverloaded {
+        /// A maximally loaded fabric link.
+        link: LinkId,
+        /// Its load under the even split.
+        load: Rational,
+        /// Its capacity.
+        capacity: Rational,
+    },
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::HostOverloaded {
+                node,
+                load,
+                capacity,
+            } => write!(f, "server {node} offers {load} over capacity {capacity}"),
+            SplitError::FabricOverloaded {
+                link,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "fabric link {link} carries {load} over capacity {capacity} under even split"
+            ),
+        }
+    }
+}
+
+impl Error for SplitError {}
+
+/// Routes arbitrary demands inside the Clos fabric by splitting each
+/// ToR-pair aggregate evenly over all middle switches, certifying the §1
+/// demand-satisfaction property.
+///
+/// For the standard `C_n` (full bisection bandwidth), host-feasible
+/// demands always succeed: every input ToR offers at most
+/// `hosts_per_tor · capacity = n`, so each of its `n` uplinks carries at
+/// most capacity `1`. Oversubscribed generalized fabrics can fail, which
+/// the error reports precisely.
+///
+/// # Errors
+///
+/// [`SplitError::HostOverloaded`] if the rates already violate a server
+/// link; [`SplitError::FabricOverloaded`] if the even split exceeds a
+/// fabric capacity (oversubscription).
+///
+/// # Panics
+///
+/// Panics if `rates` and `flows` differ in length or a flow endpoint is
+/// invalid for `clos`.
+///
+/// # Examples
+///
+/// The Theorem 4.2 adversarial rates: splittably routable, unsplittably
+/// not.
+///
+/// ```
+/// use clos_core::constructions::theorem_4_2;
+/// use clos_core::replication::find_feasible_routing;
+/// use clos_core::splittable::demand_satisfaction;
+///
+/// let t = theorem_4_2(3);
+/// let rates = t.instance.macro_allocation();
+/// let cert = demand_satisfaction(&t.instance.clos, &t.instance.flows, rates.rates())
+///     .expect("splittable routing always exists for macro rates");
+/// assert!(cert.is_feasible());
+/// assert!(find_feasible_routing(&t.instance.clos, &t.instance.flows, rates.rates()).is_none());
+/// ```
+pub fn demand_satisfaction(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    rates: &[Rational],
+) -> Result<SplitCertificate, SplitError> {
+    assert_eq!(flows.len(), rates.len(), "rates/flows length mismatch");
+    let cap = clos.params().link_capacity;
+
+    // Host links are routing-independent.
+    let hosts = clos.hosts_per_tor();
+    let mut src_load = vec![Rational::ZERO; clos.tor_count() * hosts];
+    let mut dst_load = vec![Rational::ZERO; clos.tor_count() * hosts];
+    for (f, &rate) in flows.iter().zip(rates) {
+        let (si, sj) = clos.source_coords(f.src());
+        let (ti, tj) = clos.destination_coords(f.dst());
+        src_load[si * hosts + sj] += rate;
+        dst_load[ti * hosts + tj] += rate;
+    }
+    for tor in 0..clos.tor_count() {
+        for host in 0..hosts {
+            if src_load[tor * hosts + host] > cap {
+                return Err(SplitError::HostOverloaded {
+                    node: clos.source(tor, host),
+                    load: src_load[tor * hosts + host],
+                    capacity: cap,
+                });
+            }
+            if dst_load[tor * hosts + host] > cap {
+                return Err(SplitError::HostOverloaded {
+                    node: clos.destination(tor, host),
+                    load: dst_load[tor * hosts + host],
+                    capacity: cap,
+                });
+            }
+        }
+    }
+
+    // Even split: uplink (i, m) carries row_sum(i)/n; downlink (m, o)
+    // carries col_sum(o)/n, for every m.
+    let demands = DemandMatrix::from_flows(clos, flows, rates);
+    let n = Rational::from_integer(clos.middle_count() as i128);
+    let mut max_load = Rational::ZERO;
+    let mut max_link = clos.uplink(0, 0);
+    for i in 0..clos.tor_count() {
+        let load = demands.row_sum(i) / n;
+        if load > max_load {
+            max_load = load;
+            max_link = clos.uplink(i, 0);
+        }
+    }
+    for o in 0..clos.tor_count() {
+        let load = demands.col_sum(o) / n;
+        if load > max_load {
+            max_load = load;
+            max_link = clos.downlink(0, o);
+        }
+    }
+    if max_load > cap {
+        return Err(SplitError::FabricOverloaded {
+            link: max_link,
+            load: max_load,
+            capacity: cap,
+        });
+    }
+    Ok(SplitCertificate {
+        demands,
+        max_fabric_load: max_load,
+        capacity: cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::theorem_4_2;
+    use clos_net::ClosParams;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn demand_matrix_aggregates() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+        ];
+        let rates = [r(1, 2), r(1, 3), Rational::ONE];
+        let d = DemandMatrix::from_flows(&clos, &flows, &rates);
+        assert_eq!(d.demand(0, 2), r(5, 6));
+        assert_eq!(d.demand(1, 3), Rational::ONE);
+        assert_eq!(d.demand(0, 3), Rational::ZERO);
+        assert_eq!(d.row_sum(0), r(5, 6));
+        assert_eq!(d.col_sum(2), r(5, 6));
+        assert_eq!(d.tor_count(), 4);
+    }
+
+    #[test]
+    fn full_host_saturation_splits_exactly_to_capacity() {
+        // Every source sends at full rate to a distinct destination under
+        // one ToR: rows sum to n, so every uplink carries exactly 1.
+        let clos = ClosNetwork::standard(3);
+        let mut flows = Vec::new();
+        for i in 0..clos.tor_count() {
+            for j in 0..clos.hosts_per_tor() {
+                flows.push(Flow::new(
+                    clos.source(i, j),
+                    clos.destination((i + 1) % clos.tor_count(), j),
+                ));
+            }
+        }
+        let rates = vec![Rational::ONE; flows.len()];
+        let cert = demand_satisfaction(&clos, &flows, &rates).unwrap();
+        assert_eq!(cert.max_fabric_load, Rational::ONE);
+        assert!(cert.is_feasible());
+    }
+
+    #[test]
+    fn theorem_4_2_rates_splittable_but_not_unsplittable() {
+        let t = theorem_4_2(3);
+        let rates = t.instance.macro_allocation();
+        let cert = demand_satisfaction(&t.instance.clos, &t.instance.flows, rates.rates()).unwrap();
+        assert!(cert.is_feasible());
+        assert!(cert.max_fabric_load <= Rational::ONE);
+        assert!(crate::replication::find_feasible_routing(
+            &t.instance.clos,
+            &t.instance.flows,
+            rates.rates()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn host_overload_rejected() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(3, 0)),
+        ];
+        let rates = [r(3, 4), r(3, 4)];
+        match demand_satisfaction(&clos, &flows, &rates) {
+            Err(SplitError::HostOverloaded { node, load, .. }) => {
+                assert_eq!(node, clos.source(0, 0));
+                assert_eq!(load, r(3, 2));
+            }
+            other => panic!("expected host overload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversubscribed_fabric_can_fail() {
+        // 2:1 oversubscription: 4 hosts per ToR, only 2 middle switches.
+        let clos = ClosNetwork::with_params(ClosParams {
+            middle_switches: 2,
+            tor_pairs: 2,
+            hosts_per_tor: 4,
+            link_capacity: Rational::ONE,
+        });
+        let mut flows = Vec::new();
+        for j in 0..4 {
+            flows.push(Flow::new(clos.source(0, j), clos.destination(1, j)));
+        }
+        let rates = vec![Rational::ONE; 4];
+        match demand_satisfaction(&clos, &flows, &rates) {
+            Err(SplitError::FabricOverloaded { load, .. }) => {
+                assert_eq!(load, Rational::TWO);
+            }
+            other => panic!("expected fabric overload, got {other:?}"),
+        }
+        // Halving the demands fits the oversubscribed fabric.
+        let rates = vec![r(1, 2); 4];
+        assert!(demand_satisfaction(&clos, &flows, &rates).is_ok());
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = SplitError::HostOverloaded {
+            node: NodeId::new(1),
+            load: Rational::TWO,
+            capacity: Rational::ONE,
+        };
+        assert!(e.to_string().contains("over capacity"));
+        let e = SplitError::FabricOverloaded {
+            link: LinkId::new(2),
+            load: Rational::TWO,
+            capacity: Rational::ONE,
+        };
+        assert!(e.to_string().contains("even split"));
+    }
+}

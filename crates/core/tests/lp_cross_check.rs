@@ -1,0 +1,111 @@
+//! Property-based cross-validation: the iterative-LP and water-filling
+//! derivations of max-min fairness agree on random routed collections,
+//! and the splittable LP relaxation matches the macro-switch allocation.
+
+#![allow(clippy::type_complexity)]
+
+use clos_core::lp_models::{
+    max_min_via_lp, max_splittable_throughput, max_throughput_for_routing, splittable_max_min,
+};
+use clos_core::macro_switch::{macro_max_min, max_throughput};
+use clos_fairness::max_min_fair;
+use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
+use clos_rational::Rational;
+use proptest::prelude::*;
+
+fn instance(
+    max_flows: usize,
+) -> impl Strategy<Value = (Vec<(usize, usize, usize, usize)>, Vec<usize>)> {
+    prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 1..=max_flows)
+        .prop_flat_map(|flows| {
+            let len = flows.len();
+            (Just(flows), prop::collection::vec(0..2usize, len..=len))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The two max-min derivations coincide exactly — Definition 2.1 has
+    /// one answer and both algorithms find it.
+    #[test]
+    fn lp_equals_waterfill((coords, middles) in instance(8)) {
+        let clos = ClosNetwork::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| {
+                Flow::new(clos.source(si, sj), clos.destination(ti, tj))
+            })
+            .collect();
+        let routing: Routing = flows
+            .iter()
+            .zip(&middles)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect();
+        let wf = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+        let lp = max_min_via_lp(clos.network(), &flows, &routing);
+        prop_assert_eq!(lp, wf);
+    }
+
+    /// Demand satisfaction under fairness: splitting recovers the
+    /// macro-switch max-min allocation on every random collection.
+    #[test]
+    fn splittable_equals_macro_switch((coords, _) in instance(6)) {
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| {
+                Flow::new(clos.source(si, sj), clos.destination(ti, tj))
+            })
+            .collect();
+        let ms_flows = ms.translate_flows(&clos, &flows);
+        let split = splittable_max_min(&clos, &flows);
+        let reference = macro_max_min(&ms, &ms_flows);
+        prop_assert_eq!(split, reference);
+    }
+
+    /// The generalized Theorem 3.4 (paper §7, R1): for EVERY routing of
+    /// EVERY collection, the max-min fair throughput is at least half the
+    /// routed maximum throughput.
+    #[test]
+    fn generalized_price_of_fairness_per_routing((coords, middles) in instance(10)) {
+        let clos = ClosNetwork::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| {
+                Flow::new(clos.source(si, sj), clos.destination(ti, tj))
+            })
+            .collect();
+        let routing: Routing = flows
+            .iter()
+            .zip(&middles)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect();
+        let mmf = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+        let mt = max_throughput_for_routing(clos.network(), &flows, &routing);
+        prop_assert!(mmf.throughput() * Rational::TWO >= mt);
+        prop_assert!(mmf.throughput() <= mt);
+    }
+
+    /// Splittable throughput dominates the unsplittable matching bound and
+    /// is capped by the total host egress.
+    #[test]
+    fn splittable_throughput_bounds((coords, _) in instance(8)) {
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| {
+                Flow::new(clos.source(si, sj), clos.destination(ti, tj))
+            })
+            .collect();
+        let ms_flows = ms.translate_flows(&clos, &flows);
+        let split = max_splittable_throughput(&clos, &flows);
+        let mt = max_throughput(&ms, &ms_flows).throughput();
+        prop_assert!(split >= mt);
+        // Distinct sources bound the throughput from above.
+        let sources: std::collections::HashSet<_> = flows.iter().map(|f| f.src()).collect();
+        prop_assert!(split <= Rational::from_integer(sources.len() as i128));
+    }
+}

@@ -1,0 +1,94 @@
+//! Soundness of the exhaustive search's symmetry reductions: the
+//! canonical enumeration must find the same optima as raw brute force
+//! over all `n^F` routings.
+
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_fairness::max_min_fair;
+use clos_net::{ClosNetwork, Flow, Routing};
+use clos_rational::Rational;
+use proptest::prelude::*;
+
+/// Brute force over every middle assignment, no symmetry reduction.
+fn brute_force_optima(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+) -> (clos_fairness::SortedRates<Rational>, Rational) {
+    let n = clos.middle_count();
+    let f = flows.len();
+    assert!(n.pow(f as u32) <= 1 << 16, "brute force kept tiny");
+    let mut best_sorted: Option<clos_fairness::SortedRates<Rational>> = None;
+    let mut best_throughput: Option<Rational> = None;
+    let mut assignment = vec![0usize; f];
+    loop {
+        let routing: Routing = flows
+            .iter()
+            .zip(&assignment)
+            .map(|(&fl, &m)| clos.path_via(fl, m))
+            .collect();
+        let alloc = max_min_fair::<Rational>(clos.network(), flows, &routing).unwrap();
+        let sorted = alloc.sorted();
+        if best_sorted.as_ref().is_none_or(|b| sorted > *b) {
+            best_sorted = Some(sorted);
+        }
+        let t = alloc.throughput();
+        if best_throughput.is_none_or(|b| t > b) {
+            best_throughput = Some(t);
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == f {
+                return (best_sorted.unwrap(), best_throughput.unwrap());
+            }
+            assignment[i] += 1;
+            if assignment[i] < n {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Canonical search equals raw brute force on C_2 with up to 7 flows
+    /// (including repeated pairs, which exercise the multiset reduction).
+    #[test]
+    fn canonical_equals_brute_force_c2(
+        coords in prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 1..=7)
+    ) {
+        let clos = ClosNetwork::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+            .collect();
+        let (bf_sorted, bf_throughput) = brute_force_optima(&clos, &flows);
+        let (lex, _) = search_lex_max_min(&clos, &flows);
+        let (tput, _) = search_throughput_max_min(&clos, &flows);
+        prop_assert_eq!(lex.allocation.sorted(), bf_sorted);
+        prop_assert_eq!(tput.throughput(), bf_throughput);
+    }
+
+    /// Same on C_3 with up to 5 flows (3^5 = 243 raw routings).
+    #[test]
+    fn canonical_equals_brute_force_c3(
+        coords in prop::collection::vec((0..6usize, 0..3usize, 0..6usize, 0..3usize), 1..=5)
+    ) {
+        let clos = ClosNetwork::standard(3);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+            .collect();
+        let (bf_sorted, bf_throughput) = brute_force_optima(&clos, &flows);
+        let (lex, stats) = search_lex_max_min(&clos, &flows);
+        prop_assert_eq!(lex.allocation.sorted(), bf_sorted);
+        // And the reduction actually reduced (unless a single flow).
+        if flows.len() > 1 {
+            prop_assert!(stats.routings_examined < 3u64.pow(flows.len() as u32));
+        }
+        let (tput, _) = search_throughput_max_min(&clos, &flows);
+        prop_assert_eq!(tput.throughput(), bf_throughput);
+    }
+}

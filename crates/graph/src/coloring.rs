@@ -1,0 +1,371 @@
+//! König edge coloring of bipartite multigraphs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::BipartiteMultigraph;
+
+/// A proper edge coloring: adjacent edges receive distinct colors.
+///
+/// For the ToR-pair multigraph `G^C` of a flow sub-collection with maximum
+/// degree at most `n`, an `n`-edge-coloring corresponds to a link-disjoint
+/// routing in `C_n`: color `m` means "assign the flow to middle switch
+/// `M_m`", and properness means no two flows of the same color share an
+/// uplink or downlink (footnote 5 / Lemma 5.2).
+///
+/// # Examples
+///
+/// ```
+/// use clos_graph::{edge_coloring, BipartiteMultigraph};
+///
+/// let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+/// let coloring = edge_coloring(&g, 2)?;
+/// assert!(coloring.is_proper(&g));
+/// # Ok::<(), clos_graph::ColoringError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EdgeColoring {
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+impl EdgeColoring {
+    /// Returns the color of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn color(&self, e: usize) -> usize {
+        self.colors[e]
+    }
+
+    /// Returns the per-edge colors in edge order.
+    #[must_use]
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Returns the number of available colors the coloring was built with.
+    #[must_use]
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Returns the edges of each color class, indexed by color.
+    ///
+    /// Color classes are matchings; in the routing interpretation, class `m`
+    /// is the set of flows assigned to middle switch `M_m`.
+    #[must_use]
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut classes = vec![Vec::new(); self.num_colors];
+        for (e, &c) in self.colors.iter().enumerate() {
+            classes[c].push(e);
+        }
+        classes
+    }
+
+    /// Verifies properness against `g`: no two edges sharing a node have
+    /// the same color, and every color is below `num_colors`.
+    #[must_use]
+    pub fn is_proper(&self, g: &BipartiteMultigraph) -> bool {
+        if self.colors.len() != g.edge_count() {
+            return false;
+        }
+        let mut left_seen = vec![vec![false; self.num_colors]; g.left_count()];
+        let mut right_seen = vec![vec![false; self.num_colors]; g.right_count()];
+        for (e, &c) in self.colors.iter().enumerate() {
+            if c >= self.num_colors {
+                return false;
+            }
+            let (l, r) = g.edge(e);
+            if left_seen[l][c] || right_seen[r][c] {
+                return false;
+            }
+            left_seen[l][c] = true;
+            right_seen[r][c] = true;
+        }
+        true
+    }
+}
+
+/// The error returned when an edge coloring cannot exist.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColoringError {
+    /// Some node has degree exceeding the number of available colors, so no
+    /// proper coloring exists (each incident edge needs its own color).
+    DegreeExceedsColors {
+        /// The multigraph's maximum degree.
+        max_degree: usize,
+        /// The number of colors requested.
+        colors: usize,
+    },
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::DegreeExceedsColors { max_degree, colors } => write!(
+                f,
+                "maximum degree {max_degree} exceeds available colors {colors}"
+            ),
+        }
+    }
+}
+
+impl Error for ColoringError {}
+
+/// Colors the edges of a bipartite multigraph with `colors` colors using
+/// König's alternating-path argument.
+///
+/// König's edge-coloring theorem guarantees a proper coloring whenever the
+/// maximum degree is at most `colors`; this function realizes it
+/// constructively in `O(E · (V + colors))`.
+///
+/// # Errors
+///
+/// Returns [`ColoringError::DegreeExceedsColors`] if the maximum degree
+/// exceeds `colors`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_graph::{edge_coloring, BipartiteMultigraph};
+///
+/// // Three parallel edges need three colors.
+/// let g = BipartiteMultigraph::from_edges(1, 1, vec![(0, 0); 3]);
+/// assert!(edge_coloring(&g, 2).is_err());
+/// let c = edge_coloring(&g, 3)?;
+/// assert!(c.is_proper(&g));
+/// # Ok::<(), clos_graph::ColoringError>(())
+/// ```
+pub fn edge_coloring(
+    g: &BipartiteMultigraph,
+    colors: usize,
+) -> Result<EdgeColoring, ColoringError> {
+    let max_degree = g.max_degree();
+    if max_degree > colors {
+        return Err(ColoringError::DegreeExceedsColors { max_degree, colors });
+    }
+
+    // Global node indexing: left nodes are 0..L, right nodes are L..L+R.
+    let left = g.left_count();
+    let total = left + g.right_count();
+    // used[node][color] = edge currently colored `color` at `node`.
+    let mut used: Vec<Vec<Option<usize>>> = vec![vec![None; colors]; total];
+    let mut color_of: Vec<Option<usize>> = vec![None; g.edge_count()];
+
+    let endpoint = |e: usize, side_left: bool| -> usize {
+        let (l, r) = g.edge(e);
+        if side_left {
+            l
+        } else {
+            left + r
+        }
+    };
+    let other_endpoint = |e: usize, node: usize| -> usize {
+        let u = endpoint(e, true);
+        let v = endpoint(e, false);
+        if node == u {
+            v
+        } else {
+            u
+        }
+    };
+
+    for e in 0..g.edge_count() {
+        let u = endpoint(e, true);
+        let v = endpoint(e, false);
+        let free_at = |node: usize, used: &Vec<Vec<Option<usize>>>| -> usize {
+            (0..colors)
+                .find(|&c| used[node][c].is_none())
+                .expect("degree bound guarantees a free color")
+        };
+        let a = free_at(u, &used);
+        let b = free_at(v, &used);
+        if a != b {
+            // Make `a` free at v by flipping the (a,b)-alternating path
+            // starting at v. In a bipartite graph this path cannot reach u
+            // (it would have to arrive on color `a`, which alternation and
+            // parity forbid), so `a` stays free at u.
+            let mut path = Vec::new();
+            let mut cur = v;
+            let mut want = a;
+            while let Some(pe) = used[cur][want] {
+                path.push(pe);
+                cur = other_endpoint(pe, cur);
+                want = if want == a { b } else { a };
+            }
+            // Clear the a/b slots of every node on the path, then re-add
+            // the path edges with swapped colors. All a/b-colored edges
+            // incident to path nodes lie on the path (properness), so this
+            // is a complete update.
+            let mut touched = vec![v];
+            for &pe in &path {
+                touched.push(endpoint(pe, true));
+                touched.push(endpoint(pe, false));
+            }
+            for &node in &touched {
+                used[node][a] = None;
+                used[node][b] = None;
+            }
+            for &pe in &path {
+                let old = color_of[pe].expect("path edges are colored");
+                let new = if old == a { b } else { a };
+                color_of[pe] = Some(new);
+                used[endpoint(pe, true)][new] = Some(pe);
+                used[endpoint(pe, false)][new] = Some(pe);
+            }
+            debug_assert!(used[u][a].is_none(), "alternating path reached u");
+            debug_assert!(used[v][a].is_none(), "flip failed to free color at v");
+        }
+        color_of[e] = Some(a);
+        used[u][a] = Some(e);
+        used[v][a] = Some(e);
+    }
+
+    Ok(EdgeColoring {
+        colors: color_of
+            .into_iter()
+            .map(|c| c.expect("all edges colored"))
+            .collect(),
+        num_colors: colors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_bipartite_k22_with_two_colors() {
+        let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let c = edge_coloring(&g, 2).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2);
+        let classes = c.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].len() + classes[1].len(), 4);
+    }
+
+    #[test]
+    fn parallel_edges_need_multiplicity_colors() {
+        let g = BipartiteMultigraph::from_edges(1, 1, vec![(0, 0); 4]);
+        assert_eq!(
+            edge_coloring(&g, 3),
+            Err(ColoringError::DegreeExceedsColors {
+                max_degree: 4,
+                colors: 3
+            })
+        );
+        let c = edge_coloring(&g, 4).unwrap();
+        assert!(c.is_proper(&g));
+        let mut cs: Vec<_> = c.colors().to_vec();
+        cs.sort_unstable();
+        assert_eq!(cs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn extra_colors_allowed() {
+        let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (1, 1)]);
+        let c = edge_coloring(&g, 5).unwrap();
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn empty_graph_colors_trivially() {
+        let g = BipartiteMultigraph::from_edges(3, 3, vec![]);
+        let c = edge_coloring(&g, 0).unwrap();
+        assert!(c.is_proper(&g));
+        assert!(c.colors().is_empty());
+    }
+
+    #[test]
+    fn path_flip_case_exercised() {
+        // Edge order crafted so a later edge forces an alternating-path
+        // flip: stars at both endpoints fill complementary colors first.
+        let g = BipartiteMultigraph::from_edges(
+            3,
+            3,
+            vec![
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (0, 0),
+                (2, 0),
+                (1, 2),
+                (0, 2),
+                (2, 1),
+            ],
+        );
+        let c = edge_coloring(&g, 3).unwrap();
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn complete_bipartite_knn_uses_n_colors() {
+        for n in 1..=5 {
+            let mut edges = Vec::new();
+            for l in 0..n {
+                for r in 0..n {
+                    edges.push((l, r));
+                }
+            }
+            let g = BipartiteMultigraph::from_edges(n, n, edges);
+            let c = edge_coloring(&g, n).unwrap();
+            assert!(c.is_proper(&g), "K_{n},{n} failed");
+            // Every color class of K_{n,n} with n colors is a perfect
+            // matching of size n.
+            for class in c.classes() {
+                assert_eq!(class.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_multigraphs_color_properly() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..300 {
+            let l = rng.gen_range(1..=6);
+            let r = rng.gen_range(1..=6);
+            let e = rng.gen_range(0..=18);
+            let edges: Vec<_> = (0..e)
+                .map(|_| (rng.gen_range(0..l), rng.gen_range(0..r)))
+                .collect();
+            let g = BipartiteMultigraph::from_edges(l, r, edges);
+            let delta = g.max_degree();
+            let c = edge_coloring(&g, delta.max(1)).expect("König guarantees success");
+            assert!(c.is_proper(&g), "improper coloring for {g}");
+        }
+    }
+
+    #[test]
+    fn is_proper_rejects_bad_colorings() {
+        let g = BipartiteMultigraph::from_edges(1, 2, vec![(0, 0), (0, 1)]);
+        let bad = EdgeColoring {
+            colors: vec![0, 0],
+            num_colors: 2,
+        };
+        assert!(!bad.is_proper(&g)); // shares left node 0
+        let out_of_range = EdgeColoring {
+            colors: vec![0, 2],
+            num_colors: 2,
+        };
+        assert!(!out_of_range.is_proper(&g));
+        let wrong_len = EdgeColoring {
+            colors: vec![0],
+            num_colors: 2,
+        };
+        assert!(!wrong_len.is_proper(&g));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ColoringError::DegreeExceedsColors {
+            max_degree: 4,
+            colors: 2,
+        };
+        assert_eq!(e.to_string(), "maximum degree 4 exceeds available colors 2");
+    }
+}

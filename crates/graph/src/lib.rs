@@ -1,0 +1,42 @@
+//! Graph algorithms underpinning the clos-routing workspace.
+//!
+//! Three classical algorithms the paper's results lean on:
+//!
+//! * [`maximum_matching`] (Hopcroft–Karp) — Lemma 3.2: the maximum
+//!   throughput across a macro-switch equals the size of a maximum matching
+//!   in the bipartite multigraph `G^MS` whose left/right nodes are
+//!   sources/destinations and whose edges are flows.
+//! * [`edge_coloring`] (König) — footnote 5 / Lemma 5.2: a bipartite
+//!   multigraph with maximum degree at most `n` admits an `n`-edge-coloring,
+//!   which corresponds to a link-disjoint routing of the colored flows (one
+//!   color per middle switch). Used by the Doom-Switch algorithm (Alg. 1).
+//! * [`MaxFlow`] (Dinic, exact rational capacities) — used to cross-check
+//!   matchings and to reason about splittable-flow demand satisfaction (§1).
+//!
+//! All algorithms operate on [`BipartiteMultigraph`], a plain edge-list
+//! representation with parallel edges (multiple flows between the same
+//! source–destination pair are the norm under congestion control).
+//!
+//! # Examples
+//!
+//! ```
+//! use clos_graph::{maximum_matching, BipartiteMultigraph};
+//!
+//! // Two sources, two destinations, three flows (one pair repeated).
+//! let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (0, 0), (1, 1)]);
+//! let m = maximum_matching(&g);
+//! assert_eq!(m.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bipartite;
+mod coloring;
+mod matching;
+mod maxflow;
+
+pub use crate::bipartite::BipartiteMultigraph;
+pub use crate::coloring::{edge_coloring, ColoringError, EdgeColoring};
+pub use crate::matching::{maximum_matching, Matching};
+pub use crate::maxflow::MaxFlow;

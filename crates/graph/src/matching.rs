@@ -1,0 +1,369 @@
+//! Hopcroft–Karp bipartite maximum matching.
+
+#![allow(clippy::too_many_arguments)]
+
+use crate::BipartiteMultigraph;
+
+/// A matching in a [`BipartiteMultigraph`], reported as a set of edge
+/// indices.
+///
+/// A matching uses each left node and each right node at most once. For the
+/// flow multigraph `G^MS`, Lemma 3.2 states that assigning rate 1 to a
+/// maximum matching's flows and 0 to all others is a maximum-throughput
+/// allocation, so `len()` equals `T^MT`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_graph::{maximum_matching, BipartiteMultigraph};
+///
+/// let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (1, 0), (1, 1)]);
+/// let m = maximum_matching(&g);
+/// assert_eq!(m.len(), 2);
+/// assert!(m.contains(0) && m.contains(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matching {
+    edges: Vec<usize>,
+    left_match: Vec<Option<usize>>,
+    right_match: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Returns the matched edge indices in increasing order.
+    #[must_use]
+    pub fn edges(&self) -> &[usize] {
+        &self.edges
+    }
+
+    /// Returns the number of matched edges (the matching size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the matching is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns `true` if edge `e` is in the matching.
+    #[must_use]
+    pub fn contains(&self, e: usize) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Returns the matched edge at left node `l`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[must_use]
+    pub fn left_edge(&self, l: usize) -> Option<usize> {
+        self.left_match[l]
+    }
+
+    /// Returns the matched edge at right node `r`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn right_edge(&self, r: usize) -> Option<usize> {
+        self.right_match[r]
+    }
+
+    /// Verifies that this is a valid matching of `g`: every edge exists and
+    /// no node is used twice.
+    #[must_use]
+    pub fn is_valid(&self, g: &BipartiteMultigraph) -> bool {
+        let mut left_used = vec![false; g.left_count()];
+        let mut right_used = vec![false; g.right_count()];
+        for &e in &self.edges {
+            if e >= g.edge_count() {
+                return false;
+            }
+            let (l, r) = g.edge(e);
+            if left_used[l] || right_used[r] {
+                return false;
+            }
+            left_used[l] = true;
+            right_used[r] = true;
+        }
+        true
+    }
+}
+
+const INF: usize = usize::MAX;
+
+/// Computes a maximum matching of a bipartite multigraph with the
+/// Hopcroft–Karp algorithm in `O(E √V)`.
+///
+/// Parallel edges are handled naturally: at most one copy of a parallel
+/// bundle can ever be matched, and the returned edge indices identify which
+/// copy (hence which flow) was chosen.
+///
+/// # Examples
+///
+/// ```
+/// use clos_graph::{maximum_matching, BipartiteMultigraph};
+///
+/// // A perfect matching exists on the diagonal.
+/// let g = BipartiteMultigraph::from_edges(3, 3, vec![(0, 0), (1, 1), (2, 2), (0, 1)]);
+/// assert_eq!(maximum_matching(&g).len(), 3);
+/// ```
+#[must_use]
+pub fn maximum_matching(g: &BipartiteMultigraph) -> Matching {
+    // pair_left[l] = right node matched to l (via edge match_edge_left[l]).
+    let mut pair_left: Vec<Option<usize>> = vec![None; g.left_count()];
+    let mut pair_right: Vec<Option<usize>> = vec![None; g.right_count()];
+    let mut edge_left: Vec<Option<usize>> = vec![None; g.left_count()];
+    let mut edge_right: Vec<Option<usize>> = vec![None; g.right_count()];
+    let adj = g.left_adjacency();
+
+    let mut dist = vec![INF; g.left_count()];
+    let mut queue = std::collections::VecDeque::new();
+
+    // BFS phase: layer the graph from free left nodes.
+    let bfs = |pair_left: &[Option<usize>],
+               pair_right: &[Option<usize>],
+               dist: &mut Vec<usize>,
+               queue: &mut std::collections::VecDeque<usize>|
+     -> bool {
+        queue.clear();
+        for l in 0..g.left_count() {
+            if pair_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &e in &adj[l] {
+                let (_, r) = g.edge(e);
+                match pair_right[r] {
+                    None => found = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    };
+
+    // DFS phase: find augmenting paths along the layering.
+    fn dfs(
+        l: usize,
+        g: &BipartiteMultigraph,
+        adj: &[Vec<usize>],
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        edge_left: &mut [Option<usize>],
+        edge_right: &mut [Option<usize>],
+        dist: &mut [usize],
+    ) -> bool {
+        for &e in &adj[l] {
+            let (_, r) = g.edge(e);
+            let ok = match pair_right[r] {
+                None => true,
+                Some(l2) => {
+                    dist[l2] == dist[l] + 1
+                        && dfs(
+                            l2, g, adj, pair_left, pair_right, edge_left, edge_right, dist,
+                        )
+                }
+            };
+            if ok {
+                pair_left[l] = Some(r);
+                pair_right[r] = Some(l);
+                edge_left[l] = Some(e);
+                edge_right[r] = Some(e);
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    while bfs(&pair_left, &pair_right, &mut dist, &mut queue) {
+        for l in 0..g.left_count() {
+            if pair_left[l].is_none() {
+                let _ = dfs(
+                    l,
+                    g,
+                    &adj,
+                    &mut pair_left,
+                    &mut pair_right,
+                    &mut edge_left,
+                    &mut edge_right,
+                    &mut dist,
+                );
+            }
+        }
+    }
+
+    let mut edges: Vec<usize> = edge_left.iter().flatten().copied().collect();
+    edges.sort_unstable();
+    Matching {
+        edges,
+        left_match: edge_left,
+        right_match: edge_right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force maximum matching size by trying all edge subsets.
+    fn brute_force_size(g: &BipartiteMultigraph) -> usize {
+        let m = g.edge_count();
+        assert!(m <= 20, "brute force limited to small graphs");
+        let mut best = 0;
+        for mask in 0u32..(1 << m) {
+            let mut lu = vec![false; g.left_count()];
+            let mut ru = vec![false; g.right_count()];
+            let mut ok = true;
+            let mut size = 0;
+            for e in 0..m {
+                if mask & (1 << e) != 0 {
+                    let (l, r) = g.edge(e);
+                    if lu[l] || ru[r] {
+                        ok = false;
+                        break;
+                    }
+                    lu[l] = true;
+                    ru[r] = true;
+                    size += 1;
+                }
+            }
+            if ok {
+                best = best.max(size);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let g = BipartiteMultigraph::from_edges(3, 3, vec![(0, 0), (1, 1), (2, 2)]);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert!(m.is_valid(&g));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_matched_once() {
+        let g = BipartiteMultigraph::from_edges(1, 1, vec![(0, 0); 5]);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn augmenting_path_case() {
+        // 0-0, 1-0, 1-1: greedy matching of (1,0) first would block; HK must
+        // find size 2.
+        let g = BipartiteMultigraph::from_edges(2, 2, vec![(1, 0), (0, 0), (1, 1)]);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn theorem_3_4_gadget_matching() {
+        // Sources {s1, s2}, destinations {t1, t2}; type-1 flows (s1,t1),
+        // (s2,t2); k parasitic type-2 flows (s2,t1). Maximum matching is the
+        // two type-1 flows (Figure 2a).
+        let mut edges = vec![(0, 0), (1, 1)];
+        for _ in 0..6 {
+            edges.push((1, 0));
+        }
+        let g = BipartiteMultigraph::from_edges(2, 2, edges);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(0));
+        assert!(m.contains(1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteMultigraph::from_edges(0, 0, vec![]);
+        let m = maximum_matching(&g);
+        assert!(m.is_empty());
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_unmatched() {
+        let g = BipartiteMultigraph::from_edges(3, 3, vec![(0, 2)]);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.left_edge(0), Some(0));
+        assert_eq!(m.left_edge(1), None);
+        assert_eq!(m.right_edge(2), Some(0));
+        assert_eq!(m.right_edge(0), None);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let cases = vec![
+            BipartiteMultigraph::from_edges(3, 3, vec![(0, 0), (0, 1), (1, 0), (2, 2), (1, 2)]),
+            BipartiteMultigraph::from_edges(4, 3, vec![(0, 0), (1, 0), (2, 0), (3, 0), (0, 1)]),
+            BipartiteMultigraph::from_edges(
+                4,
+                4,
+                vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (0, 3)],
+            ),
+        ];
+        for g in cases {
+            let m = maximum_matching(&g);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.len(), brute_force_size(&g), "graph {g}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let l = rng.gen_range(1..=5);
+            let r = rng.gen_range(1..=5);
+            let e = rng.gen_range(0..=12);
+            let edges: Vec<_> = (0..e)
+                .map(|_| (rng.gen_range(0..l), rng.gen_range(0..r)))
+                .collect();
+            let g = BipartiteMultigraph::from_edges(l, r, edges);
+            let m = maximum_matching(&g);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.len(), brute_force_size(&g));
+        }
+    }
+
+    #[test]
+    fn invalid_matching_detected() {
+        let g = BipartiteMultigraph::from_edges(2, 2, vec![(0, 0), (0, 1)]);
+        let bad = Matching {
+            edges: vec![0, 1],
+            left_match: vec![Some(0), None],
+            right_match: vec![Some(0), Some(1)],
+        };
+        // Both edges share left node 0.
+        assert!(!bad.is_valid(&g));
+        let out_of_range = Matching {
+            edges: vec![5],
+            left_match: vec![None, None],
+            right_match: vec![None, None],
+        };
+        assert!(!out_of_range.is_valid(&g));
+    }
+}

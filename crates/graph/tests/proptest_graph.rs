@@ -1,0 +1,139 @@
+//! Property-based tests for the graph substrates: matching validity and
+//! optimality (against a max-flow oracle), coloring properness (König),
+//! and flow conservation in Dinic.
+
+use clos_graph::{edge_coloring, maximum_matching, BipartiteMultigraph, MaxFlow};
+use clos_rational::Rational;
+use proptest::prelude::*;
+
+fn multigraph() -> impl Strategy<Value = BipartiteMultigraph> {
+    (1usize..=7, 1usize..=7).prop_flat_map(|(l, r)| {
+        prop::collection::vec((0..l, 0..r), 0..=20)
+            .prop_map(move |edges| BipartiteMultigraph::from_edges(l, r, edges))
+    })
+}
+
+/// Maximum matching size via unit-capacity max-flow (independent oracle).
+fn matching_size_via_flow(g: &BipartiteMultigraph) -> usize {
+    let l = g.left_count();
+    let r = g.right_count();
+    let s = l + r;
+    let t = l + r + 1;
+    let mut mf = MaxFlow::new(l + r + 2);
+    for i in 0..l {
+        mf.add_edge(s, i, Rational::ONE);
+    }
+    for j in 0..r {
+        mf.add_edge(l + j, t, Rational::ONE);
+    }
+    for &(a, b) in g.edges() {
+        mf.add_edge(a, l + b, Rational::ONE);
+    }
+    let flow = mf.max_flow(s, t);
+    assert!(flow.is_integer(), "unit-capacity flow is integral");
+    flow.numerator() as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hopcroft–Karp returns a valid matching of maximum size.
+    #[test]
+    fn matching_is_valid_and_maximum(g in multigraph()) {
+        let m = maximum_matching(&g);
+        prop_assert!(m.is_valid(&g));
+        prop_assert_eq!(m.len(), matching_size_via_flow(&g));
+    }
+
+    /// König: the multigraph colors properly with exactly max_degree
+    /// colors, each class being a matching.
+    #[test]
+    fn coloring_with_max_degree_colors(g in multigraph()) {
+        let delta = g.max_degree().max(1);
+        let c = edge_coloring(&g, delta).expect("König guarantees existence");
+        prop_assert!(c.is_proper(&g));
+        // Each color class is a matching: check via Matching-style scan.
+        for class in c.classes() {
+            let mut left_used = vec![false; g.left_count()];
+            let mut right_used = vec![false; g.right_count()];
+            for &e in &class {
+                let (l, r) = g.edge(e);
+                prop_assert!(!left_used[l] && !right_used[r]);
+                left_used[l] = true;
+                right_used[r] = true;
+            }
+        }
+        // Fewer colors than the degree must fail.
+        if delta > 1 && g.max_degree() == delta {
+            prop_assert!(edge_coloring(&g, delta - 1).is_err());
+        }
+    }
+
+    /// Matching edges always appear in exactly one color class union.
+    #[test]
+    fn coloring_covers_all_edges(g in multigraph()) {
+        let delta = g.max_degree().max(1);
+        let c = edge_coloring(&g, delta).unwrap();
+        let mut seen = vec![false; g.edge_count()];
+        for class in c.classes() {
+            for e in class {
+                prop_assert!(!seen[e], "edge colored twice");
+                seen[e] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Dinic conserves flow: per-edge flows are within capacity and the
+    /// per-edge flows out of the source sum to the max-flow value.
+    #[test]
+    fn max_flow_conservation(
+        caps in prop::collection::vec((0i128..=8, 1i128..=4), 1..=12),
+        nodes in 3usize..=6,
+    ) {
+        let mut mf = MaxFlow::new(nodes);
+        let mut source_edges = Vec::new();
+        let mut all_edges = Vec::new();
+        for (i, &(num, den)) in caps.iter().enumerate() {
+            let u = i % (nodes - 1);
+            let v = (i + 1 + i / nodes) % nodes;
+            if u == v {
+                continue;
+            }
+            let cap = Rational::new(num, den);
+            let e = mf.add_edge(u, v, cap);
+            all_edges.push((e, cap));
+            if u == 0 {
+                source_edges.push(e);
+            }
+        }
+        let total = mf.max_flow(0, nodes - 1);
+        prop_assert!(!total.is_negative());
+        let mut out_of_source = Rational::ZERO;
+        for &e in &source_edges {
+            out_of_source += mf.flow_on(e);
+        }
+        // All flow leaves the source on its outgoing edges (node 0 has no
+        // incoming edges by construction u = i % (nodes-1) < nodes-1 ...
+        // unless v == 0; account for returns).
+        prop_assert!(out_of_source >= total);
+        for &(e, cap) in &all_edges {
+            prop_assert!(mf.flow_on(e) <= cap);
+            prop_assert!(!mf.flow_on(e).is_negative());
+        }
+    }
+
+    /// Matching size is monotone under edge addition.
+    #[test]
+    fn matching_monotone_in_edges(g in multigraph(), extra in (0usize..7, 0usize..7)) {
+        let base = maximum_matching(&g).len();
+        let (a, b) = extra;
+        if a < g.left_count() && b < g.right_count() {
+            let mut edges = g.edges().to_vec();
+            edges.push((a, b));
+            let bigger = BipartiteMultigraph::from_edges(g.left_count(), g.right_count(), edges);
+            let new = maximum_matching(&bigger).len();
+            prop_assert!(new >= base && new <= base + 1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Exact linear programming over rationals for the clos-routing workspace.
+//!
+//! The fairness and throughput questions the paper studies have natural LP
+//! formulations — max-min fairness is a sequence of LPs, maximum
+//! (splittable) throughput is one LP — but the lexicographic comparisons
+//! at their heart require *exact* arithmetic, which off-the-shelf
+//! floating-point LP solvers cannot provide. This crate implements a
+//! dense, two-phase primal simplex over [`Rational`] with Bland's rule
+//! (guaranteed termination), sized for the workspace's model dimensions
+//! (tens of variables, up to a few hundred constraints).
+//!
+//! It serves as an **independent oracle**: `clos-core` rebuilds max-min
+//! fair allocations from LPs (the iterative fixing algorithm) and checks
+//! them against the combinatorial water-filling allocator, and solves the
+//! *splittable* relaxations the paper's §1 baselines refer to.
+//!
+//! # Examples
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x ≤ 2`:
+//!
+//! ```
+//! use clos_lp::{LinearProgram, LpOutcome};
+//! use clos_rational::Rational;
+//!
+//! let r = Rational::from_integer;
+//! let mut lp = LinearProgram::maximize(2, vec![r(3), r(2)]);
+//! lp.add_le(vec![r(1), r(1)], r(4));
+//! lp.add_le(vec![r(1), r(0)], r(2));
+//! match lp.solve() {
+//!     LpOutcome::Optimal { value, solution } => {
+//!         assert_eq!(value, r(10)); // x = 2, y = 2
+//!         assert_eq!(solution, vec![r(2), r(2)]);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+//!
+//! [`Rational`]: clos_rational::Rational
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simplex;
+
+pub use crate::simplex::{LinearProgram, LpOutcome};

@@ -1,0 +1,553 @@
+//! Two-phase primal simplex over exact rationals.
+
+#![allow(clippy::needless_range_loop)]
+
+use clos_rational::Rational;
+
+/// The outcome of solving a [`LinearProgram`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value (in the user's sense — negated back
+        /// for minimization problems).
+        value: Rational,
+        /// The optimal assignment of the original variables.
+        solution: Vec<Rational>,
+    },
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Sense {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// A linear program over non-negative rational variables.
+///
+/// `maximize c·x` (or minimize) subject to a list of `≤` / `≥` / `=`
+/// constraints and `x ≥ 0`. Solved exactly by two-phase primal simplex
+/// with Bland's anti-cycling rule; all arithmetic is overflow-checked
+/// [`Rational`].
+///
+/// Intended for the modest, structured models of this workspace (fairness
+/// and throughput LPs on Clos networks) — the tableau is dense and the
+/// pivoting is `O(rows · cols)` per step.
+///
+/// # Examples
+///
+/// A degenerate-free diet-style LP with an equality:
+///
+/// ```
+/// use clos_lp::{LinearProgram, LpOutcome};
+/// use clos_rational::Rational;
+///
+/// let r = Rational::from_integer;
+/// let mut lp = LinearProgram::minimize(2, vec![r(2), r(3)]);
+/// lp.add_ge(vec![r(1), r(1)], r(4));
+/// lp.add_eq(vec![r(1), r(0)], r(1));
+/// match lp.solve() {
+///     LpOutcome::Optimal { value, solution } => {
+///         assert_eq!(solution, vec![r(1), r(3)]);
+///         assert_eq!(value, r(11));
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<Rational>,
+    minimize: bool,
+    constraints: Vec<(Vec<Rational>, Sense, Rational)>,
+}
+
+impl LinearProgram {
+    /// Creates a maximization problem over `num_vars` non-negative
+    /// variables with objective coefficients `objective`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective.len() != num_vars`.
+    #[must_use]
+    pub fn maximize(num_vars: usize, objective: Vec<Rational>) -> LinearProgram {
+        assert_eq!(objective.len(), num_vars, "objective length mismatch");
+        LinearProgram {
+            num_vars,
+            objective,
+            minimize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Creates a minimization problem over `num_vars` non-negative
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective.len() != num_vars`.
+    #[must_use]
+    pub fn minimize(num_vars: usize, objective: Vec<Rational>) -> LinearProgram {
+        let mut lp = LinearProgram::maximize(num_vars, objective.into_iter().map(|c| -c).collect());
+        lp.minimize = true;
+        lp
+    }
+
+    /// Returns the number of decision variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    fn add(&mut self, coeffs: Vec<Rational>, sense: Sense, rhs: Rational) {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint length mismatch");
+        self.constraints.push((coeffs, sense, rhs));
+    }
+
+    /// Adds the constraint `coeffs · x ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_le(&mut self, coeffs: Vec<Rational>, rhs: Rational) {
+        self.add(coeffs, Sense::Le, rhs);
+    }
+
+    /// Adds the constraint `coeffs · x ≥ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_ge(&mut self, coeffs: Vec<Rational>, rhs: Rational) {
+        self.add(coeffs, Sense::Ge, rhs);
+    }
+
+    /// Adds the constraint `coeffs · x = rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_eq(&mut self, coeffs: Vec<Rational>, rhs: Rational) {
+        self.add(coeffs, Sense::Eq, rhs);
+    }
+
+    /// Solves the program exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rational overflow (pathologically large coefficients).
+    #[must_use]
+    pub fn solve(&self) -> LpOutcome {
+        Solver::new(self).solve()
+    }
+}
+
+/// Internal tableau state.
+struct Solver {
+    /// Rows of the tableau, each of length `cols + 1` (last entry = rhs).
+    rows: Vec<Vec<Rational>>,
+    /// Column index that is basic in each row.
+    basis: Vec<usize>,
+    /// Total number of structural + slack/surplus + artificial columns.
+    cols: usize,
+    /// Columns `>= artificial_start` are artificial.
+    artificial_start: usize,
+    num_vars: usize,
+    objective: Vec<Rational>,
+    minimize: bool,
+}
+
+impl Solver {
+    fn new(lp: &LinearProgram) -> Solver {
+        let m = lp.constraints.len();
+        // Count helper columns.
+        let mut num_slack = 0;
+        let mut num_artificial = 0;
+        for (_, sense, rhs) in &lp.constraints {
+            // After rhs normalization, Le keeps a usable slack only if the
+            // (normalized) sense is still Le.
+            let flipped = rhs.is_negative();
+            let effective = match (sense, flipped) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match effective {
+                Sense::Le => num_slack += 1,
+                Sense::Ge => {
+                    num_slack += 1; // surplus
+                    num_artificial += 1;
+                }
+                Sense::Eq => num_artificial += 1,
+            }
+        }
+        let slack_start = lp.num_vars;
+        let artificial_start = slack_start + num_slack;
+        let cols = artificial_start + num_artificial;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut next_slack = slack_start;
+        let mut next_artificial = artificial_start;
+        for (coeffs, sense, rhs) in &lp.constraints {
+            let flip = rhs.is_negative();
+            let sign = if flip { -Rational::ONE } else { Rational::ONE };
+            let mut row = vec![Rational::ZERO; cols + 1];
+            for (j, &c) in coeffs.iter().enumerate() {
+                row[j] = c * sign;
+            }
+            row[cols] = *rhs * sign;
+            let effective = match (sense, flip) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match effective {
+                Sense::Le => {
+                    row[next_slack] = Rational::ONE;
+                    basis.push(next_slack);
+                    next_slack += 1;
+                }
+                Sense::Ge => {
+                    row[next_slack] = -Rational::ONE;
+                    next_slack += 1;
+                    row[next_artificial] = Rational::ONE;
+                    basis.push(next_artificial);
+                    next_artificial += 1;
+                }
+                Sense::Eq => {
+                    row[next_artificial] = Rational::ONE;
+                    basis.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+            rows.push(row);
+        }
+
+        Solver {
+            rows,
+            basis,
+            cols,
+            artificial_start,
+            num_vars: lp.num_vars,
+            objective: lp.objective.clone(),
+            minimize: lp.minimize,
+        }
+    }
+
+    fn pivot(&mut self, obj: &mut [Rational], row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.is_positive(), "pivot must be positive");
+        for entry in &mut self.rows[row] {
+            *entry /= pivot_val;
+        }
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if !factor.is_zero() {
+                for j in 0..=self.cols {
+                    let delta = factor * self.rows[row][j];
+                    self.rows[r][j] -= delta;
+                }
+            }
+        }
+        let factor = obj[col];
+        if !factor.is_zero() {
+            for j in 0..=self.cols {
+                let delta = factor * self.rows[row][j];
+                obj[j] -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations on the given reduced-cost row, entering only
+    /// columns below `col_limit`. Returns `false` on unboundedness.
+    fn iterate(&mut self, obj: &mut [Rational], col_limit: usize) -> bool {
+        loop {
+            // Bland's rule: smallest-index improving column.
+            let Some(entering) = (0..col_limit).find(|&j| obj[j].is_positive()) else {
+                return true;
+            };
+            // Ratio test; ties broken by smallest basic variable index.
+            let mut best: Option<(Rational, usize, usize)> = None;
+            for r in 0..self.rows.len() {
+                let coeff = self.rows[r][entering];
+                if coeff.is_positive() {
+                    let ratio = self.rows[r][self.cols] / coeff;
+                    let candidate = (ratio, self.basis[r], r);
+                    best = Some(match best {
+                        None => candidate,
+                        Some(current) => {
+                            if (candidate.0, candidate.1) < (current.0, current.1) {
+                                candidate
+                            } else {
+                                current
+                            }
+                        }
+                    });
+                }
+            }
+            match best {
+                None => return false, // unbounded in this column
+                Some((_, _, row)) => self.pivot(obj, row, entering),
+            }
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: drive the artificial variables to zero. The w-row is
+        // the sum of all rows with an artificial basic variable.
+        if self.artificial_start < self.cols {
+            let mut w = vec![Rational::ZERO; self.cols + 1];
+            for r in 0..self.rows.len() {
+                if self.basis[r] >= self.artificial_start {
+                    for j in 0..=self.cols {
+                        let v = self.rows[r][j];
+                        w[j] += v;
+                    }
+                }
+            }
+            // Artificial columns must not re-enter.
+            let feasible = self.iterate(&mut w, self.artificial_start);
+            debug_assert!(feasible, "phase 1 is always bounded");
+            if w[self.cols].is_positive() {
+                return LpOutcome::Infeasible;
+            }
+            // Pivot any residual artificial out of the basis when possible
+            // (degenerate rows); otherwise the row is redundant and the
+            // artificial stays basic at value 0, excluded from entering.
+            for r in 0..self.rows.len() {
+                if self.basis[r] >= self.artificial_start {
+                    if let Some(col) =
+                        (0..self.artificial_start).find(|&j| !self.rows[r][j].is_zero())
+                    {
+                        if self.rows[r][col].is_negative() {
+                            // Make the pivot positive first.
+                            for entry in &mut self.rows[r] {
+                                *entry = -*entry;
+                            }
+                        }
+                        let mut dummy = vec![Rational::ZERO; self.cols + 1];
+                        self.pivot(&mut dummy, r, col);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective expressed over the current basis.
+        let mut obj = vec![Rational::ZERO; self.cols + 1];
+        for (j, &c) in self.objective.iter().enumerate() {
+            obj[j] = c;
+        }
+        // Subtract c_B · (basis rows) to get reduced costs and value.
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            let c_b = if b < self.num_vars {
+                self.objective[b]
+            } else {
+                Rational::ZERO
+            };
+            if !c_b.is_zero() {
+                for j in 0..=self.cols {
+                    let delta = c_b * self.rows[r][j];
+                    obj[j] -= delta;
+                }
+            }
+        }
+        if !self.iterate(&mut obj, self.artificial_start) {
+            return LpOutcome::Unbounded;
+        }
+
+        // Extract the solution. Objective value = -obj[rhs] (the row
+        // tracks c·x shifted to zero: value accumulated as negative).
+        let mut solution = vec![Rational::ZERO; self.num_vars];
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if b < self.num_vars {
+                solution[b] = self.rows[r][self.cols];
+            }
+        }
+        let mut value = -obj[self.cols];
+        if self.minimize {
+            value = -value;
+        }
+        LpOutcome::Optimal { value, solution }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn rq(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn expect_optimal(outcome: LpOutcome) -> (Rational, Vec<Rational>) {
+        match outcome {
+            LpOutcome::Optimal { value, solution } => (value, solution),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut lp = LinearProgram::maximize(2, vec![r(3), r(5)]);
+        lp.add_le(vec![r(1), r(0)], r(4));
+        lp.add_le(vec![r(0), r(2)], r(12));
+        lp.add_le(vec![r(3), r(2)], r(18));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(36));
+        assert_eq!(solution, vec![r(2), r(6)]);
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // max x + y s.t. 3x + y <= 2, x + 3y <= 2 → x = y = 1/2, value 1.
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(1)]);
+        lp.add_le(vec![r(3), r(1)], r(2));
+        lp.add_le(vec![r(1), r(3)], r(2));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(1));
+        assert_eq!(solution, vec![rq(1, 2), rq(1, 2)]);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 → (4 - y = x) pick cheapest.
+        let mut lp = LinearProgram::minimize(2, vec![r(2), r(3)]);
+        lp.add_ge(vec![r(1), r(1)], r(4));
+        lp.add_ge(vec![r(1), r(0)], r(1));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(8)); // x = 4, y = 0
+        assert_eq!(solution, vec![r(4), r(0)]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, y <= 2.
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(2)]);
+        lp.add_eq(vec![r(1), r(1)], r(3));
+        lp.add_le(vec![r(0), r(1)], r(2));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(5)); // x = 1, y = 2
+        assert_eq!(solution, vec![r(1), r(2)]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::maximize(1, vec![r(1)]);
+        lp.add_le(vec![r(1)], r(1));
+        lp.add_ge(vec![r(1)], r(2));
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_equalities_infeasible() {
+        let mut lp = LinearProgram::maximize(2, vec![r(0), r(0)]);
+        lp.add_eq(vec![r(1), r(1)], r(1));
+        lp.add_eq(vec![r(1), r(1)], r(2));
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(1)]);
+        lp.add_ge(vec![r(1), r(0)], r(1));
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn bounded_by_nonnegativity_only() {
+        // max -x is bounded (x >= 0): optimum 0 at x = 0.
+        let lp = LinearProgram::maximize(1, vec![r(-1)]);
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(0));
+        assert_eq!(solution, vec![r(0)]);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -2 means x >= 2; min x → 2.
+        let mut lp = LinearProgram::minimize(1, vec![r(1)]);
+        lp.add_le(vec![r(-1)], r(-2));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(2));
+        assert_eq!(solution, vec![r(2)]);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic cycling candidate (Beale); Bland's rule must terminate.
+        let mut lp = LinearProgram::maximize(4, vec![rq(3, 4), r(-150), rq(1, 50), r(-6)]);
+        lp.add_le(vec![rq(1, 4), r(-60), rq(-1, 25), r(9)], r(0));
+        lp.add_le(vec![rq(1, 2), r(-90), rq(-1, 50), r(3)], r(0));
+        lp.add_le(vec![r(0), r(0), r(1), r(0)], r(1));
+        let (value, _) = expect_optimal(lp.solve());
+        assert_eq!(value, rq(1, 20));
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // The same equality twice: phase 1 leaves a redundant row.
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(1)]);
+        lp.add_eq(vec![r(1), r(1)], r(2));
+        lp.add_eq(vec![r(1), r(1)], r(2));
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(2));
+        assert_eq!(solution[0] + solution[1], r(2));
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints, non-positive objective: optimum at origin.
+        let lp = LinearProgram::maximize(3, vec![r(0), r(-1), r(-2)]);
+        let (value, solution) = expect_optimal(lp.solve());
+        assert_eq!(value, r(0));
+        assert_eq!(solution, vec![r(0); 3]);
+    }
+
+    #[test]
+    fn max_min_level_of_a_link() {
+        // The waterfill first level as an LP: max t s.t. 3t <= 1 (three
+        // flows share a unit link) → 1/3.
+        let mut lp = LinearProgram::maximize(1, vec![r(1)]);
+        lp.add_le(vec![r(3)], r(1));
+        let (value, _) = expect_optimal(lp.solve());
+        assert_eq!(value, rq(1, 3));
+    }
+
+    #[test]
+    fn num_accessors() {
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(1)]);
+        assert_eq!(lp.num_vars(), 2);
+        lp.add_le(vec![r(1), r(0)], r(1));
+        assert_eq!(lp.num_constraints(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_arity_rejected() {
+        let mut lp = LinearProgram::maximize(2, vec![r(1), r(1)]);
+        lp.add_le(vec![r(1)], r(1));
+    }
+}

@@ -1,0 +1,151 @@
+//! Graphviz (DOT) export of topologies and routings.
+//!
+//! Handy for eyeballing the constructions: the adversarial instances of
+//! the paper are small enough to render directly
+//! (`dot -Tsvg out.dot > out.svg`).
+
+use std::fmt::Write as _;
+
+use crate::{Flow, Network, NodeKind, Routing};
+
+fn node_attrs(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Source => "shape=circle, fillcolor=\"#cfe8ff\", style=filled",
+        NodeKind::InputTor => "shape=box, fillcolor=\"#ffe6b3\", style=filled",
+        NodeKind::Middle => "shape=box, fillcolor=\"#e0e0e0\", style=filled",
+        NodeKind::OutputTor => "shape=box, fillcolor=\"#ffd9b3\", style=filled",
+        NodeKind::Destination => "shape=circle, fillcolor=\"#d6f5d6\", style=filled",
+    }
+}
+
+/// Renders the topology as a DOT digraph: servers as circles, switches as
+/// boxes, links labeled with their capacities.
+///
+/// # Examples
+///
+/// ```
+/// use clos_net::{dot::network_dot, ClosNetwork};
+///
+/// let dot = network_dot(ClosNetwork::standard(1).network());
+/// assert!(dot.starts_with("digraph clos {"));
+/// assert!(dot.contains("\"I_0\""));
+/// ```
+#[must_use]
+pub fn network_dot(net: &Network) -> String {
+    let mut out = String::from("digraph clos {\n  rankdir=LR;\n");
+    for node in net.nodes() {
+        let _ = writeln!(out, "  \"{}\" [{}];", node.label(), node_attrs(node.kind()));
+    }
+    for link in net.links() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            net.node(link.src()).label(),
+            net.node(link.dst()).label(),
+            link.capacity()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a routed flow collection as a DOT digraph: only the links used
+/// by at least one flow are drawn, labeled with the number of flows they
+/// carry (the quantity water-filling divides capacity by).
+///
+/// # Panics
+///
+/// Panics if the routing does not match the flows or references links
+/// outside `net`.
+///
+/// # Examples
+///
+/// ```
+/// use clos_net::{dot::routing_dot, ClosNetwork, Flow, Routing};
+///
+/// let clos = ClosNetwork::standard(1);
+/// let flows = [Flow::new(clos.source(0, 0), clos.destination(1, 0))];
+/// let routing = Routing::new(vec![clos.path_via(flows[0], 0)]);
+/// let dot = routing_dot(clos.network(), &flows, &routing);
+/// assert!(dot.contains("label=\"1 flow(s)\""));
+/// ```
+#[must_use]
+pub fn routing_dot(net: &Network, flows: &[Flow], routing: &Routing) -> String {
+    assert_eq!(routing.len(), flows.len(), "routing/flows length mismatch");
+    let members = routing.flows_per_link(net);
+    let mut out = String::from("digraph routing {\n  rankdir=LR;\n");
+    let mut used_nodes = std::collections::BTreeSet::new();
+    for link in net.links() {
+        if !members[link.id().index()].is_empty() {
+            used_nodes.insert(link.src());
+            used_nodes.insert(link.dst());
+        }
+    }
+    for node in net.nodes() {
+        if used_nodes.contains(&node.id()) {
+            let _ = writeln!(out, "  \"{}\" [{}];", node.label(), node_attrs(node.kind()));
+        }
+    }
+    for link in net.links() {
+        let count = members[link.id().index()].len();
+        if count > 0 {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{} flow(s)\", penwidth={}];",
+                net.node(link.src()).label(),
+                net.node(link.dst()).label(),
+                count,
+                1 + count.min(6)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosNetwork;
+
+    #[test]
+    fn network_dot_lists_all_nodes_and_links() {
+        let clos = ClosNetwork::standard(1);
+        let dot = network_dot(clos.network());
+        assert!(dot.starts_with("digraph clos {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for node in clos.network().nodes() {
+            assert!(dot.contains(&format!("\"{}\"", node.label())));
+        }
+        // One arrow line per link.
+        assert_eq!(dot.matches(" -> ").count(), clos.network().link_count());
+        // Capacities labeled.
+        assert!(dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    fn routing_dot_draws_only_used_links() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 0)),
+        ];
+        let routing = Routing::new(vec![clos.path_via(flows[0], 0), clos.path_via(flows[1], 0)]);
+        let dot = routing_dot(clos.network(), &flows, &routing);
+        // Shared uplink and shared host downlink carry 2 flows.
+        assert!(dot.contains("label=\"2 flow(s)\""));
+        // The unused middle switch M_1 does not appear.
+        assert!(!dot.contains("\"M_1\""));
+        assert!(dot.contains("\"M_0\""));
+        // 6 distinct links are used (2 host up, 1 up, 1 down, 2... ) count:
+        // s00->I0, s01->I0, I0->M0, M0->O2, O2->t20 = 5 links.
+        assert_eq!(dot.matches(" -> ").count(), 5);
+    }
+
+    #[test]
+    fn braces_balance() {
+        let clos = ClosNetwork::standard(2);
+        let dot = network_dot(clos.network());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,41 @@
+//! Exact rational arithmetic and the [`Scalar`] abstraction for the
+//! clos-routing workspace.
+//!
+//! The impossibility results of Ferreira et al. (PODC '24) hinge on
+//! *lexicographic* comparisons of sorted max-min fair rate vectors. Rates in
+//! these allocations are rationals with small numerators and denominators
+//! (fill levels of a water-filling process over unit-capacity links), and two
+//! distinct rates can be arbitrarily close, so floating-point comparison is
+//! unsound for deciding optimality. This crate provides:
+//!
+//! * [`Rational`] — an exact, always-normalized rational number over `i128`
+//!   with overflow-checked arithmetic, used by every exact algorithm in the
+//!   workspace;
+//! * [`TotalF64`] — a totally ordered, NaN-free `f64` newtype, used by the
+//!   large-scale simulator where exactness is not required;
+//! * [`Scalar`] — the small numeric trait both implement, so the
+//!   water-filling allocator in `clos-fairness` is written once and runs in
+//!   either mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use clos_rational::Rational;
+//!
+//! let third = Rational::new(1, 3);
+//! let half = Rational::new(1, 2);
+//! assert!(third < half);
+//! assert_eq!(third + third + third, Rational::ONE);
+//! assert_eq!((half / third).to_string(), "3/2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rational;
+mod scalar;
+mod total_f64;
+
+pub use crate::rational::{ParseRationalError, Rational};
+pub use crate::scalar::Scalar;
+pub use crate::total_f64::TotalF64;

@@ -1,0 +1,184 @@
+//! The numeric abstraction shared by the exact and fast algorithm paths.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::{Rational, TotalF64};
+
+/// A totally ordered field element used as a link capacity or flow rate.
+///
+/// The water-filling allocator, feasibility checks, and throughput sums in
+/// `clos-fairness` are generic over `Scalar` so the same code runs in two
+/// modes:
+///
+/// * **Exact** ([`Rational`]) — lexicographic optimality over routings is
+///   decided exactly; used by everything that verifies a theorem.
+/// * **Fast** ([`TotalF64`]) — large stochastic simulations where exactness
+///   is unnecessary and `i128` reduction costs would dominate.
+///
+/// This trait is deliberately minimal: implementations must behave as an
+/// ordered field on the values the allocator produces (non-negative rates
+/// bounded by capacities). It is sealed in spirit — downstream crates are
+/// not expected to implement it, but it is left open so tests can instrument
+/// the allocator with counting wrappers.
+///
+/// # Examples
+///
+/// ```
+/// use clos_rational::{Rational, Scalar, TotalF64};
+///
+/// fn half<S: Scalar>(x: S) -> S {
+///     x / S::from_ratio(2, 1)
+/// }
+///
+/// assert_eq!(half(Rational::ONE), Rational::new(1, 2));
+/// assert_eq!(half(TotalF64::new(1.0)).get(), 0.5);
+/// ```
+pub trait Scalar:
+    Copy
+    + Ord
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Constructs the value `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    fn from_ratio(num: u64, den: u64) -> Self;
+
+    /// Converts an exact rational (e.g. a configured link capacity) into
+    /// this scalar type, rounding if necessary.
+    fn from_rational(value: Rational) -> Self;
+
+    /// Converts to `f64` for reporting. Lossy for exact types.
+    fn to_f64(self) -> f64;
+
+    /// Returns `true` if the value is zero.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+
+    /// Constructs the integer value `n`.
+    fn from_usize(n: usize) -> Self {
+        Self::from_ratio(n as u64, 1)
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Rational {
+        Rational::ZERO
+    }
+
+    fn one() -> Rational {
+        Rational::ONE
+    }
+
+    fn from_ratio(num: u64, den: u64) -> Rational {
+        Rational::new(num as i128, den as i128)
+    }
+
+    fn from_rational(value: Rational) -> Rational {
+        value
+    }
+
+    fn to_f64(self) -> f64 {
+        Rational::to_f64(self)
+    }
+
+    fn is_zero(self) -> bool {
+        Rational::is_zero(self)
+    }
+}
+
+impl Scalar for TotalF64 {
+    fn zero() -> TotalF64 {
+        TotalF64::ZERO
+    }
+
+    fn one() -> TotalF64 {
+        TotalF64::ONE
+    }
+
+    fn from_ratio(num: u64, den: u64) -> TotalF64 {
+        assert!(den != 0, "zero denominator");
+        TotalF64::new(num as f64 / den as f64)
+    }
+
+    fn from_rational(value: Rational) -> TotalF64 {
+        TotalF64::new(value.to_f64())
+    }
+
+    fn to_f64(self) -> f64 {
+        self.get()
+    }
+
+    fn is_zero(self) -> bool {
+        TotalF64::is_zero(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of_halves<S: Scalar>(count: usize) -> S {
+        let mut acc = S::zero();
+        let half = S::from_ratio(1, 2);
+        for _ in 0..count {
+            acc += half;
+        }
+        acc
+    }
+
+    #[test]
+    fn generic_code_runs_in_both_modes() {
+        assert_eq!(sum_of_halves::<Rational>(4), Rational::TWO);
+        assert_eq!(sum_of_halves::<TotalF64>(4).get(), 2.0);
+    }
+
+    #[test]
+    fn from_ratio_matches_division() {
+        assert_eq!(Rational::from_ratio(3, 6), Rational::new(1, 2));
+        assert_eq!(TotalF64::from_ratio(3, 6).get(), 0.5);
+    }
+
+    #[test]
+    fn from_usize_and_is_zero() {
+        assert_eq!(Rational::from_usize(7), Rational::from_integer(7));
+        assert_eq!(TotalF64::from_usize(7).get(), 7.0);
+        assert!(Scalar::is_zero(Rational::ZERO));
+        assert!(Scalar::is_zero(TotalF64::ZERO));
+        assert!(!Scalar::is_zero(Rational::ONE));
+    }
+
+    #[test]
+    fn from_rational_bridges_modes() {
+        let r = Rational::new(2, 5);
+        assert_eq!(<Rational as Scalar>::from_rational(r), r);
+        assert!((<TotalF64 as Scalar>::from_rational(r).get() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn total_f64_from_ratio_zero_den_panics() {
+        let _ = TotalF64::from_ratio(1, 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! A totally ordered, NaN-free `f64` newtype.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::Rational;
+
+/// A finite `f64` with a total order, for the fast (inexact) algorithm path.
+///
+/// The large-scale simulator in `clos-sim` runs the same water-filling
+/// allocator as the exact path but over floating point, where speed matters
+/// and the tolerance for rounding is explicit. `f64` itself is not [`Ord`]
+/// because of NaN; `TotalF64` statically rules NaN out at construction so the
+/// generic allocator can sort and compare rates without panicking branches.
+///
+/// # Examples
+///
+/// ```
+/// use clos_rational::TotalF64;
+///
+/// let a = TotalF64::new(0.25);
+/// let b = TotalF64::new(0.5);
+/// assert!(a < b);
+/// assert_eq!((a + a).get(), 0.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TotalF64(f64);
+
+impl TotalF64 {
+    /// The value zero.
+    pub const ZERO: TotalF64 = TotalF64(0.0);
+    /// The value one.
+    pub const ONE: TotalF64 = TotalF64(1.0);
+
+    /// Wraps a finite `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN. Infinities are allowed (they model
+    /// infinite-capacity macro-switch links).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clos_rational::TotalF64;
+    ///
+    /// let x = TotalF64::new(1.5);
+    /// assert_eq!(x.get(), 1.5);
+    /// ```
+    #[must_use]
+    pub fn new(value: f64) -> TotalF64 {
+        assert!(!value.is_nan(), "TotalF64 cannot hold NaN");
+        TotalF64(value)
+    }
+
+    /// Returns the wrapped `f64`.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: TotalF64) -> TotalF64 {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: TotalF64) -> TotalF64 {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the absolute value.
+    #[must_use]
+    pub fn abs(self) -> TotalF64 {
+        TotalF64(self.0.abs())
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &TotalF64) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &TotalF64) -> Ordering {
+        // Safe: NaN is excluded at construction.
+        self.0.partial_cmp(&other.0).expect("TotalF64 holds no NaN")
+    }
+}
+
+impl std::hash::Hash for TotalF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 to 0.0 so Hash agrees with PartialEq.
+        let bits = if self.0 == 0.0 {
+            0u64
+        } else {
+            self.0.to_bits()
+        };
+        bits.hash(state);
+    }
+}
+
+impl fmt::Debug for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl FromStr for TotalF64 {
+    type Err = std::num::ParseFloatError;
+
+    fn from_str(s: &str) -> Result<TotalF64, Self::Err> {
+        let v: f64 = s.parse()?;
+        Ok(TotalF64::new(v))
+    }
+}
+
+impl From<f64> for TotalF64 {
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    fn from(value: f64) -> TotalF64 {
+        TotalF64::new(value)
+    }
+}
+
+impl From<Rational> for TotalF64 {
+    fn from(value: Rational) -> TotalF64 {
+        TotalF64::new(value.to_f64())
+    }
+}
+
+impl From<TotalF64> for f64 {
+    fn from(value: TotalF64) -> f64 {
+        value.0
+    }
+}
+
+impl Add for TotalF64 {
+    type Output = TotalF64;
+
+    fn add(self, rhs: TotalF64) -> TotalF64 {
+        TotalF64::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TotalF64 {
+    type Output = TotalF64;
+
+    fn sub(self, rhs: TotalF64) -> TotalF64 {
+        TotalF64::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul for TotalF64 {
+    type Output = TotalF64;
+
+    fn mul(self, rhs: TotalF64) -> TotalF64 {
+        TotalF64::new(self.0 * rhs.0)
+    }
+}
+
+impl Div for TotalF64 {
+    type Output = TotalF64;
+
+    fn div(self, rhs: TotalF64) -> TotalF64 {
+        TotalF64::new(self.0 / rhs.0)
+    }
+}
+
+impl Neg for TotalF64 {
+    type Output = TotalF64;
+
+    fn neg(self) -> TotalF64 {
+        TotalF64(-self.0)
+    }
+}
+
+impl AddAssign for TotalF64 {
+    fn add_assign(&mut self, rhs: TotalF64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for TotalF64 {
+    fn sub_assign(&mut self, rhs: TotalF64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for TotalF64 {
+    fn mul_assign(&mut self, rhs: TotalF64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for TotalF64 {
+    fn div_assign(&mut self, rhs: TotalF64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for TotalF64 {
+    fn sum<I: Iterator<Item = TotalF64>>(iter: I) -> TotalF64 {
+        iter.fold(TotalF64::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a TotalF64> for TotalF64 {
+    fn sum<I: Iterator<Item = &'a TotalF64>>(iter: I) -> TotalF64 {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let x = TotalF64::new(2.5);
+        assert_eq!(x.get(), 2.5);
+        assert_eq!(f64::from(x), 2.5);
+        assert_eq!(TotalF64::from(0.5).get(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold NaN")]
+    fn nan_rejected() {
+        let _ = TotalF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn infinity_allowed_and_sorts_last() {
+        let inf = TotalF64::new(f64::INFINITY);
+        assert!(inf > TotalF64::new(1e300));
+    }
+
+    #[test]
+    fn total_order_sorts() {
+        let mut v = vec![
+            TotalF64::new(0.5),
+            TotalF64::new(-1.0),
+            TotalF64::ZERO,
+            TotalF64::ONE,
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                TotalF64::new(-1.0),
+                TotalF64::ZERO,
+                TotalF64::new(0.5),
+                TotalF64::ONE,
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TotalF64::new(0.25);
+        let b = TotalF64::new(0.5);
+        assert_eq!((a + b).get(), 0.75);
+        assert_eq!((b - a).get(), 0.25);
+        assert_eq!((a * b).get(), 0.125);
+        assert_eq!((b / a).get(), 2.0);
+        assert_eq!((-a).get(), -0.25);
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = TotalF64::new(1.0);
+        x += TotalF64::new(1.0);
+        x *= TotalF64::new(3.0);
+        x -= TotalF64::new(2.0);
+        x /= TotalF64::new(4.0);
+        assert_eq!(x.get(), 1.0);
+    }
+
+    #[test]
+    fn from_rational_is_close() {
+        let x = TotalF64::from(Rational::new(1, 3));
+        assert!((x.get() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_zero() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: TotalF64| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(TotalF64::new(0.0), TotalF64::new(-0.0));
+        assert_eq!(h(TotalF64::new(0.0)), h(TotalF64::new(-0.0)));
+    }
+
+    #[test]
+    fn parse() {
+        let x: TotalF64 = "0.75".parse().unwrap();
+        assert_eq!(x.get(), 0.75);
+        assert!("zzz".parse::<TotalF64>().is_err());
+    }
+
+    #[test]
+    fn sum_folds() {
+        let v = [TotalF64::new(0.5); 4];
+        let s: TotalF64 = v.iter().sum();
+        assert_eq!(s.get(), 2.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Smoke tests for the experiment harness: every experiment runs at small
+//! parameters and reports the qualitative shape the paper predicts.
+
+use clos_bench::experiments::{
+    e10_oversubscription, e1_example_2_3, e2_price_of_fairness, e3_replication, e4_starvation,
+    e5_doom_switch, e6_rate_study, e7_fct, e8_exactness, e9_relative_fairness,
+};
+use clos_rational::Rational;
+
+#[test]
+fn e1_runs_and_orders_scenarios() {
+    let rows = e1_example_2_3::run();
+    assert_eq!(rows.len(), 5);
+    // Macro-switch throughput 10/3; all scenarios render.
+    assert_eq!(rows[0].throughput, Rational::new(10, 3));
+    assert!(!e1_example_2_3::render(&rows).is_empty());
+}
+
+#[test]
+fn e2_ratio_decreases_in_k() {
+    let rows = e2_price_of_fairness::run(&[1], &[1, 8, 64]);
+    assert!(rows.windows(2).all(|w| w[0].ratio > w[1].ratio));
+    assert!(rows.iter().all(|r| r.bound_holds));
+    assert!(rows.iter().all(|r| r.ratio == r.predicted));
+}
+
+#[test]
+fn e3_full_infeasible_control_feasible() {
+    let rows = e3_replication::run(&[3], 3);
+    let full = rows.iter().find(|r| r.variant.starts_with("full")).unwrap();
+    let control = rows
+        .iter()
+        .find(|r| r.variant.starts_with("control"))
+        .unwrap();
+    assert_eq!(full.exact, Some(false));
+    assert_eq!(control.exact, Some(true));
+}
+
+#[test]
+fn e4_starvation_factor_is_inverse_n() {
+    let rows = e4_starvation::run(&[3], 5);
+    assert_eq!(rows[0].starvation, Rational::new(1, 3));
+    assert!(rows[0].certificate_max_min);
+    assert!(rows[0].dominates_alternatives);
+}
+
+#[test]
+fn e5_gain_bounded_by_two() {
+    let rows = e5_doom_switch::run(&[(7, 1), (9, 8)]);
+    for r in &rows {
+        assert!(r.lower_holds && r.upper_holds);
+        assert!(r.gain <= Rational::TWO);
+        assert!(r.gain > Rational::ONE);
+    }
+}
+
+#[test]
+fn e6_small_run_produces_all_cells() {
+    let rows = e6_rate_study::run(2, 1);
+    assert_eq!(rows.len(), 5 * e6_rate_study::ROUTER_COUNT);
+    for r in &rows {
+        assert!(r.summary.min > 0.0);
+        assert!(
+            r.summary.max <= 2.0 + 1e-9,
+            "{}: {:?}",
+            r.workload,
+            r.summary
+        );
+    }
+}
+
+#[test]
+fn e7_low_load_is_near_ideal() {
+    let rows = e7_fct::run(2, &[0.1], 80, 2);
+    for r in &rows {
+        assert_eq!(r.stats.completed, 80);
+        assert!(r.stats.mean_slowdown < 1.5, "{:?}", r.stats);
+    }
+}
+
+#[test]
+fn e8_checks_pass() {
+    let rows = e8_exactness::run(&[0, 1], 6);
+    assert!(rows.iter().all(|r| r.all_checks_pass));
+}
+
+#[test]
+fn e9_relative_objective_diverges_from_lex() {
+    let rows = e9_relative_fairness::run(&[7], 6);
+    let ex = rows.iter().find(|r| r.instance == "example 2.3").unwrap();
+    assert_eq!(ex.lex_min_ratio, Rational::new(2, 3));
+    assert_eq!(ex.relative_min_ratio, Rational::new(3, 4));
+    let adv = rows.iter().find(|r| r.instance.starts_with("thm")).unwrap();
+    assert_eq!(adv.lex_min_ratio, Rational::new(1, 3));
+}
+
+#[test]
+fn e10_feasibility_improves_with_middles() {
+    let rows = e10_oversubscription::run(2, 2, 6);
+    assert_eq!(rows.first().unwrap().middles, 2);
+    assert_eq!(rows.last().unwrap().middles, 3);
+    assert!(rows.last().unwrap().exact_feasible >= rows.first().unwrap().exact_feasible);
+}

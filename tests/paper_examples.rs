@@ -1,0 +1,228 @@
+//! End-to-end reproduction of every worked example and theorem instance in
+//! the paper, spanning all workspace crates.
+
+use clos_core::constructions::{
+    example_2_3, theorem_3_4, theorem_4_2, theorem_4_3, theorem_5_4, FlowType,
+};
+use clos_core::doom_switch::doom_switch;
+use clos_core::macro_switch::{macro_max_min, max_throughput, price_of_fairness};
+use clos_core::objectives::{lex_max_min, throughput_max_min};
+use clos_core::replication::find_feasible_routing;
+use clos_fairness::verify_bottleneck_property;
+use clos_net::FlowId;
+use clos_rational::Rational;
+
+fn r(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+/// Figure 1 / Example 2.3, the paper's running example, end to end.
+#[test]
+fn example_2_3_end_to_end() {
+    let ex = example_2_3();
+    // Macro-switch sorted vector [1/3 x3, 2/3 x2, 1].
+    let ms = ex.instance.macro_allocation();
+    assert_eq!(
+        ms.sorted().rates(),
+        &[r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), Rational::ONE]
+    );
+    // The two routings discussed in §2.2 and their ordering.
+    let r1 = ex.routing_1();
+    let r2 = ex.routing_2();
+    assert!(ms.sorted() > r1.allocation.sorted());
+    assert!(r1.allocation.sorted() > r2.allocation.sorted());
+    // The exhaustive lex optimum equals routing 1's allocation vector, so
+    // even the fairest routing cannot replicate the macro-switch.
+    let lex = lex_max_min(&ex.instance.clos, &ex.instance.flows);
+    assert_eq!(lex.allocation.sorted(), r1.allocation.sorted());
+    assert!(ms.sorted() > lex.allocation.sorted());
+}
+
+/// Figure 2 / Example 3.3: the price-of-fairness gadget at k = 1.
+#[test]
+fn example_3_3_price_of_fairness() {
+    let t = theorem_3_4(1, 1);
+    let pof = price_of_fairness(&t.ms, &t.flows);
+    assert_eq!(pof.t_max_min, r(3, 2));
+    assert_eq!(pof.t_max_throughput, Rational::TWO);
+    assert_eq!(pof.ratio(), Some(r(3, 4)));
+}
+
+/// Theorem 3.4: `T^MmF >= T^MT/2` always; the gadget family approaches the
+/// bound as k grows.
+#[test]
+fn theorem_3_4_bound_and_tightness() {
+    for k in [1usize, 3, 10, 100, 1000] {
+        let t = theorem_3_4(2, k);
+        let pof = price_of_fairness(&t.ms, &t.flows);
+        let ratio = pof.ratio().unwrap();
+        assert!(ratio >= r(1, 2), "k={k}");
+        // Exact predicted value (1 + 1/(k+1))/2.
+        assert_eq!(
+            ratio,
+            (Rational::ONE + r(1, (k + 1) as i128)) / Rational::TWO
+        );
+    }
+    // k = 1000: within 0.1% of 1/2.
+    let t = theorem_3_4(1, 1000);
+    let ratio = price_of_fairness(&t.ms, &t.flows).ratio().unwrap();
+    assert!(ratio < r(501, 1000));
+}
+
+/// Example 4.1 / Theorem 4.2: the adversarial macro-switch rates cannot be
+/// routed in C_3, and the max-min fair macro-switch allocation strictly
+/// dominates the lex-max-min fair allocation.
+#[test]
+fn theorem_4_2_infeasibility() {
+    let t = theorem_4_2(3);
+    let macro_alloc = t.instance.macro_allocation();
+    // Expected rates per Example 4.1.
+    for (i, ty) in t.types().iter().enumerate() {
+        let expected = match ty {
+            FlowType::Type1 | FlowType::Type3 => Rational::ONE,
+            FlowType::Type2a | FlowType::Type2b => r(1, 3),
+        };
+        assert_eq!(macro_alloc.rate(FlowId::from(i)), expected);
+    }
+    // No feasible routing at these rates (exact search).
+    assert!(
+        find_feasible_routing(&t.instance.clos, &t.instance.flows, macro_alloc.rates()).is_none()
+    );
+}
+
+/// Theorem 4.3: the lex-max-min fair allocation starves the type-3 flow by
+/// exactly 1/n, for several n.
+#[test]
+fn theorem_4_3_starvation_factor() {
+    for n in [3usize, 4, 6] {
+        let t = theorem_4_3(n);
+        let macro_alloc = t.instance.macro_allocation();
+        assert_eq!(macro_alloc.rate(t.type3_flow()), Rational::ONE);
+        let cert = t.certificate();
+        // Lemma 4.6 rates hold and the allocation is genuinely max-min
+        // fair for its routing.
+        assert_eq!(cert.allocation.rate(t.type3_flow()), r(1, n as i128));
+        assert!(verify_bottleneck_property(
+            t.instance.clos.network(),
+            &t.instance.flows,
+            &cert.routing,
+            &cert.allocation,
+            Rational::ZERO
+        )
+        .is_ok());
+        for (i, ty) in t.types().iter().enumerate() {
+            assert_eq!(
+                cert.allocation.rate(FlowId::from(i)),
+                t.expected_lex_rate(*ty)
+            );
+        }
+    }
+}
+
+/// Example 5.3 / Theorem 5.4: Doom-Switch realizes the 2x gain family.
+#[test]
+fn theorem_5_4_doom_switch_gain() {
+    // Example 5.3 exactly.
+    let t = theorem_5_4(7, 1);
+    let doomed = doom_switch(&t.instance.clos, &t.instance.ms, &t.instance.flows);
+    assert_eq!(doomed.throughput(), Rational::from_integer(5));
+    assert_eq!(t.instance.macro_allocation().throughput(), r(9, 2));
+
+    // Bound family: T doom in [n-2, 2 * T^MmF].
+    for (n, k) in [(5usize, 8usize), (9, 8), (13, 64)] {
+        let t = theorem_5_4(n, k);
+        let doomed = doom_switch(&t.instance.clos, &t.instance.ms, &t.instance.flows);
+        let t_ms = t.instance.macro_allocation().throughput();
+        assert!(doomed.throughput() >= Rational::from_integer((n - 2) as i128));
+        assert!(doomed.throughput() <= Rational::TWO * t_ms);
+    }
+}
+
+/// The throughput-max-min optimum exceeds the macro-switch max-min
+/// throughput — R3's "incongruence". Doom-Switch is a constructive
+/// witness: `T^T-MmF >= T(doom) > T^MmF(MS)` on the n = 5 instance.
+///
+/// (n = 5, k = 3 is the smallest gadget family where concentrating the
+/// parasitic flows beats the macro-switch: the doomed uplink level
+/// `2/((n-1)k) = 1/6` undercuts the host-link share `1/(k+1) = 1/4`.)
+#[test]
+fn routing_beats_macro_switch_throughput() {
+    let t = theorem_5_4(5, 3);
+    let t_ms = t.instance.macro_allocation().throughput();
+    assert_eq!(t_ms, r(5, 2));
+    let doomed = doom_switch(&t.instance.clos, &t.instance.ms, &t.instance.flows);
+    // Type-1 flows rise to 1/2 each, doomed type-2 flows fall to 1/6.
+    assert_eq!(doomed.throughput(), Rational::from_integer(3));
+    assert!(
+        doomed.throughput() > t_ms,
+        "T(doom) {} should beat T^MmF(MS) {}",
+        doomed.throughput(),
+        t_ms
+    );
+}
+
+/// The exhaustive throughput-max-min optimum dominates Doom-Switch on a
+/// genuinely searchable instance (one gadget of the Theorem 5.4 family).
+#[test]
+fn exhaustive_throughput_dominates_doom_on_small_instance() {
+    let t = theorem_5_4(3, 2);
+    let best = throughput_max_min(&t.instance.clos, &t.instance.flows);
+    let doomed = doom_switch(&t.instance.clos, &t.instance.ms, &t.instance.flows);
+    assert!(doomed.throughput() <= best.throughput());
+    // Theorem 5.4 upper bound holds for the exact optimum too.
+    let t_ms = t.instance.macro_allocation().throughput();
+    assert!(best.throughput() <= Rational::TWO * t_ms);
+}
+
+/// Lemma 3.2 and Lemma 5.2 together: matching throughput, computed in the
+/// macro-switch, is realized link-disjointly inside the Clos network.
+#[test]
+fn max_throughput_replication() {
+    use clos_core::doom_switch::link_disjoint_max_throughput;
+    use clos_fairness::is_feasible;
+    let ex = example_2_3();
+    let mt_ms = max_throughput(&ex.instance.ms, &ex.instance.ms_flows);
+    let mt_clos =
+        link_disjoint_max_throughput(&ex.instance.clos, &ex.instance.ms, &ex.instance.flows);
+    assert_eq!(mt_ms.throughput(), mt_clos.throughput());
+    assert!(is_feasible(
+        ex.instance.clos.network(),
+        &ex.instance.flows,
+        &mt_clos.routing,
+        &mt_clos.allocation
+    )
+    .is_ok());
+}
+
+/// Lemma 4.4 numbers for the record (macro-switch rates of the Theorem 4.3
+/// collection).
+#[test]
+fn lemma_4_4_rates() {
+    let n = 4;
+    let t = theorem_4_3(n);
+    let a = t.instance.macro_allocation();
+    let type1 = t.flows_of_type(FlowType::Type1);
+    let type2a = t.flows_of_type(FlowType::Type2a);
+    let type2b = t.flows_of_type(FlowType::Type2b);
+    assert_eq!(type1.len(), n * (n - 1) * (n + 1));
+    assert_eq!(type2a.len(), n);
+    assert_eq!(type2b.len(), n * (n - 1));
+    for f in type1 {
+        assert_eq!(a.rate(f), r(1, (n + 1) as i128));
+    }
+    for f in type2a.into_iter().chain(type2b) {
+        assert_eq!(a.rate(f), r(1, n as i128));
+    }
+    assert_eq!(a.rate(t.type3_flow()), Rational::ONE);
+    // Macro-switch MmF allocation is itself max-min fair (sanity through
+    // the independent verifier).
+    let routing = t.instance.ms.routing(&t.instance.ms_flows);
+    assert!(verify_bottleneck_property(
+        t.instance.ms.network(),
+        &t.instance.ms_flows,
+        &routing,
+        &macro_max_min(&t.instance.ms, &t.instance.ms_flows),
+        Rational::ZERO
+    )
+    .is_ok());
+}

@@ -1,0 +1,135 @@
+//! Property-based verification of the paper's bounds on random inputs,
+//! spanning all crates: the theorems claim universal bounds ("for every
+//! collection of flows"), so random collections must satisfy them.
+
+use clos_core::doom_switch::doom_switch;
+use clos_core::macro_switch::{macro_max_min, max_throughput};
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_core::routers::{route_and_allocate, EcmpRouter, GreedyRouter, LocalSearchRouter};
+use clos_net::{ClosNetwork, Flow, MacroSwitch};
+use clos_rational::Rational;
+use proptest::prelude::*;
+
+/// Random flow coordinates on C_2.
+fn flows_c2(max: usize) -> impl Strategy<Value = Vec<(usize, usize, usize, usize)>> {
+    prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 1..=max)
+}
+
+fn materialize(clos: &ClosNetwork, coords: &[(usize, usize, usize, usize)]) -> Vec<Flow> {
+    coords
+        .iter()
+        .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 3.4 lower bound: T^MmF >= T^MT / 2 for EVERY collection in
+    /// a macro-switch.
+    #[test]
+    fn price_of_fairness_at_least_half(coords in flows_c2(14)) {
+        let ms = MacroSwitch::standard(2);
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| Flow::new(ms.source(si, sj), ms.destination(ti, tj)))
+            .collect();
+        let t_mmf = macro_max_min(&ms, &flows).throughput();
+        let t_mt = max_throughput(&ms, &flows).throughput();
+        prop_assert!(t_mmf * Rational::TWO >= t_mt);
+        prop_assert!(t_mmf <= t_mt);
+    }
+
+    /// §2.3: the macro-switch max-min allocation lexicographically
+    /// dominates the lex-max-min fair allocation (exhaustive), which in
+    /// turn dominates every heuristic routing's allocation.
+    #[test]
+    fn lex_dominance_chain(coords in flows_c2(8)) {
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows = materialize(&clos, &coords);
+        let ms_flows = ms.translate_flows(&clos, &flows);
+
+        let ms_sorted = macro_max_min(&ms, &ms_flows).sorted();
+        let (lex, _) = search_lex_max_min(&clos, &flows);
+        let lex_sorted = lex.allocation.sorted();
+        prop_assert!(ms_sorted >= lex_sorted);
+
+        for heuristic in [
+            route_and_allocate(&mut EcmpRouter::new(coords.len() as u64), &clos, &ms, &flows),
+            route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows),
+            route_and_allocate(&mut LocalSearchRouter::default(), &clos, &ms, &flows),
+            doom_switch(&clos, &ms, &flows),
+        ] {
+            prop_assert!(lex_sorted >= heuristic.allocation.sorted());
+        }
+    }
+
+    /// Theorem 5.4 upper bound: T^T-MmF <= 2 T^MmF(MS), with the exact
+    /// T^T-MmF computed exhaustively; Doom-Switch approximates from below;
+    /// and T^T-MmF <= T^MT (Lemma 5.2 chain).
+    #[test]
+    fn throughput_chain(coords in flows_c2(8)) {
+        let clos = ClosNetwork::standard(2);
+        let ms = MacroSwitch::standard(2);
+        let flows = materialize(&clos, &coords);
+        let ms_flows = ms.translate_flows(&clos, &flows);
+
+        let t_ms = macro_max_min(&ms, &ms_flows).throughput();
+        let t_mt = max_throughput(&ms, &ms_flows).throughput();
+        let (best, _) = search_throughput_max_min(&clos, &flows);
+        let doomed = doom_switch(&clos, &ms, &flows);
+
+        prop_assert!(best.throughput() <= Rational::TWO * t_ms);
+        prop_assert!(doomed.throughput() <= best.throughput());
+        prop_assert!(best.throughput() <= t_mt);
+        // The lex optimum never has higher throughput than the throughput
+        // optimum (they optimize different objectives over the same set).
+        let (lex, _) = search_lex_max_min(&clos, &flows);
+        prop_assert!(lex.throughput() <= best.throughput());
+    }
+
+    /// The exhaustive optima are themselves max-min fair allocations for
+    /// their routings (bottleneck property, Lemma 2.2).
+    #[test]
+    fn optima_satisfy_bottleneck_property(coords in flows_c2(8)) {
+        let clos = ClosNetwork::standard(2);
+        let flows = materialize(&clos, &coords);
+        for routed in [
+            search_lex_max_min(&clos, &flows).0,
+            search_throughput_max_min(&clos, &flows).0,
+        ] {
+            prop_assert!(clos_fairness::verify_bottleneck_property(
+                clos.network(),
+                &flows,
+                &routed.routing,
+                &routed.allocation,
+                Rational::ZERO
+            ).is_ok());
+        }
+    }
+
+    /// Exact and floating-point allocators agree to numerical precision on
+    /// every random routed collection.
+    #[test]
+    fn exact_and_fast_allocators_agree(
+        coords in flows_c2(12),
+        middles in prop::collection::vec(0..2usize, 12),
+    ) {
+        let clos = ClosNetwork::standard(2);
+        let flows = materialize(&clos, &coords);
+        let routing: clos_net::Routing = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| clos.path_via(f, middles[i % middles.len()]))
+            .collect();
+        let exact = clos_fairness::max_min_fair::<Rational>(clos.network(), &flows, &routing)
+            .unwrap();
+        let fast = clos_fairness::max_min_fair::<clos_rational::TotalF64>(
+            clos.network(), &flows, &routing,
+        ).unwrap();
+        for (e, f) in exact.rates().iter().zip(fast.rates()) {
+            prop_assert!((e.to_f64() - f.get()).abs() < 1e-9);
+        }
+    }
+}
