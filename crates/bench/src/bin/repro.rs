@@ -1,28 +1,44 @@
 //! Regenerates every experiment table of the reproduction.
 //!
 //! ```text
-//! repro [--experiment e1|e2|...|e8|all] [--quick]
+//! repro [--experiment e1|e2|...|e12|all] [--quick] [--json <path>] [--telemetry]
 //! ```
 //!
 //! `--quick` shrinks sweep sizes so the full run finishes in seconds
 //! (useful in CI); the default parameters match `EXPERIMENTS.md`.
+//!
+//! `--json <path>` writes one JSON-Lines record per experiment (id,
+//! parameters, wall time, telemetry counter deltas, key results, and
+//! bound-check verdicts; see `clos-telemetry` for the schema). `--telemetry`
+//! additionally prints each experiment's counter deltas to stdout. Either
+//! flag enables the global telemetry registry for the run.
+//!
+//! The process exits nonzero if any experiment's audit detects a bound
+//! violation (e.g. `T > T^MT` or `T^MT > 2·T^MmF_MS`).
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use clos_bench::experiments::{
     e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e1_example_2_3,
     e2_price_of_fairness, e3_replication, e4_starvation, e5_doom_switch, e6_rate_study, e7_fct,
     e8_exactness, e9_relative_fairness,
 };
+use clos_telemetry::{ExperimentRecord, JsonLinesWriter, Snapshot};
 
 struct Options {
     experiment: String,
     quick: bool,
+    json: Option<std::path::PathBuf>,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut experiment = "all".to_string();
     let mut quick = false;
+    let mut json = None;
+    let mut telemetry = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,84 +48,96 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--experiment needs a value".to_string())?;
             }
             "--quick" | "-q" => quick = true,
-            "--help" | "-h" => {
-                return Err("usage: repro [--experiment e1..e12|all] [--quick]".to_string())
+            "--json" | "-j" => {
+                json = Some(std::path::PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--json needs a path".to_string())?,
+                ));
             }
+            "--telemetry" | "-t" => telemetry = true,
+            "--help" | "-h" => return Err(
+                "usage: repro [--experiment e1..e12|all] [--quick] [--json <path>] [--telemetry]"
+                    .to_string(),
+            ),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok(Options { experiment, quick })
+    Ok(Options {
+        experiment,
+        quick,
+        json,
+        telemetry,
+    })
 }
 
 fn heading(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
-fn run_e1() {
-    heading(
-        "E1",
-        "Figure 1 / Example 2.3 — allocations depend on routing",
-    );
-    println!("{}", e1_example_2_3::render(&e1_example_2_3::run()));
+fn apply_verdicts(rec: &mut ExperimentRecord, verdicts: Vec<(String, bool)>) {
+    for (check, pass) in verdicts {
+        rec.audit(&check, pass);
+    }
 }
 
-fn run_e2(quick: bool) {
-    heading(
-        "E2",
-        "Figure 2 / Theorem 3.4 — price of fairness in a macro-switch",
-    );
+fn run_e1(_quick: bool, rec: &mut ExperimentRecord) {
+    let rows = e1_example_2_3::run();
+    println!("{}", e1_example_2_3::render(&rows));
+    rec.param("scenarios", rows.len());
+    rec.result("lex_sorted_min", rows[3].sorted[0]);
+    rec.result("throughput_optimum", rows[4].throughput);
+    apply_verdicts(rec, e1_example_2_3::verdicts(&rows));
+}
+
+fn run_e2(quick: bool, rec: &mut ExperimentRecord) {
     let ks: Vec<usize> = if quick {
         vec![1, 4, 16]
     } else {
         vec![1, 2, 4, 8, 16, 64, 256, 1024]
     };
     let ns = if quick { vec![1] } else { vec![1, 2, 4] };
-    println!(
-        "{}",
-        e2_price_of_fairness::render(&e2_price_of_fairness::run(&ns, &ks))
-    );
+    rec.param("ns", format!("{ns:?}"));
+    rec.param("ks", format!("{ks:?}"));
+    let rows = e2_price_of_fairness::run(&ns, &ks);
+    println!("{}", e2_price_of_fairness::render(&rows));
     println!("Theorem 3.4: ratio >= 1/2 always; tends to 1/2 as k grows.");
+    let min_ratio = rows.iter().map(|r| r.ratio).min().expect("nonempty sweep");
+    rec.result("min_ratio", min_ratio);
+    apply_verdicts(rec, e2_price_of_fairness::verdicts(&rows));
 }
 
-fn run_e3(quick: bool) {
-    heading(
-        "E3",
-        "Figure 3 / Theorem 4.2 — macro-switch rates cannot be replicated",
-    );
+fn run_e3(quick: bool, rec: &mut ExperimentRecord) {
     let ns: Vec<usize> = if quick { vec![3] } else { vec![3, 4, 5, 8, 16] };
     let exact_limit = 3;
-    println!(
-        "{}",
-        e3_replication::render(&e3_replication::run(&ns, exact_limit))
-    );
+    rec.param("ns", format!("{ns:?}"));
+    rec.param("exact_limit", exact_limit);
+    let rows = e3_replication::run(&ns, exact_limit);
+    println!("{}", e3_replication::render(&rows));
     println!("Theorem 4.2: the full collection is infeasible at macro rates");
     println!("(exact search at n = 3, Claim 4.5 arithmetic certificate for all");
     println!("n); dropping the type-3 flow restores feasibility.");
+    rec.result("rows", rows.len());
+    apply_verdicts(rec, e3_replication::verdicts(&rows));
 }
 
-fn run_e4(quick: bool) {
-    heading(
-        "E4",
-        "Theorem 4.3 — lex-max-min fairness starves a flow to 1/n",
-    );
+fn run_e4(quick: bool, rec: &mut ExperimentRecord) {
     let ns: Vec<usize> = if quick {
         vec![3, 4]
     } else {
         vec![3, 4, 5, 6, 8, 12, 16, 24, 32]
     };
     let samples = if quick { 10 } else { 200 };
-    println!(
-        "{}",
-        e4_starvation::render(&e4_starvation::run(&ns, samples))
-    );
+    rec.param("ns", format!("{ns:?}"));
+    rec.param("samples", samples);
+    let rows = e4_starvation::run(&ns, samples);
+    println!("{}", e4_starvation::render(&rows));
     println!("Theorem 4.3: starvation factor exactly 1/n at the lex optimum.");
+    let worst = rows.iter().map(|r| r.starvation).min().expect("nonempty");
+    rec.result("worst_starvation", worst);
+    apply_verdicts(rec, e4_starvation::verdicts(&rows));
 }
 
-fn run_e5(quick: bool) {
-    heading(
-        "E5",
-        "Figure 4 / Theorem 5.4 — Doom-Switch doubles throughput",
-    );
+fn run_e5(quick: bool, rec: &mut ExperimentRecord) {
     let pairs: Vec<(usize, usize)> = if quick {
         vec![(3, 4), (7, 1), (7, 16)]
     } else {
@@ -124,112 +152,210 @@ fn run_e5(quick: bool) {
             (33, 128),
         ]
     };
-    println!("{}", e5_doom_switch::render(&e5_doom_switch::run(&pairs)));
+    rec.param("pairs", format!("{pairs:?}"));
+    let rows = e5_doom_switch::run(&pairs);
+    println!("{}", e5_doom_switch::render(&rows));
     println!("Theorem 5.4: gain <= 2, approaching 2 as n and k grow; the");
     println!("doomed flows' rates approach 0.");
+    let max_gain = rows.iter().map(|r| r.gain).max().expect("nonempty");
+    rec.result("max_gain", max_gain);
+    apply_verdicts(rec, e5_doom_switch::verdicts(&rows));
 }
 
-fn run_e6(quick: bool) {
-    heading("E6", "§6 — stochastic rate study (network rate / MS rate)");
+fn run_e6(quick: bool, rec: &mut ExperimentRecord) {
     let (n, seeds) = if quick { (3, 3) } else { (4, 10) };
-    println!("{}", e6_rate_study::render(&e6_rate_study::run(n, seeds)));
+    rec.param("n", n);
+    rec.param("seeds", seeds);
+    let rows = e6_rate_study::run(n, seeds);
+    println!("{}", e6_rate_study::render(&rows));
     println!("Stochastic inputs track the macro-switch closely; the");
     println!("adversarial instance does not (Theorem 4.3).");
+    rec.result("cells", rows.len());
+    apply_verdicts(rec, e6_rate_study::verdicts(&rows));
 }
 
-fn run_e7(quick: bool) {
-    heading("E7", "§7 (R1) — FCT: congestion control vs scheduling");
+fn run_e7(quick: bool, rec: &mut ExperimentRecord) {
     let loads = [0.4, 0.8, 1.2, 1.6];
     let (flows, n) = if quick { (200, 2) } else { (2000, 3) };
-    println!("{}", e7_fct::render(&e7_fct::run(n, &loads, flows, 1)));
+    rec.param("loads", format!("{loads:?}"));
+    rec.param("flows", flows);
+    rec.param("n", n);
+    let rows = e7_fct::run(n, &loads, flows, 1);
+    println!("{}", e7_fct::render(&rows));
     println!("Scheduling (admission control) lowers mean FCT under heavy");
     println!("load, as §7 suggests.");
+    rec.result("cells", rows.len());
+    apply_verdicts(rec, e7_fct::verdicts(&rows));
 }
 
-fn run_e8(quick: bool) {
-    heading(
-        "E8",
-        "Definitions 2.4/2.5 — exhaustive optima sanity checks",
-    );
+fn run_e8(quick: bool, rec: &mut ExperimentRecord) {
     let seeds: Vec<u64> = if quick {
         (0..4).collect()
     } else {
         (0..16).collect()
     };
     let flows = if quick { 6 } else { 9 };
-    println!(
-        "{}",
-        e8_exactness::render(&e8_exactness::run(&seeds, flows))
-    );
+    rec.param("seeds", seeds.len());
+    rec.param("flows", flows);
+    let rows = e8_exactness::run(&seeds, flows);
+    println!("{}", e8_exactness::render(&rows));
     println!("Every bound chain of the paper holds on random instances.");
+    rec.result(
+        "routings_examined",
+        rows.iter().map(|r| r.routings_examined).sum::<u64>(),
+    );
+    apply_verdicts(rec, e8_exactness::verdicts(&rows));
 }
 
-fn run_e9(quick: bool) {
-    heading(
-        "E9",
-        "§7 (R2) — relative max-min fairness, the open question",
-    );
+fn run_e9(quick: bool, rec: &mut ExperimentRecord) {
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3, 4] };
     let flows = if quick { 6 } else { 8 };
-    println!(
-        "{}",
-        e9_relative_fairness::render(&e9_relative_fairness::run(&seeds, flows))
-    );
+    rec.param("seeds", format!("{seeds:?}"));
+    rec.param("flows", flows);
+    let rows = e9_relative_fairness::run(&seeds, flows);
+    println!("{}", e9_relative_fairness::render(&rows));
     println!("Optimizing ratios directly protects the worst-off flow better");
     println!("than absolute lex-max-min fairness (strictly so on Example 2.3).");
+    rec.result("example_2_3_relative_min_ratio", rows[0].relative_min_ratio);
+    apply_verdicts(rec, e9_relative_fairness::verdicts(&rows));
 }
 
-fn run_e10(quick: bool) {
-    heading(
-        "E10",
-        "ablation — middle switches vs replicability (multirate rearrangeability)",
-    );
+fn run_e10(quick: bool, rec: &mut ExperimentRecord) {
     let trials = if quick { 8 } else { 40 };
-    println!(
-        "{}",
-        e10_oversubscription::render(&e10_oversubscription::run(3, 3, trials))
-    );
+    rec.param("tor_pairs", 3);
+    rec.param("hosts_per_tor", 3);
+    rec.param("trials", trials);
+    let rows = e10_oversubscription::run(3, 3, trials);
+    println!("{}", e10_oversubscription::render(&rows));
     println!("Replicability of macro-switch max-min rates improves with spare");
     println!("middle switches, reaching 100% by m = 2h - 1 on sampled inputs");
     println!("(the Chung-Ross rearrangeability regime).");
+    let last = rows.last().expect("nonempty sweep");
+    rec.result(
+        "final_exact_fraction",
+        format!("{:.3}", last.exact_fraction()),
+    );
+    apply_verdicts(rec, e10_oversubscription::verdicts(&rows));
 }
 
-fn run_e11(quick: bool) {
-    heading(
-        "E11",
-        "LP cross-validation — iterative-LP fairness vs water-filling; splittable = macro",
-    );
+fn run_e11(quick: bool, rec: &mut ExperimentRecord) {
     let seeds: Vec<u64> = if quick {
         (0..2).collect()
     } else {
         (0..6).collect()
     };
     let flows = if quick { 5 } else { 8 };
-    println!(
-        "{}",
-        e11_lp_cross_validation::render(&e11_lp_cross_validation::run(&seeds, flows))
-    );
+    rec.param("seeds", seeds.len());
+    rec.param("flows", flows);
+    let rows = e11_lp_cross_validation::run(&seeds, flows);
+    println!("{}", e11_lp_cross_validation::render(&rows));
     println!("Two independent derivations of max-min fairness agree exactly;");
     println!("splitting flows restores the macro-switch abstraction (§1).");
+    rec.result("instances", rows.len());
+    apply_verdicts(rec, e11_lp_cross_validation::verdicts(&rows));
 }
 
-fn run_e12(quick: bool) {
-    heading(
-        "E12",
-        "ablation — weighted (macro-rate-proportional) congestion control",
-    );
+fn run_e12(quick: bool, rec: &mut ExperimentRecord) {
     let ns: Vec<usize> = if quick {
         vec![3, 4]
     } else {
         vec![3, 4, 6, 8, 12, 16]
     };
-    println!(
-        "{}",
-        e12_weighted_fairness::render(&e12_weighted_fairness::run(&ns))
-    );
+    rec.param("ns", format!("{ns:?}"));
+    let rows = e12_weighted_fairness::run(&ns);
+    println!("{}", e12_weighted_fairness::render(&rows));
     println!("Sharing bottlenecks in proportion to macro-switch rates lifts the");
     println!("Theorem 4.3 victim from 1/n to n/(2n-1) > 1/2 — a constant");
     println!("relative guarantee on this instance.");
+    let last = rows.last().expect("nonempty sweep");
+    rec.result("weighted_rate_max_n", last.weighted_rate);
+    apply_verdicts(rec, e12_weighted_fairness::verdicts(&rows));
+}
+
+type Runner = fn(bool, &mut ExperimentRecord);
+
+const EXPERIMENTS: [(&str, &str, Runner); 12] = [
+    (
+        "e1",
+        "Figure 1 / Example 2.3 — allocations depend on routing",
+        run_e1,
+    ),
+    (
+        "e2",
+        "Figure 2 / Theorem 3.4 — price of fairness in a macro-switch",
+        run_e2,
+    ),
+    (
+        "e3",
+        "Figure 3 / Theorem 4.2 — macro-switch rates cannot be replicated",
+        run_e3,
+    ),
+    (
+        "e4",
+        "Theorem 4.3 — lex-max-min fairness starves a flow to 1/n",
+        run_e4,
+    ),
+    (
+        "e5",
+        "Figure 4 / Theorem 5.4 — Doom-Switch doubles throughput",
+        run_e5,
+    ),
+    (
+        "e6",
+        "§6 — stochastic rate study (network rate / MS rate)",
+        run_e6,
+    ),
+    (
+        "e7",
+        "§7 (R1) — FCT: congestion control vs scheduling",
+        run_e7,
+    ),
+    (
+        "e8",
+        "Definitions 2.4/2.5 — exhaustive optima sanity checks",
+        run_e8,
+    ),
+    (
+        "e9",
+        "§7 (R2) — relative max-min fairness, the open question",
+        run_e9,
+    ),
+    (
+        "e10",
+        "ablation — middle switches vs replicability (multirate rearrangeability)",
+        run_e10,
+    ),
+    (
+        "e11",
+        "LP cross-validation — iterative-LP fairness vs water-filling; splittable = macro",
+        run_e11,
+    ),
+    (
+        "e12",
+        "ablation — weighted (macro-rate-proportional) congestion control",
+        run_e12,
+    ),
+];
+
+/// Runs one experiment with timing and counter attribution, returning its
+/// completed record.
+fn run_instrumented(id: &str, title: &str, runner: Runner, opts: &Options) -> ExperimentRecord {
+    heading(&id.to_uppercase(), title);
+    let mut rec = ExperimentRecord::new(id, title);
+    rec.quick = opts.quick;
+    let before = Snapshot::take();
+    let start = Instant::now();
+    runner(opts.quick, &mut rec);
+    rec.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let deltas = Snapshot::take().delta_since(&before);
+    if opts.telemetry {
+        println!("telemetry ({id}, {:.1} ms):", rec.wall_ms);
+        for (name, value) in &deltas {
+            println!("  {name} = {value}");
+        }
+    }
+    rec.set_counters(deltas);
+    rec
 }
 
 fn main() -> ExitCode {
@@ -240,29 +366,69 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run_one = |id: &str| match id {
-        "e1" => run_e1(),
-        "e2" => run_e2(opts.quick),
-        "e3" => run_e3(opts.quick),
-        "e4" => run_e4(opts.quick),
-        "e5" => run_e5(opts.quick),
-        "e6" => run_e6(opts.quick),
-        "e7" => run_e7(opts.quick),
-        "e8" => run_e8(opts.quick),
-        "e9" => run_e9(opts.quick),
-        "e10" => run_e10(opts.quick),
-        "e11" => run_e11(opts.quick),
-        "e12" => run_e12(opts.quick),
-        other => eprintln!("unknown experiment {other}; use e1..e12 or all"),
-    };
-    if opts.experiment == "all" {
-        for id in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-        ] {
-            run_one(id);
-        }
-    } else {
-        run_one(&opts.experiment);
+    if opts.telemetry || opts.json.is_some() {
+        clos_telemetry::set_enabled(true);
     }
-    ExitCode::SUCCESS
+
+    let selected: Vec<&(&str, &str, Runner)> = if opts.experiment == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let found: Vec<_> = EXPERIMENTS
+            .iter()
+            .filter(|(id, _, _)| *id == opts.experiment)
+            .collect();
+        if found.is_empty() {
+            eprintln!("unknown experiment {}; use e1..e12 or all", opts.experiment);
+            return ExitCode::FAILURE;
+        }
+        found
+    };
+
+    let mut records = Vec::new();
+    for &&(id, title, runner) in &selected {
+        records.push(run_instrumented(id, title, runner, &opts));
+    }
+
+    if let Some(path) = &opts.json {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut sink = JsonLinesWriter::new(std::io::BufWriter::new(file));
+        for rec in &records {
+            if let Err(e) = sink.write_record(rec) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = sink.finish() {
+            eprintln!("cannot flush {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nwrote {} JSON-Lines record(s) to {}",
+            records.len(),
+            path.display()
+        );
+    }
+
+    let failed: Vec<&ExperimentRecord> = records.iter().filter(|r| !r.pass).collect();
+    if failed.is_empty() {
+        println!(
+            "\nall {} experiment(s) passed their bound checks",
+            records.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut err = std::io::stderr().lock();
+        for rec in failed {
+            for verdict in rec.audits.iter().filter(|v| !v.pass) {
+                let _ = writeln!(err, "{}: FAILED bound check {:?}", rec.id, verdict.check);
+            }
+        }
+        ExitCode::FAILURE
+    }
 }

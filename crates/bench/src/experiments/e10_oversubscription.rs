@@ -115,6 +115,29 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: feasibility counts are
+/// consistent (first-fit ⊆ exact ⊆ trials), and at `m = 2h − 1` — the
+/// rearrangeability regime — every sampled trial is feasible.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    let mut v: Vec<(String, bool)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("m{}_counts_consistent", r.middles),
+                r.first_fit_feasible <= r.exact_feasible && r.exact_feasible <= r.trials,
+            )
+        })
+        .collect();
+    for r in rows.iter().filter(|r| r.middles >= 2 * r.hosts_per_tor - 1) {
+        v.push((
+            format!("m{}_rearrangeable_all_feasible", r.middles),
+            r.exact_feasible == r.trials,
+        ));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

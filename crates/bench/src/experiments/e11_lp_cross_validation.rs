@@ -108,6 +108,21 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: the iterative-LP and
+/// water-filling derivations agree, and splittable routing restores the
+/// macro-switch abstraction, on every instance.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("{}_lp_and_splittable_agree", r.instance),
+                r.lp_matches_waterfill && r.splittable_matches_macro,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,22 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: the weighted rate
+/// matches the `n/(2n−1)` prediction and never degrades the worst relative
+/// rate, at every sweep point.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("n{}_weighted_matches_prediction", r.n),
+                r.weighted_rate == r.predicted_weighted
+                    && r.weighted_min_ratio >= r.unweighted_min_ratio,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

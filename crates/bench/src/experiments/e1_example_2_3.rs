@@ -1,6 +1,7 @@
 //! E1 — Figure 1 / Example 2.3: max-min fair allocations depend on the
 //! routing, and none replicates the macro-switch.
 
+use clos_core::audit::audit_routing;
 use clos_core::constructions::example_2_3;
 use clos_core::objectives::{lex_max_min, throughput_max_min};
 use clos_fairness::Allocation;
@@ -66,6 +67,39 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Machine-checkable verdicts for the JSON report: the paper's Example 2.3
+/// vectors are reproduced, and both paper routings pass the
+/// [`RoutingAudit`](clos_core::audit::RoutingAudit) universal bounds.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    let r = |n, d| Rational::new(n, d);
+    let mut v = vec![
+        (
+            "macro_sorted_matches_paper".to_string(),
+            rows[0].sorted == [r(1, 3), r(1, 3), r(1, 3), r(2, 3), r(2, 3), Rational::ONE],
+        ),
+        (
+            "lex_optimum_matches_routing_1".to_string(),
+            rows[3].sorted == rows[1].sorted,
+        ),
+        (
+            "throughput_optimum_is_3".to_string(),
+            rows[4].throughput == Rational::from_integer(3),
+        ),
+    ];
+    let ex = example_2_3();
+    for (label, routed) in [("routing_1", ex.routing_1()), ("routing_2", ex.routing_2())] {
+        let audit = audit_routing(
+            &ex.instance.clos,
+            &ex.instance.ms,
+            &ex.instance.flows,
+            &routed.routing,
+        );
+        v.push((format!("{label}_bounds_hold"), audit.bounds_hold()));
+    }
+    v
 }
 
 #[cfg(test)]

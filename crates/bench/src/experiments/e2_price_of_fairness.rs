@@ -76,6 +76,20 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: Theorem 3.4's bound
+/// `T^MmF / T^MT >= 1/2` at every sweep point.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("n{}_k{}_ratio_at_least_half", r.n, r.k),
+                r.bound_holds,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,6 +104,28 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: the full adversarial
+/// collection is provably infeasible at macro rates (and no search
+/// contradicts the certificate), while the control stays feasible.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            if r.variant.starts_with("full") {
+                (
+                    format!("n{}_full_infeasible", r.n),
+                    r.certified_infeasible == Some(true) && !r.first_fit && r.exact != Some(true),
+                )
+            } else {
+                (
+                    format!("n{}_control_feasible", r.n),
+                    r.first_fit || r.exact == Some(true),
+                )
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -152,6 +152,23 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: Theorem 4.3's exact
+/// `1/n` starvation, with a max-min-certified and dominance-checked
+/// certificate, at every sweep point.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("n{}_starved_to_one_over_n", r.n),
+                r.starvation == Rational::new(1, r.n as i128)
+                    && r.certificate_max_min
+                    && r.dominates_alternatives,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

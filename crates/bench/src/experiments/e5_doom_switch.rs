@@ -89,6 +89,20 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: Theorem 5.4's lower and
+/// upper throughput-gain bounds at every sweep point.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| {
+            (
+                format!("n{}_k{}_gain_bounds", r.n, r.k),
+                r.lower_holds && r.upper_holds,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

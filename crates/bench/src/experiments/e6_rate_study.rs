@@ -124,6 +124,24 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: every pooled ratio
+/// summary is positive (max-min fairness never fully starves a flow) and
+/// internally ordered.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    vec![
+        (
+            "ratios_positive".to_string(),
+            rows.iter().all(|r| r.summary.min > 0.0),
+        ),
+        (
+            "summaries_ordered".to_string(),
+            rows.iter()
+                .all(|r| r.summary.min <= r.summary.p50 && r.summary.p50 <= r.summary.max),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

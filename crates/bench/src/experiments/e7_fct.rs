@@ -74,6 +74,21 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: every measured FCT
+/// statistic is finite, positive, and internally ordered.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    vec![(
+        "fct_stats_sane".to_string(),
+        rows.iter().all(|r| {
+            r.stats.mean_fct.is_finite()
+                && r.stats.mean_fct > 0.0
+                && r.stats.p50_fct <= r.stats.p99_fct
+                && r.stats.makespan > 0.0
+        }),
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,6 +117,15 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: the paper's bound chain
+/// holds on every sampled instance.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    rows.iter()
+        .map(|r| (format!("seed{}_bound_chain", r.seed), r.all_checks_pass))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,6 +156,24 @@ pub fn render(rows: &[Row]) -> String {
     t.render()
 }
 
+/// Machine-checkable verdicts for the JSON report: relative ratios stay
+/// positive, and wherever the relative optimum is exact it dominates the
+/// absolute lex optimum's worst ratio.
+#[must_use]
+pub fn verdicts(rows: &[Row]) -> Vec<(String, bool)> {
+    let mut v = vec![(
+        "relative_ratios_positive".to_string(),
+        rows.iter().all(|r| r.relative_min_ratio.is_positive()),
+    )];
+    for r in rows.iter().filter(|r| r.relative_exact) {
+        v.push((
+            format!("{}_relative_dominates_lex", r.instance),
+            r.relative_min_ratio >= r.lex_min_ratio,
+        ));
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

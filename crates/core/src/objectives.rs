@@ -27,9 +27,10 @@
 //!
 //! [`constructions`]: crate::constructions
 
-use clos_fairness::max_min_fair;
+use clos_fairness::{max_min_fair, Allocation};
 use clos_net::{ClosNetwork, Flow, Routing};
 use clos_rational::Rational;
+use clos_telemetry::{counters, timers};
 
 use crate::RoutedAllocation;
 
@@ -38,6 +39,9 @@ use crate::RoutedAllocation;
 pub struct SearchStats {
     /// Number of (canonical) routings whose allocation was evaluated.
     pub routings_examined: u64,
+    /// Number of times the incumbent optimum was replaced (including the
+    /// first routing examined).
+    pub improvements: u64,
 }
 
 /// Invokes `visit` with every canonical middle-switch assignment for
@@ -57,6 +61,7 @@ pub fn for_each_canonical_assignment(
 ) {
     let n = clos.middle_count();
     if flows.is_empty() {
+        counters::SEARCH_ASSIGNMENTS.incr();
         visit(&[]);
         return;
     }
@@ -108,6 +113,7 @@ pub fn for_each_canonical_assignment(
         visit: &mut impl FnMut(&[usize]),
     ) {
         if i == assignment.len() {
+            counters::SEARCH_ASSIGNMENTS.incr();
             visit(assignment);
             return;
         }
@@ -142,6 +148,53 @@ fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usi
         .collect()
 }
 
+/// Exhaustively searches canonical routings, keeping the routing whose
+/// max-min fair allocation maximizes `key`.
+///
+/// Both objectives reduce to this: lex-max-min uses the sorted rate vector
+/// as the key, throughput-max-min uses the total throughput. The shared
+/// loop guarantees both report identical [`SearchStats`] semantics and feed
+/// the same telemetry counters.
+fn search_best_by<K: PartialOrd>(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    mut key: impl FnMut(&Allocation<Rational>) -> K,
+) -> (RoutedAllocation, SearchStats) {
+    let _span = timers::SEARCH.scope();
+    counters::SEARCH_RUNS.incr();
+    let mut best: Option<RoutedAllocation> = None;
+    let mut best_key: Option<K> = None;
+    let mut examined = 0u64;
+    let mut improvements = 0u64;
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        examined += 1;
+        let routing = routing_from_assignment(clos, flows, assignment);
+        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
+            .expect("Clos links are finite");
+        let candidate = key(&allocation);
+        let better = match &best_key {
+            None => true,
+            Some(current) => candidate > *current,
+        };
+        if better {
+            improvements += 1;
+            counters::SEARCH_IMPROVEMENTS.incr();
+            best_key = Some(candidate);
+            best = Some(RoutedAllocation {
+                routing,
+                allocation,
+            });
+        }
+    });
+    (
+        best.expect("at least one routing exists"),
+        SearchStats {
+            routings_examined: examined,
+            improvements,
+        },
+    )
+}
+
 /// Computes a lex-max-min fair allocation `a^L-MmF` (Definition 2.4) by
 /// exhaustive search, returning the optimal routing, its allocation, and
 /// search statistics.
@@ -153,33 +206,7 @@ fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usi
 /// instance sizes.
 #[must_use]
 pub fn search_lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> (RoutedAllocation, SearchStats) {
-    let mut best: Option<RoutedAllocation> = None;
-    let mut best_sorted = None;
-    let mut examined = 0u64;
-    for_each_canonical_assignment(clos, flows, |assignment| {
-        examined += 1;
-        let routing = routing_from_assignment(clos, flows, assignment);
-        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
-            .expect("Clos links are finite");
-        let sorted = allocation.sorted();
-        let better = match &best_sorted {
-            None => true,
-            Some(current) => sorted > *current,
-        };
-        if better {
-            best_sorted = Some(sorted);
-            best = Some(RoutedAllocation {
-                routing,
-                allocation,
-            });
-        }
-    });
-    (
-        best.expect("at least one routing exists"),
-        SearchStats {
-            routings_examined: examined,
-        },
-    )
+    search_best_by(clos, flows, Allocation::sorted)
 }
 
 /// Computes a lex-max-min fair allocation (Definition 2.4); convenience
@@ -224,33 +251,7 @@ pub fn search_throughput_max_min(
     clos: &ClosNetwork,
     flows: &[Flow],
 ) -> (RoutedAllocation, SearchStats) {
-    let mut best: Option<RoutedAllocation> = None;
-    let mut best_throughput = None;
-    let mut examined = 0u64;
-    for_each_canonical_assignment(clos, flows, |assignment| {
-        examined += 1;
-        let routing = routing_from_assignment(clos, flows, assignment);
-        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
-            .expect("Clos links are finite");
-        let throughput = allocation.throughput();
-        let better = match best_throughput {
-            None => true,
-            Some(current) => throughput > current,
-        };
-        if better {
-            best_throughput = Some(throughput);
-            best = Some(RoutedAllocation {
-                routing,
-                allocation,
-            });
-        }
-    });
-    (
-        best.expect("at least one routing exists"),
-        SearchStats {
-            routings_examined: examined,
-        },
-    )
+    search_best_by(clos, flows, Allocation::throughput)
 }
 
 /// Computes a throughput-max-min fair allocation (Definition 2.5);

@@ -135,10 +135,13 @@ pub fn search_relative_max_min(
     flows: &[Flow],
 ) -> (RelativeOutcome, SearchStats) {
     assert!(!flows.is_empty(), "need at least one flow");
+    let _span = clos_telemetry::timers::SEARCH.scope();
+    clos_telemetry::counters::SEARCH_RUNS.incr();
     let reference = macro_reference_rates(clos, ms, flows);
     let mut best: Option<RelativeOutcome> = None;
     let mut best_sorted: Option<SortedRates<Rational>> = None;
     let mut examined = 0u64;
+    let mut improvements = 0u64;
     for_each_canonical_assignment(clos, flows, |assignment| {
         examined += 1;
         let routing: Routing = flows
@@ -153,6 +156,8 @@ pub fn search_relative_max_min(
             Some(current) => sorted > *current,
         };
         if better {
+            improvements += 1;
+            clos_telemetry::counters::SEARCH_IMPROVEMENTS.incr();
             best_sorted = Some(sorted);
             best = Some(candidate);
         }
@@ -161,6 +166,7 @@ pub fn search_relative_max_min(
         best.expect("at least one routing"),
         SearchStats {
             routings_examined: examined,
+            improvements,
         },
     )
 }

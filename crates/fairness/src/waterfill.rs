@@ -5,6 +5,7 @@ use std::fmt;
 
 use clos_net::{Flow, FlowId, Network, Routing};
 use clos_rational::Scalar;
+use clos_telemetry::{counters, timers};
 
 use crate::Allocation;
 
@@ -160,6 +161,8 @@ pub fn max_min_fair_traced<S: Scalar>(
         routing.validate(net, flows).is_ok(),
         "invalid routing passed to max_min_fair"
     );
+    let _span = timers::WATERFILL.scope();
+    counters::WATERFILL_CALLS.incr();
 
     // Only finite links can bottleneck flows.
     let finite_caps: Vec<Option<S>> = net
@@ -230,6 +233,7 @@ pub fn max_min_fair_traced<S: Scalar>(
                 S::zero()
             };
             if residual / S::from_usize(active_count[e]) == level {
+                counters::WATERFILL_SATURATIONS.incr();
                 for &f in &members[e] {
                     if !frozen[f] {
                         frozen[f] = true;
@@ -241,6 +245,7 @@ pub fn max_min_fair_traced<S: Scalar>(
             }
         }
         debug_assert!(!newly_frozen.is_empty(), "progress each round");
+        counters::WATERFILL_ROUNDS.incr();
         trace_levels.push(level);
         for &f in &newly_frozen {
             for &e in &finite_links_of_flow[f] {

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use clos_telemetry::counters;
+
 use crate::BipartiteMultigraph;
 
 /// A proper edge coloring: adjacent edges receive distinct colors.
@@ -143,6 +145,7 @@ pub fn edge_coloring(
     g: &BipartiteMultigraph,
     colors: usize,
 ) -> Result<EdgeColoring, ColoringError> {
+    counters::COLORING_CALLS.incr();
     let max_degree = g.max_degree();
     if max_degree > colors {
         return Err(ColoringError::DegreeExceedsColors { max_degree, colors });
@@ -174,6 +177,7 @@ pub fn edge_coloring(
     };
 
     for e in 0..g.edge_count() {
+        counters::COLORING_PASSES.incr();
         let u = endpoint(e, true);
         let v = endpoint(e, false);
         let free_at = |node: usize, used: &Vec<Vec<Option<usize>>>| -> usize {
@@ -184,6 +188,7 @@ pub fn edge_coloring(
         let a = free_at(u, &used);
         let b = free_at(v, &used);
         if a != b {
+            counters::COLORING_PATH_FLIPS.incr();
             // Make `a` free at v by flipping the (a,b)-alternating path
             // starting at v. In a bipartite graph this path cannot reach u
             // (it would have to arrive on color `a`, which alternation and

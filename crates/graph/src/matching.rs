@@ -2,6 +2,8 @@
 
 #![allow(clippy::too_many_arguments)]
 
+use clos_telemetry::counters;
+
 use crate::BipartiteMultigraph;
 
 /// A matching in a [`BipartiteMultigraph`], reported as a set of edge
@@ -115,6 +117,7 @@ const INF: usize = usize::MAX;
 /// ```
 #[must_use]
 pub fn maximum_matching(g: &BipartiteMultigraph) -> Matching {
+    counters::MATCHING_CALLS.incr();
     // pair_left[l] = right node matched to l (via edge match_edge_left[l]).
     let mut pair_left: Vec<Option<usize>> = vec![None; g.left_count()];
     let mut pair_right: Vec<Option<usize>> = vec![None; g.right_count()];
@@ -193,9 +196,10 @@ pub fn maximum_matching(g: &BipartiteMultigraph) -> Matching {
     }
 
     while bfs(&pair_left, &pair_right, &mut dist, &mut queue) {
+        counters::MATCHING_BFS_PHASES.incr();
         for l in 0..g.left_count() {
-            if pair_left[l].is_none() {
-                let _ = dfs(
+            if pair_left[l].is_none()
+                && dfs(
                     l,
                     g,
                     &adj,
@@ -204,7 +208,9 @@ pub fn maximum_matching(g: &BipartiteMultigraph) -> Matching {
                     &mut edge_left,
                     &mut edge_right,
                     &mut dist,
-                );
+                )
+            {
+                counters::MATCHING_AUGMENTING_PATHS.incr();
             }
         }
     }

@@ -3,6 +3,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use clos_rational::Rational;
+use clos_telemetry::{counters, timers};
 
 /// The outcome of solving a [`LinearProgram`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -249,6 +250,13 @@ impl Solver {
     fn pivot(&mut self, obj: &mut [Rational], row: usize, col: usize) {
         let pivot_val = self.rows[row][col];
         debug_assert!(pivot_val.is_positive(), "pivot must be positive");
+        counters::SIMPLEX_PIVOTS.incr();
+        // A degenerate pivot leaves the basic solution in place (the
+        // entering variable comes in at value 0); Bland's rule keeps runs
+        // of these from cycling, and the counter makes them observable.
+        if self.rows[row][self.cols].is_zero() {
+            counters::SIMPLEX_DEGENERATE_PIVOTS.incr();
+        }
         for entry in &mut self.rows[row] {
             *entry /= pivot_val;
         }
@@ -309,6 +317,8 @@ impl Solver {
     }
 
     fn solve(mut self) -> LpOutcome {
+        let _span = timers::SIMPLEX.scope();
+        counters::SIMPLEX_SOLVES.incr();
         // Phase 1: drive the artificial variables to zero. The w-row is
         // the sum of all rows with an artificial basic variable.
         if self.artificial_start < self.cols {

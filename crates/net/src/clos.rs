@@ -381,10 +381,12 @@ impl ClosNetwork {
     /// Panics if `node` is not a source of this network.
     #[must_use]
     pub fn source_coords(&self, node: NodeId) -> (usize, usize) {
-        match self.node_locs[node.index()] {
-            NodeLoc::Source { tor, host } => (tor, host),
-            other => panic!("node {node} is not a source (found {other:?})"),
-        }
+        let loc = self.node_locs[node.index()];
+        let coords = match loc {
+            NodeLoc::Source { tor, host } => Some((tor, host)),
+            _ => None,
+        };
+        crate::network::expect_server_coords(node, NodeKind::Source, &loc, coords)
     }
 
     /// Returns the `(tor, host)` coordinates of a destination server.
@@ -394,10 +396,12 @@ impl ClosNetwork {
     /// Panics if `node` is not a destination of this network.
     #[must_use]
     pub fn destination_coords(&self, node: NodeId) -> (usize, usize) {
-        match self.node_locs[node.index()] {
-            NodeLoc::Destination { tor, host } => (tor, host),
-            other => panic!("node {node} is not a destination (found {other:?})"),
-        }
+        let loc = self.node_locs[node.index()];
+        let coords = match loc {
+            NodeLoc::Destination { tor, host } => Some((tor, host)),
+            _ => None,
+        };
+        crate::network::expect_server_coords(node, NodeKind::Destination, &loc, coords)
     }
 
     /// Returns the path for `flow` through middle switch `middle`:

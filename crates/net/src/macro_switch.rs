@@ -260,10 +260,12 @@ impl MacroSwitch {
     /// Panics if `node` is not a source of this macro-switch.
     #[must_use]
     pub fn source_coords(&self, node: NodeId) -> (usize, usize) {
-        match self.coords[node.index()] {
-            MsLoc::Source { tor, host } => (tor, host),
-            other => panic!("node {node} is not a source (found {other:?})"),
-        }
+        let loc = self.coords[node.index()];
+        let coords = match loc {
+            MsLoc::Source { tor, host } => Some((tor, host)),
+            _ => None,
+        };
+        crate::network::expect_server_coords(node, NodeKind::Source, &loc, coords)
     }
 
     /// Returns the `(tor, host)` coordinates of a destination server.
@@ -273,10 +275,12 @@ impl MacroSwitch {
     /// Panics if `node` is not a destination of this macro-switch.
     #[must_use]
     pub fn destination_coords(&self, node: NodeId) -> (usize, usize) {
-        match self.coords[node.index()] {
-            MsLoc::Destination { tor, host } => (tor, host),
-            other => panic!("node {node} is not a destination (found {other:?})"),
-        }
+        let loc = self.coords[node.index()];
+        let coords = match loc {
+            MsLoc::Destination { tor, host } => Some((tor, host)),
+            _ => None,
+        };
+        crate::network::expect_server_coords(node, NodeKind::Destination, &loc, coords)
     }
 
     /// Returns the unique path for `flow`: `s → I → O → t` (three links).

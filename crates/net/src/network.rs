@@ -40,6 +40,22 @@ impl fmt::Display for NodeKind {
     }
 }
 
+/// Extracts server `(tor, host)` coordinates resolved by a typed accessor
+/// (`source_coords`/`destination_coords` on `ClosNetwork` and
+/// `MacroSwitch`), panicking with one consistent message when the node is
+/// not of the expected kind.
+pub(crate) fn expect_server_coords(
+    node: NodeId,
+    expected: NodeKind,
+    found: &dyn fmt::Debug,
+    coords: Option<(usize, usize)>,
+) -> (usize, usize) {
+    match coords {
+        Some(c) => c,
+        None => panic!("node {node} is not a {expected} (found {found:?})"),
+    }
+}
+
 /// A node of a [`Network`]: a server or a switch.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
