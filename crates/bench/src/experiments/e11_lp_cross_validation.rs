@@ -53,7 +53,8 @@ pub fn run(seeds: &[u64], flows_per_instance: usize) -> Vec<Row> {
             .collect();
         let ms_flows = ms.translate_flows(&clos, &flows);
 
-        let wf = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+        let wf = max_min_fair::<Rational>(clos.network(), &flows, &routing)
+            .expect("Clos links are finite");
         let lp = max_min_via_lp(clos.network(), &flows, &routing);
         let split = splittable_max_min(&clos, &flows);
         let ms_alloc = macro_max_min(&ms, &ms_flows);

@@ -44,8 +44,10 @@ pub fn run(ns: &[usize]) -> Vec<Row> {
         let routing = t.certificate_routing();
         let reference = macro_reference_rates(clos, &t.instance.ms, flows);
 
-        let unweighted = max_min_fair::<Rational>(clos.network(), flows, &routing).unwrap();
-        let weighted = max_min_fair_weighted(clos.network(), flows, &routing, &reference).unwrap();
+        let unweighted = max_min_fair::<Rational>(clos.network(), flows, &routing)
+            .expect("Clos links are finite");
+        let weighted = max_min_fair_weighted(clos.network(), flows, &routing, &reference)
+            .expect("weights are strictly positive macro-switch rates");
 
         let min_ratio = |alloc: &clos_fairness::Allocation<Rational>| {
             alloc

@@ -21,8 +21,5 @@
 //! cargo run --release -p clos-bench --bin repro -- --experiment all
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod experiments;
 pub mod table;

@@ -59,9 +59,6 @@
 //! assert_eq!(t.certificate().allocation.rate(t.type3_flow()), Rational::new(1, 3));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod audit;
 pub mod constructions;
 pub mod doom_switch;

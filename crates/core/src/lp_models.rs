@@ -100,7 +100,7 @@ pub fn max_min_via_lp(net: &Network, flows: &[Flow], routing: &Routing) -> Alloc
     let mut fixed: Vec<Option<Rational>> = vec![None; f_count];
     while fixed.iter().any(Option::is_none) {
         let unfixed: Vec<usize> = (0..f_count).filter(|&i| fixed[i].is_none()).collect();
-        let var_of: std::collections::HashMap<usize, usize> =
+        let var_of: std::collections::BTreeMap<usize, usize> =
             unfixed.iter().enumerate().map(|(v, &f)| (f, v)).collect();
         let residuals: Vec<Rational> = (0..link_caps.len())
             .map(|link| {
@@ -208,10 +208,10 @@ fn add_split_capacity_rows(
     let nv = vars.count(flows.len()) + extra;
     let cap = clos.params().link_capacity;
     // Host uplinks and downlinks: all of a flow's paths share them.
-    let mut by_source: std::collections::HashMap<clos_net::NodeId, Vec<usize>> =
-        std::collections::HashMap::new();
-    let mut by_dest: std::collections::HashMap<clos_net::NodeId, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut by_source: std::collections::BTreeMap<clos_net::NodeId, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    let mut by_dest: std::collections::BTreeMap<clos_net::NodeId, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, f) in flows.iter().enumerate() {
         by_source.entry(f.src()).or_default().push(i);
         by_dest.entry(f.dst()).or_default().push(i);

@@ -70,8 +70,8 @@ pub fn for_each_canonical_assignment(
     // group are enumerated in non-decreasing order.
     let mut group_of = vec![0usize; flows.len()];
     {
-        use std::collections::HashMap;
-        let mut seen: HashMap<(clos_net::NodeId, clos_net::NodeId), usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut seen: BTreeMap<(clos_net::NodeId, clos_net::NodeId), usize> = BTreeMap::new();
         let mut next = 0;
         for (i, f) in flows.iter().enumerate() {
             let key = (f.src(), f.dst());
@@ -84,7 +84,7 @@ pub fn for_each_canonical_assignment(
         }
     }
     let all_distinct = {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for &g in &group_of {
             *counts.entry(g).or_insert(0usize) += 1;
         }
@@ -93,7 +93,7 @@ pub fn for_each_canonical_assignment(
     // Previous position in the same group, for the sortedness constraint.
     let mut prev_in_group = vec![None; flows.len()];
     {
-        let mut last: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut last: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
         for i in 0..flows.len() {
             if let Some(&p) = last.get(&group_of[i]) {
                 prev_in_group[i] = Some(p);

@@ -52,9 +52,6 @@
 //! [`TotalF64`]: clos_rational::TotalF64
 //! [`Scalar`]: clos_rational::Scalar
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod allocation;
 mod bottleneck;
 mod feasibility;

@@ -164,22 +164,28 @@ pub fn max_min_fair_traced<S: Scalar>(
     let _span = timers::WATERFILL.scope();
     counters::WATERFILL_CALLS.incr();
 
-    // Only finite links can bottleneck flows.
-    let finite_caps: Vec<Option<S>> = net
-        .links()
-        .map(|l| l.capacity().finite().map(S::from_rational))
-        .collect();
+    // Only finite links can bottleneck flows; everything below works on
+    // a dense array of just those links, so no per-link `Option<S>` (and
+    // no unwrap of one) is ever needed.
+    let mut dense_of_link: Vec<Option<usize>> = vec![None; net.link_count()];
+    let mut finite_links: Vec<(clos_net::LinkId, S)> = Vec::new();
+    for link in net.links() {
+        if let Some(cap) = link.capacity().finite() {
+            dense_of_link[link.id().index()] = Some(finite_links.len());
+            finite_links.push((link.id(), S::from_rational(cap)));
+        }
+    }
 
-    // Per-flow list of finite links; per-link member flows.
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); net.link_count()];
+    // Per-flow list of (dense) finite links; per-link member flows.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); finite_links.len()];
     let mut finite_links_of_flow: Vec<Vec<usize>> = vec![Vec::new(); flows.len()];
     for (i, path) in routing.paths().iter().enumerate() {
         for &e in path.links() {
             let e = e.index();
             assert!(e < net.link_count(), "path references foreign link");
-            if finite_caps[e].is_some() {
-                members[e].push(i);
-                finite_links_of_flow[i].push(e);
+            if let Some(d) = dense_of_link[e] {
+                members[d].push(i);
+                finite_links_of_flow[i].push(d);
             }
         }
     }
@@ -187,7 +193,7 @@ pub fn max_min_fair_traced<S: Scalar>(
     let mut rates = vec![S::zero(); flows.len()];
     let mut frozen = vec![false; flows.len()];
     let mut active_count: Vec<usize> = members.iter().map(Vec::len).collect();
-    let mut frozen_load: Vec<S> = vec![S::zero(); net.link_count()];
+    let mut frozen_load: Vec<S> = vec![S::zero(); finite_links.len()];
     let mut remaining = flows.len();
     let mut trace_levels: Vec<S> = Vec::new();
     let mut bottleneck_of: Vec<clos_net::LinkId> = vec![clos_net::LinkId::new(0); flows.len()];
@@ -199,46 +205,39 @@ pub fn max_min_fair_traced<S: Scalar>(
         }
     }
 
+    let saturation_level = |d: usize, active: usize, frozen_load: &[S]| -> S {
+        let cap = finite_links[d].1;
+        let residual = if cap > frozen_load[d] {
+            cap - frozen_load[d]
+        } else {
+            S::zero()
+        };
+        residual / S::from_usize(active)
+    };
+
     while remaining > 0 {
         // Find the minimum saturation level over links with active flows.
-        let mut level: Option<S> = None;
-        for e in 0..net.link_count() {
-            if active_count[e] == 0 {
-                continue;
-            }
-            let cap = finite_caps[e].expect("members only on finite links");
-            let residual = if cap > frozen_load[e] {
-                cap - frozen_load[e]
-            } else {
-                S::zero()
-            };
-            let l = residual / S::from_usize(active_count[e]);
-            level = Some(match level {
-                None => l,
-                Some(best) => best.min(l),
-            });
-        }
-        let level = level.expect("active flows always touch a finite link");
+        // Every unfrozen flow touches a finite link (checked above), so
+        // while `remaining > 0` some link has `active_count > 0`.
+        let level = (0..finite_links.len())
+            .filter(|&d| active_count[d] > 0)
+            .map(|d| saturation_level(d, active_count[d], &frozen_load))
+            .reduce(S::min)
+            .expect("invariant: unfrozen flows always touch a finite link");
 
         // Freeze every active flow on every link saturating at `level`.
         let mut newly_frozen = Vec::new();
-        for e in 0..net.link_count() {
-            if active_count[e] == 0 {
+        for d in 0..finite_links.len() {
+            if active_count[d] == 0 {
                 continue;
             }
-            let cap = finite_caps[e].expect("members only on finite links");
-            let residual = if cap > frozen_load[e] {
-                cap - frozen_load[e]
-            } else {
-                S::zero()
-            };
-            if residual / S::from_usize(active_count[e]) == level {
+            if saturation_level(d, active_count[d], &frozen_load) == level {
                 counters::WATERFILL_SATURATIONS.incr();
-                for &f in &members[e] {
+                for &f in &members[d] {
                     if !frozen[f] {
                         frozen[f] = true;
                         rates[f] = level;
-                        bottleneck_of[f] = clos_net::LinkId::from(e);
+                        bottleneck_of[f] = finite_links[d].0;
                         newly_frozen.push(f);
                     }
                 }
@@ -248,9 +247,9 @@ pub fn max_min_fair_traced<S: Scalar>(
         counters::WATERFILL_ROUNDS.incr();
         trace_levels.push(level);
         for &f in &newly_frozen {
-            for &e in &finite_links_of_flow[f] {
-                active_count[e] -= 1;
-                frozen_load[e] += level;
+            for &d in &finite_links_of_flow[f] {
+                active_count[d] -= 1;
+                frozen_load[d] += level;
             }
             remaining -= 1;
         }

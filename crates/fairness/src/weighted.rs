@@ -69,20 +69,27 @@ pub fn max_min_fair_weighted<S: Scalar>(
         "weights must be strictly positive"
     );
 
-    let finite_caps: Vec<Option<S>> = net
-        .links()
-        .map(|l| l.capacity().finite().map(S::from_rational))
-        .collect();
+    // Only finite links can bottleneck flows; as in the unweighted
+    // waterfill, the loop below works on a dense array of just those
+    // links so link capacities are plain values, never `Option`s.
+    let mut dense_of_link: Vec<Option<usize>> = vec![None; net.link_count()];
+    let mut finite_caps: Vec<S> = Vec::new();
+    for link in net.links() {
+        if let Some(cap) = link.capacity().finite() {
+            dense_of_link[link.id().index()] = Some(finite_caps.len());
+            finite_caps.push(S::from_rational(cap));
+        }
+    }
 
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); net.link_count()];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); finite_caps.len()];
     let mut finite_links_of_flow: Vec<Vec<usize>> = vec![Vec::new(); flows.len()];
     for (i, path) in routing.paths().iter().enumerate() {
         for &e in path.links() {
             let e = e.index();
             assert!(e < net.link_count(), "path references foreign link");
-            if finite_caps[e].is_some() {
-                members[e].push(i);
-                finite_links_of_flow[i].push(e);
+            if let Some(d) = dense_of_link[e] {
+                members[d].push(i);
+                finite_links_of_flow[i].push(d);
             }
         }
     }
@@ -95,52 +102,52 @@ pub fn max_min_fair_weighted<S: Scalar>(
     let mut rates = vec![S::zero(); flows.len()];
     let mut frozen = vec![false; flows.len()];
     // Per-link: sum of weights of unfrozen member flows, and frozen load.
-    let mut active_weight: Vec<S> = vec![S::zero(); net.link_count()];
-    for (e, ms) in members.iter().enumerate() {
+    let mut active_weight: Vec<S> = vec![S::zero(); finite_caps.len()];
+    for (d, ms) in members.iter().enumerate() {
         for &f in ms {
-            active_weight[e] += weights[f];
+            active_weight[d] += weights[f];
         }
     }
-    let mut frozen_load: Vec<S> = vec![S::zero(); net.link_count()];
+    let mut frozen_load: Vec<S> = vec![S::zero(); finite_caps.len()];
     let mut remaining = flows.len();
 
     while remaining > 0 {
         let mut level: Option<S> = None;
-        for e in 0..net.link_count() {
-            if active_weight[e] <= S::zero() || members[e].is_empty() {
+        for d in 0..finite_caps.len() {
+            if active_weight[d] <= S::zero() || members[d].is_empty() {
                 continue;
             }
             // Skip links whose members are all frozen.
-            if members[e].iter().all(|&f| frozen[f]) {
+            if members[d].iter().all(|&f| frozen[f]) {
                 continue;
             }
-            let cap = finite_caps[e].expect("members only on finite links");
-            let residual = if cap > frozen_load[e] {
-                cap - frozen_load[e]
+            let residual = if finite_caps[d] > frozen_load[d] {
+                finite_caps[d] - frozen_load[d]
             } else {
                 S::zero()
             };
-            let l = residual / active_weight[e];
+            let l = residual / active_weight[d];
             level = Some(match level {
                 None => l,
                 Some(best) => best.min(l),
             });
         }
-        let level = level.expect("active flows always touch a finite link");
+        // Every unfrozen flow touches a finite link (checked above), so
+        // while `remaining > 0` some link still has an unfrozen member.
+        let level = level.expect("invariant: unfrozen flows always touch a finite link");
 
         let mut newly_frozen = Vec::new();
-        for e in 0..net.link_count() {
-            if members[e].iter().all(|&f| frozen[f]) {
+        for d in 0..finite_caps.len() {
+            if members[d].iter().all(|&f| frozen[f]) {
                 continue;
             }
-            let cap = finite_caps[e].expect("members only on finite links");
-            let residual = if cap > frozen_load[e] {
-                cap - frozen_load[e]
+            let residual = if finite_caps[d] > frozen_load[d] {
+                finite_caps[d] - frozen_load[d]
             } else {
                 S::zero()
             };
-            if residual / active_weight[e] == level {
-                for &f in &members[e] {
+            if residual / active_weight[d] == level {
+                for &f in &members[d] {
                     if !frozen[f] {
                         frozen[f] = true;
                         rates[f] = weights[f] * level;
@@ -151,9 +158,9 @@ pub fn max_min_fair_weighted<S: Scalar>(
         }
         debug_assert!(!newly_frozen.is_empty(), "progress each round");
         for &f in &newly_frozen {
-            for &e in &finite_links_of_flow[f] {
-                active_weight[e] -= weights[f];
-                frozen_load[e] += rates[f];
+            for &d in &finite_links_of_flow[f] {
+                active_weight[d] -= weights[f];
+                frozen_load[d] += rates[f];
             }
             remaining -= 1;
         }

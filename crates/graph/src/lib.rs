@@ -28,9 +28,6 @@
 //! assert_eq!(m.len(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod bipartite;
 mod coloring;
 mod matching;

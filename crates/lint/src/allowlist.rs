@@ -1,0 +1,265 @@
+//! The budgeted allowlist: `lint.allow` at the workspace root.
+//!
+//! Each entry grants one file an exact number of violations of one rule,
+//! with a mandatory justification:
+//!
+//! ```text
+//! # rule  path                                budget  justification
+//! L2      crates/rational/src/rational.rs     8       invariant-checked normalization
+//! ```
+//!
+//! Budgets are exact, not upper bounds: if the file now has *fewer*
+//! violations than budgeted, the run fails with a stale-entry diagnostic
+//! until the budget is ratcheted down. That makes `lint.allow` a visible,
+//! monotone burndown list rather than a place where debt hides.
+
+use std::collections::BTreeMap;
+
+use crate::diagnostics::{Diagnostic, Rule};
+
+/// One parsed `lint.allow` entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Entry {
+    /// The rule being allowlisted.
+    pub rule: Rule,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Exact number of violations granted.
+    pub budget: usize,
+    /// Why the violations are acceptable (mandatory).
+    pub justification: String,
+    /// 1-based line in `lint.allow`, for stale-entry diagnostics.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Default, Debug)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Returns the allowlist plus diagnostics for
+    /// malformed lines (reported against `source_name`).
+    #[must_use]
+    pub fn parse(text: &str, source_name: &str) -> (Allowlist, Vec<Diagnostic>) {
+        let mut entries = Vec::new();
+        let mut diags = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.splitn(4, char::is_whitespace);
+            let (rule, path, budget) = (parts.next(), parts.next(), parts.next());
+            let justification = parts.next().map(str::trim).unwrap_or_default();
+            let parsed = match (rule, path, budget) {
+                (Some(r), Some(p), Some(b)) => Rule::from_id(r)
+                    .zip(b.parse::<usize>().ok())
+                    .map(|(r, b)| (r, p, b)),
+                _ => None,
+            };
+            let Some((rule, path, budget)) = parsed else {
+                diags.push(Diagnostic::new(
+                    Rule::Allowlist,
+                    source_name,
+                    line,
+                    format!("malformed entry {trimmed:?}; expected `<rule> <path> <budget> <justification>`"),
+                ));
+                continue;
+            };
+            if justification.is_empty() {
+                diags.push(Diagnostic::new(
+                    Rule::Allowlist,
+                    source_name,
+                    line,
+                    format!("entry for {path} has no justification; say why the violations are acceptable"),
+                ));
+                continue;
+            }
+            if budget == 0 {
+                diags.push(Diagnostic::new(
+                    Rule::Allowlist,
+                    source_name,
+                    line,
+                    format!("entry for {path} has budget 0; delete the entry instead"),
+                ));
+                continue;
+            }
+            entries.push(Entry {
+                rule,
+                path: path.to_string(),
+                budget,
+                justification: justification.to_string(),
+                line,
+            });
+        }
+        (Allowlist { entries }, diags)
+    }
+
+    /// The parsed entries.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Applies the allowlist to `diagnostics`: violations covered by an
+    /// exact budget are suppressed; over- and under-budget groups fail.
+    ///
+    /// Returns `(surviving, suppressed_count)`. Surviving diagnostics
+    /// include stale-entry findings reported against `source_name`.
+    #[must_use]
+    pub fn apply(
+        &self,
+        diagnostics: Vec<Diagnostic>,
+        source_name: &str,
+    ) -> (Vec<Diagnostic>, usize) {
+        let mut by_group: BTreeMap<(Rule, String), Vec<Diagnostic>> = BTreeMap::new();
+        for d in diagnostics {
+            by_group
+                .entry((d.rule, d.path.clone()))
+                .or_default()
+                .push(d);
+        }
+        let mut surviving = Vec::new();
+        let mut suppressed = 0usize;
+        for entry in &self.entries {
+            let found = by_group
+                .remove(&(entry.rule, entry.path.clone()))
+                .unwrap_or_default();
+            match found.len() {
+                n if n == entry.budget => suppressed += n,
+                0 => surviving.push(Diagnostic::new(
+                    Rule::Allowlist,
+                    source_name,
+                    entry.line,
+                    format!(
+                        "stale entry: no {} violations left in {}; delete the entry",
+                        entry.rule.id(),
+                        entry.path,
+                    ),
+                )),
+                n if n < entry.budget => {
+                    suppressed += n;
+                    surviving.push(Diagnostic::new(
+                        Rule::Allowlist,
+                        source_name,
+                        entry.line,
+                        format!(
+                            "stale entry: {} now has {n} {} violation(s), budget says {}; \
+                             ratchet the budget down",
+                            entry.path,
+                            entry.rule.id(),
+                            entry.budget,
+                        ),
+                    ));
+                }
+                n => {
+                    surviving.push(Diagnostic::new(
+                        Rule::Allowlist,
+                        source_name,
+                        entry.line,
+                        format!(
+                            "{} has {n} {} violation(s), over the budget of {}",
+                            entry.path,
+                            entry.rule.id(),
+                            entry.budget,
+                        ),
+                    ));
+                    surviving.extend(found);
+                }
+            }
+        }
+        for (_, group) in by_group {
+            surviving.extend(group);
+        }
+        (surviving, suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, path: &str, line: u32) -> Diagnostic {
+        Diagnostic::new(rule, path, line, "x")
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_entries() {
+        let (al, diags) = Allowlist::parse(
+            "# header\n\nL2 crates/a/src/lib.rs 3 known debt, tracked\n",
+            "lint.allow",
+        );
+        assert!(diags.is_empty());
+        assert_eq!(al.entries().len(), 1);
+        assert_eq!(al.entries()[0].budget, 3);
+        assert_eq!(al.entries()[0].justification, "known debt, tracked");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let (al, diags) = Allowlist::parse(
+            "L2 path\nL9 p 1 zzz\nL2 p notanumber j\nL2 p 1\nL2 p 0 why",
+            "lint.allow",
+        );
+        assert!(al.entries().is_empty());
+        assert_eq!(diags.len(), 5);
+        assert!(diags[3].message.contains("no justification"));
+        assert!(diags[4].message.contains("budget 0"));
+    }
+
+    #[test]
+    fn exact_budget_suppresses() {
+        let (al, _) = Allowlist::parse("L2 a.rs 2 ok", "lint.allow");
+        let (out, suppressed) = al.apply(
+            vec![
+                diag(Rule::L2Panic, "a.rs", 1),
+                diag(Rule::L2Panic, "a.rs", 2),
+            ],
+            "lint.allow",
+        );
+        assert!(out.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn over_budget_fails_with_all_sites() {
+        let (al, _) = Allowlist::parse("L2 a.rs 1 ok", "lint.allow");
+        let (out, suppressed) = al.apply(
+            vec![
+                diag(Rule::L2Panic, "a.rs", 1),
+                diag(Rule::L2Panic, "a.rs", 2),
+            ],
+            "lint.allow",
+        );
+        assert_eq!(suppressed, 0);
+        assert_eq!(out.len(), 3); // the over-budget note plus both sites
+        assert!(out[0].message.contains("over the budget"));
+    }
+
+    #[test]
+    fn under_budget_is_stale() {
+        let (al, _) = Allowlist::parse("L2 a.rs 5 ok\nL1 b.rs 1 gone", "lint.allow");
+        let (out, suppressed) = al.apply(vec![diag(Rule::L2Panic, "a.rs", 1)], "lint.allow");
+        assert_eq!(suppressed, 1);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|d| d.message.contains("ratchet")));
+        assert!(out.iter().any(|d| d.message.contains("delete the entry")));
+    }
+
+    #[test]
+    fn unrelated_rules_pass_through() {
+        let (al, _) = Allowlist::parse("L2 a.rs 1 ok", "lint.allow");
+        let (out, _) = al.apply(
+            vec![
+                diag(Rule::L2Panic, "a.rs", 1),
+                diag(Rule::L1FloatCmp, "a.rs", 9),
+            ],
+            "lint.allow",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::L1FloatCmp);
+    }
+}

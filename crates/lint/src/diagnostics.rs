@@ -1,0 +1,161 @@
+//! Diagnostic types: which rule fired, where, and why.
+
+use std::fmt;
+
+/// The repo-specific rules `clos-lint` enforces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Rule {
+    /// No raw-float `==`/`!=` or `partial_cmp().unwrap()` — exact
+    /// comparisons go through `Rational`/`TotalF64`.
+    L1FloatCmp,
+    /// No `unwrap()`/`expect()` in non-test library code.
+    L2Panic,
+    /// No `HashMap`/`HashSet` in result- or report-producing modules.
+    L3Determinism,
+    /// Every experiment module defines `verdicts()` and is registered in
+    /// the repro dispatcher.
+    L4Experiments,
+    /// Telemetry counter/timer names are unique and well-formed.
+    L5Telemetry,
+    /// Every crate inherits the workspace lint contract from
+    /// `[workspace.lints]`.
+    L6Contract,
+    /// The allowlist itself is stale (budget no longer matches reality).
+    Allowlist,
+}
+
+impl Rule {
+    /// The rule's short id as used in diagnostics and `lint.allow`.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1FloatCmp => "L1",
+            Rule::L2Panic => "L2",
+            Rule::L3Determinism => "L3",
+            Rule::L4Experiments => "L4",
+            Rule::L5Telemetry => "L5",
+            Rule::L6Contract => "L6",
+            Rule::Allowlist => "ALLOW",
+        }
+    }
+
+    /// Parses a rule id (`"L1"`…`"L6"`) as written in `lint.allow`.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "L1" => Some(Rule::L1FloatCmp),
+            "L2" => Some(Rule::L2Panic),
+            "L3" => Some(Rule::L3Determinism),
+            "L4" => Some(Rule::L4Experiments),
+            "L5" => Some(Rule::L5Telemetry),
+            "L6" => Some(Rule::L6Contract),
+            _ => None,
+        }
+    }
+
+    /// One-line description, shown by `--list-rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L1FloatCmp => {
+                "no ==/!= against float literals and no partial_cmp().unwrap(); \
+                 exact comparisons go through Rational/TotalF64"
+            }
+            Rule::L2Panic => "no unwrap()/expect() in non-test library code",
+            Rule::L3Determinism => {
+                "no HashMap/HashSet in result-producing modules \
+                 (core, bench experiments/bin, telemetry); use BTreeMap"
+            }
+            Rule::L4Experiments => {
+                "every experiments/e*.rs defines verdicts() and is wired \
+                 into mod.rs and the repro dispatcher"
+            }
+            Rule::L5Telemetry => {
+                "telemetry counter/timer names are unique, dot.snake_case, \
+                 and instrumentation sites reference registered statics"
+            }
+            Rule::L6Contract => {
+                "every crate inherits [workspace.lints] (lints.workspace = true) \
+                 instead of per-crate #![forbid]/#![warn] headers"
+            }
+            Rule::Allowlist => "lint.allow entries must match reality exactly",
+        }
+    }
+
+    /// All enforceable rules, in order (excludes the allowlist meta-rule).
+    #[must_use]
+    pub fn all() -> [Rule; 6] {
+        [
+            Rule::L1FloatCmp,
+            Rule::L2Panic,
+            Rule::L3Determinism,
+            Rule::L4Experiments,
+            Rule::L5Telemetry,
+            Rule::L6Contract,
+        ]
+    }
+}
+
+/// One finding: a rule violation at a `file:line`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    #[must_use]
+    pub fn new(rule: Rule, path: impl Into<String>, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format_is_file_line_rule() {
+        let d = Diagnostic::new(
+            Rule::L1FloatCmp,
+            "crates/sim/src/utilization.rs",
+            96,
+            "boom",
+        );
+        assert_eq!(d.to_string(), "crates/sim/src/utilization.rs:96: [L1] boom");
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in Rule::all() {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(Rule::from_id("L9"), None);
+    }
+}

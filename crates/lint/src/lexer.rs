@@ -1,0 +1,575 @@
+//! A hand-rolled, comment- and string-aware Rust token scanner.
+//!
+//! The rules in this crate must never fire on text inside comments, doc
+//! comments (and therefore doctests), or string literals — a `0.0 == x`
+//! in prose is not a bug. Rather than regex over raw text, every source
+//! file is lexed into a token stream first, in the same zero-dependency
+//! spirit as `clos-telemetry`'s hand-rolled JSON codec.
+//!
+//! The scanner is not a full Rust lexer: it recognises exactly the token
+//! shapes the rules need — identifiers (including raw `r#ident`), integer
+//! and float literals (with suffixes, exponents, and `_` separators),
+//! string/char/lifetime literals, nested block comments, raw strings with
+//! arbitrary `#` fences, and a small set of multi-character operators
+//! (`==`, `!=`, `::`, `..`, `..=`, `->`, `=>`, `<=`, `>=`).
+
+/// The coarse classification of one token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#match`).
+    Ident,
+    /// An integer literal, including suffixed forms (`42`, `0xff`, `1u64`).
+    Int,
+    /// A float literal (`1.0`, `2.`, `1e9`, `2f64`, `1.5_f32`).
+    Float,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators arrive as one token.
+    Punct,
+}
+
+/// One lexed token: kind, text, and the 1-based source line it starts on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token's classification.
+    pub kind: TokenKind,
+    /// The token's text. Raw identifiers are stripped of their `r#`
+    /// prefix; string tokens keep their quotes.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Returns true for an identifier token spelling exactly `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Returns true for a punctuation token spelling exactly `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Lexes `src` into a token stream, discarding comments and whitespace.
+///
+/// Unterminated constructs (block comment, string) consume input to the
+/// end of file rather than erroring: the linter must degrade gracefully
+/// on code that `rustc` itself would reject.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+const MULTI_PUNCT: [&str; 9] = ["..=", "==", "!=", "::", "..", "->", "=>", "<=", ">="];
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.lex_string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.lex_char_or_lifetime(line);
+                }
+                'r' | 'b' if self.at_raw_string() => self.lex_raw_string(line),
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_ident(line);
+                }
+                '\'' => self.lex_char_or_lifetime(line),
+                _ if is_ident_start(c) => self.lex_ident(line),
+                _ if c.is_ascii_digit() => self.lex_number(line),
+                _ => self.lex_punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// At `r"`, `r#"`, `br"`, `b r#...`-style raw string starts?
+    fn at_raw_string(&self) -> bool {
+        let mut i = 1; // past the leading `r` / `b`
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn lex_raw_string(&mut self, line: u32) {
+        let start = self.pos;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // `r`
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            fence += 1;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < fence && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == fence {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn lex_string(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some('"') => break,
+                Some('\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Disambiguates `'x'` (char literal) from `'label` (lifetime).
+    fn lex_char_or_lifetime(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        if self.peek(0) == Some('\\') {
+            // Escaped char literal.
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                // Multi-char escapes: `'\u{1F600}'`, `'\x7f'`.
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Char, text, line);
+        } else if self.peek(1) == Some('\'') {
+            // Plain one-char literal `'x'`.
+            self.bump();
+            self.bump();
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Char, text, line);
+        } else {
+            // Lifetime or label: consume the identifier.
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn lex_ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn lex_number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: digits (hex letters included) and separators.
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            self.eat_digits();
+            // A decimal point makes it a float — but `1..2` is a range and
+            // `1.max(2)` is a method call on an integer.
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        float = true;
+                        self.bump();
+                        self.eat_digits();
+                    }
+                    Some(c) if c == '.' || is_ident_start(c) => {}
+                    _ => {
+                        // Trailing-dot float, `1.`.
+                        float = true;
+                        self.bump();
+                    }
+                }
+            }
+            // Exponent: `1e9`, `2.5E-3`.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let (a, b) = (self.peek(1), self.peek(2));
+                let exp = match a {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+' | '-') => b.is_some_and(|c| c.is_ascii_digit()),
+                    _ => false,
+                };
+                if exp {
+                    float = true;
+                    self.bump();
+                    if matches!(self.peek(0), Some('+' | '-')) {
+                        self.bump();
+                    }
+                    self.eat_digits();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, possibly after `_`).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if matches!(suffix.trim_start_matches('_'), "f32" | "f64") {
+            float = true;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn eat_digits(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+
+    fn lex_punct(&mut self, line: u32) {
+        for op in MULTI_PUNCT {
+            if self.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Returns the 1-based line ranges (inclusive) of `#[cfg(test)]`-gated
+/// items in `tokens` — the regions the scoped rules must skip.
+///
+/// Recognised shape: a `#[cfg(…)]` attribute whose argument tokens
+/// mention `test` without a `not`, followed by any further attributes,
+/// then an item ending at its matching close brace (or at a `;` for
+/// brace-less items like `mod tests;`).
+#[must_use]
+pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let attr_line = tokens[i].line;
+            let (is_test_cfg, after_attr) = scan_attribute(tokens, i);
+            if is_test_cfg {
+                if let Some(end_line) = item_end_line(tokens, after_attr) {
+                    regions.push((attr_line, end_line));
+                }
+            }
+            i = after_attr;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Scans the attribute starting at `#` index `at`; returns whether it is
+/// a `cfg` attribute selecting `test` (and not `not(test)`), plus the
+/// index one past the closing `]`.
+fn scan_attribute(tokens: &[Token], at: usize) -> (bool, usize) {
+    let mut i = at + 2; // past `#[`
+    let is_cfg = tokens.get(i).is_some_and(|t| t.is_ident("cfg"));
+    let mut depth = 1usize;
+    let mut mentions_test = false;
+    let mut mentions_not = false;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_ident("test") {
+            mentions_test = true;
+        } else if t.is_ident("not") {
+            mentions_not = true;
+        }
+        i += 1;
+    }
+    (is_cfg && mentions_test && !mentions_not, i)
+}
+
+/// Returns the last line of the item starting at token index `from`
+/// (skipping any further attributes), or `None` at end of input.
+fn item_end_line(tokens: &[Token], from: usize) -> Option<u32> {
+    let mut i = from;
+    // Skip stacked attributes on the same item.
+    while tokens.get(i).is_some_and(|t| t.is_punct("#"))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let (_, after) = scan_attribute(tokens, i);
+        i = after;
+    }
+    // Find the item's opening brace or terminating semicolon.
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(";") {
+            return Some(t.line);
+        }
+        if t.is_punct("{") {
+            let mut depth = 1usize;
+            i += 1;
+            while i < tokens.len() {
+                if tokens[i].is_punct("{") {
+                    depth += 1;
+                } else if tokens[i].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(tokens[i].line);
+                    }
+                }
+                i += 1;
+            }
+            // Unbalanced braces: treat the rest of the file as covered.
+            return tokens.last().map(|t| t.line);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_methods() {
+        use TokenKind::{Float, Ident, Int, Punct};
+        assert_eq!(
+            kinds("1.0 1. 1e9 2.5e-3 1f64 1_000.5 0..4 1.max(2) 0xff"),
+            vec![
+                (Float, "1.0".into()),
+                (Float, "1.".into()),
+                (Float, "1e9".into()),
+                (Float, "2.5e-3".into()),
+                (Float, "1f64".into()),
+                (Float, "1_000.5".into()),
+                (Int, "0".into()),
+                (Punct, "..".into()),
+                (Int, "4".into()),
+                (Int, "1".into()),
+                (Punct, ".".into()),
+                (Ident, "max".into()),
+                (Punct, "(".into()),
+                (Int, "2".into()),
+                (Punct, ")".into()),
+                (Int, "0xff".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        // Floats and `==` inside comments, nested block comments, doc
+        // comments, and strings must not surface as tokens.
+        let src = r##"
+            // a == 0.0 in a line comment
+            /* nested /* 1.0 == 2.0 */ still comment */
+            /// doctest: `x == 0.0`
+            let s = "0.0 == 1.0";
+            let r = r#"2.0 != 3.0"#;
+            x
+        "##;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Float));
+        assert!(!toks.iter().any(|t| t.is_punct("==")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("'a' 'static '\\n' b'x' &'a str");
+        let kinds: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Punct,
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_idents_and_multipunct() {
+        let toks = lex("r#match == r#fn ..= x");
+        assert!(toks[0].is_ident("match"));
+        assert!(toks[1].is_punct("=="));
+        assert!(toks[2].is_ident("fn"));
+        assert!(toks[3].is_punct("..="));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        assert_eq!(test_regions(&lex(src)), vec![(2, 5)]);
+        // `not(test)` is live code, not a test region.
+        let src = "#[cfg(not(test))]\nmod live {\n}\n";
+        assert!(test_regions(&lex(src)).is_empty());
+        // cfg_attr is not a cfg gate.
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S;\n";
+        assert!(test_regions(&lex(src)).is_empty());
+        // Stacked attributes and brace-less items.
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests;\nfn live() {}";
+        assert_eq!(test_regions(&lex(src)), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn unterminated_input_degrades_gracefully() {
+        assert!(lex("/* never closed").is_empty());
+        assert_eq!(lex("\"open string").len(), 1);
+        assert_eq!(lex("r#\"open raw").len(), 1);
+    }
+}

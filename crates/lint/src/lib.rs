@@ -1,0 +1,109 @@
+//! `clos-lint` — workspace-aware static analysis for the clos-routing
+//! repo.
+//!
+//! The repo's headline numbers are *exact* claims (`T^MmF ≥ ½·T^MT`,
+//! the `1/n` starvation factor, `T^T-MmF ≤ 2·T^MmF`): a stray `f64 ==`,
+//! a nondeterministic `HashMap` iteration feeding a report, or a
+//! panicking `unwrap()` on a library path can silently flip a
+//! machine-checked bound. `clos-lint` encodes those repo-specific
+//! correctness rules as a fast, zero-dependency pass that gates CI:
+//!
+//! | Rule | Enforces |
+//! |------|----------|
+//! | L1   | no raw-float `==`/`!=` or `partial_cmp().unwrap()`; exact comparisons via `Rational`/`TotalF64` (only `total_f64.rs` is exempt) |
+//! | L2   | no `unwrap()`/`expect()` in non-test library code, except exact budgets in `lint.allow` |
+//! | L3   | no `HashMap`/`HashSet` in result-producing modules (`core`, `bench` experiments/bin, `telemetry`) |
+//! | L4   | every `experiments/e*.rs` defines `verdicts()` and is wired into `mod.rs` and the repro dispatcher |
+//! | L5   | telemetry counter/timer names are unique, well-formed, and instrumentation sites hit registered statics |
+//! | L6   | every crate inherits `[workspace.lints]` instead of per-crate lint headers |
+//!
+//! Sources are lexed with a hand-rolled comment/string-aware token
+//! scanner ([`lexer`]) — nothing fires on doc comments, doctests, or
+//! string contents. Violations that are understood and accepted live in
+//! [`lint.allow`](allowlist) with an *exact* per-file budget and a
+//! mandatory justification, so the debt is a visible burndown list that
+//! only ratchets down.
+//!
+//! Run it locally:
+//!
+//! ```text
+//! cargo run -p clos-lint -- --workspace
+//! ```
+
+pub mod allowlist;
+pub mod diagnostics;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use allowlist::Allowlist;
+pub use diagnostics::{Diagnostic, Rule};
+pub use workspace::{DiscoverError, Workspace};
+
+/// The outcome of one lint run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Surviving diagnostics, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by exact allowlist budgets.
+    pub suppressed: usize,
+    /// Source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing to report.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// The default allowlist file name, resolved against the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint.allow";
+
+/// Lints the workspace rooted at `root`.
+///
+/// `allowlist_path` overrides the default `<root>/lint.allow`; a missing
+/// allowlist file is treated as empty.
+///
+/// # Errors
+///
+/// Returns [`DiscoverError`] when the workspace layout cannot be read.
+pub fn run_workspace(root: &Path, allowlist_path: Option<&Path>) -> Result<Report, DiscoverError> {
+    let ws = workspace::discover(root)?;
+
+    let default_path = root.join(ALLOWLIST_FILE);
+    let path = allowlist_path.unwrap_or(&default_path);
+    let source_name = if allowlist_path.is_some() {
+        path.display().to_string()
+    } else {
+        ALLOWLIST_FILE.to_string()
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let (allow, mut diagnostics) = Allowlist::parse(&text, &source_name);
+
+    let mut raw = Vec::new();
+    rules::check_all(&ws, &mut raw);
+    let (mut surviving, suppressed) = allow.apply(raw, &source_name);
+    diagnostics.append(&mut surviving);
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    diagnostics.dedup();
+
+    let files_scanned = ws.members.iter().map(|m| m.sources.len()).sum();
+    Ok(Report {
+        diagnostics,
+        suppressed,
+        files_scanned,
+    })
+}

@@ -1,0 +1,119 @@
+//! The `clos-lint` command-line interface.
+//!
+//! ```text
+//! clos-lint [--workspace] [--root <dir>] [--allowlist <file>] [--list-rules]
+//! ```
+//!
+//! Exits 0 on a clean run, 1 when any diagnostic survives the allowlist,
+//! and 2 on usage or I/O errors. See the crate docs for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use clos_lint::diagnostics::Rule;
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    list_rules: bool,
+}
+
+const USAGE: &str =
+    "usage: clos-lint [--workspace] [--root <dir>] [--allowlist <file>] [--list-rules]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The default and only mode; accepted for self-documentation.
+            "--workspace" | "-w" => {}
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                ));
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--allowlist needs a file".to_string())?,
+                ));
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in Rule::all() {
+            println!("{}: {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match clos_lint::workspace::find_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match clos_lint::run_workspace(&root, opts.allowlist.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        println!(
+            "clos-lint: clean ({} files scanned, {} violation(s) suppressed by {})",
+            report.files_scanned,
+            report.suppressed,
+            clos_lint::ALLOWLIST_FILE,
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "clos-lint: {} diagnostic(s) ({} suppressed); run `cargo run -p clos-lint` \
+             locally and fix or allowlist each finding",
+            report.diagnostics.len(),
+            report.suppressed,
+        );
+        ExitCode::FAILURE
+    }
+}

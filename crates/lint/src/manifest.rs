@@ -1,0 +1,179 @@
+//! A minimal TOML reader for `Cargo.toml` manifests.
+//!
+//! Zero-dependency by design (like the rest of this crate), it parses
+//! only the subset of TOML that Cargo manifests in this workspace use:
+//! `[section]` headers, `key = "value"` / `key = true` pairs, and
+//! (possibly multi-line) string arrays. That is enough for workspace
+//! member discovery and the L6 lint-contract checks; it is *not* a
+//! general TOML parser.
+
+/// One parsed `key = value` assignment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    /// The key, verbatim.
+    pub key: String,
+    /// The raw value text (quotes kept, arrays joined).
+    pub value: String,
+    /// 1-based line of the assignment.
+    pub line: u32,
+}
+
+/// A parsed manifest: sections in file order, each with its assignments.
+#[derive(Clone, Default, Debug)]
+pub struct Manifest {
+    sections: Vec<(String, Vec<Assignment>)>,
+}
+
+impl Manifest {
+    /// Parses manifest text.
+    #[must_use]
+    pub fn parse(text: &str) -> Manifest {
+        let mut sections: Vec<(String, Vec<Assignment>)> = vec![(String::new(), Vec::new())];
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                let name = line.trim_matches(['[', ']']).trim().to_string();
+                sections.push((name, Vec::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let mut value = value.trim().to_string();
+            // Multi-line array: keep consuming until the bracket closes.
+            if value.starts_with('[') {
+                while !balanced(&value) {
+                    let Some((_, next)) = lines.next() else { break };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            if let Some(last) = sections.last_mut() {
+                last.1.push(Assignment {
+                    key: key.trim().to_string(),
+                    value,
+                    line: line_no,
+                });
+            }
+        }
+        Manifest { sections }
+    }
+
+    /// Returns the raw value of `key` in `[section]`, if present.
+    /// The pre-section prologue is addressed as `""`.
+    #[must_use]
+    pub fn get(&self, section: &str, key: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(name, _)| name == section)?
+            .1
+            .iter()
+            .find(|a| a.key == key)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Returns true if `[section]` exists (even when empty).
+    #[must_use]
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.iter().any(|(name, _)| name == section)
+    }
+
+    /// Returns the string elements of an array value like
+    /// `["crates/*", "tools/x"]` for `key` in `[section]`.
+    #[must_use]
+    pub fn string_array(&self, section: &str, key: &str) -> Vec<String> {
+        let Some(value) = self.get(section, key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut rest = value;
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('"') else { break };
+            out.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True once a value's square brackets balance (ignoring brackets in
+/// strings).
+fn balanced(value: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "clos-lint" # trailing comment
+edition.workspace = true
+
+[workspace]
+members = [
+    "crates/*", # glob
+    "tools/extra",
+]
+
+[lints]
+workspace = true
+"#;
+
+    #[test]
+    fn sections_and_keys() {
+        let m = Manifest::parse(SAMPLE);
+        assert_eq!(m.get("package", "name"), Some("\"clos-lint\""));
+        assert_eq!(m.get("package", "edition.workspace"), Some("true"));
+        assert_eq!(m.get("lints", "workspace"), Some("true"));
+        assert!(m.has_section("workspace"));
+        assert!(!m.has_section("dependencies"));
+        assert_eq!(m.get("nope", "name"), None);
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let m = Manifest::parse(SAMPLE);
+        assert_eq!(
+            m.string_array("workspace", "members"),
+            vec!["crates/*".to_string(), "tools/extra".to_string()]
+        );
+        assert!(m.string_array("workspace", "missing").is_empty());
+    }
+
+    #[test]
+    fn comments_in_strings_survive() {
+        let m = Manifest::parse("[a]\nk = \"x # not a comment\"\n");
+        assert_eq!(m.get("a", "k"), Some("\"x # not a comment\""));
+    }
+}

@@ -1,0 +1,103 @@
+//! L1 — exactness: no raw-float equality.
+//!
+//! Every headline number this repo reproduces is an exact claim
+//! (`T^MmF ≥ ½·T^MT`, the `1/n` starvation factor, `T^T-MmF ≤ 2·T^MmF`),
+//! so a stray `f64` equality feeding a verdict can silently flip a
+//! machine-checked bound. This rule flags:
+//!
+//! * `==` / `!=` where either operand is a float literal (`u == 0.0`);
+//! * `.partial_cmp(…)` immediately unwrapped with `.unwrap()` or
+//!   `.expect(…)` — a panic-prone total-order shortcut; use
+//!   `f64::total_cmp`, [`TotalF64`], or `Rational` instead.
+//!
+//! `crates/rational/src/total_f64.rs` is exempt: it is the one place
+//! allowed to reason about raw float ordering, because it *implements*
+//! the sanctioned total order.
+//!
+//! [`TotalF64`]: ../../clos_rational/struct.TotalF64.html
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::workspace::{SourceFile, Workspace};
+
+/// The file exempt from L1: the total-order implementation itself.
+pub const EXEMPT: &str = "crates/rational/src/total_f64.rs";
+
+/// Runs L1 over every in-scope source file.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for member in &ws.members {
+        for file in &member.sources {
+            if file.rel_path == EXEMPT {
+                continue;
+            }
+            check_file(file, out);
+        }
+    }
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        // Float literal next to `==` / `!=`.
+        if t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_side = [i.checked_sub(1), Some(i + 1)]
+                .into_iter()
+                .flatten()
+                .filter_map(|j| toks.get(j))
+                .any(|n| n.kind == TokenKind::Float);
+            if float_side {
+                out.push(Diagnostic::new(
+                    Rule::L1FloatCmp,
+                    &file.rel_path,
+                    t.line,
+                    format!(
+                        "raw float `{}` comparison; compare exactly via Rational/TotalF64 \
+                         or use an explicit documented tolerance",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        // `.partial_cmp( … ).unwrap()` / `.expect(`.
+        if t.is_ident("partial_cmp")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            if let Some(close) = matching_paren(toks, i + 1) {
+                let unwrapped = toks.get(close + 1).is_some_and(|n| n.is_punct("."))
+                    && toks
+                        .get(close + 2)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
+                if unwrapped {
+                    out.push(Diagnostic::new(
+                        Rule::L1FloatCmp,
+                        &file.rel_path,
+                        t.line,
+                        "partial_cmp().unwrap() on floats; use f64::total_cmp or TotalF64"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, if balanced.
+fn matching_paren(toks: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}

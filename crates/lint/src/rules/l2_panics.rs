@@ -1,0 +1,55 @@
+//! L2 — panic-freedom: no `unwrap()`/`expect()` in non-test library code.
+//!
+//! A panicking `unwrap()` on a library path turns a recoverable condition
+//! into an abort of the whole experiment run. Library code must return
+//! typed errors, or — where an invariant genuinely guarantees success —
+//! carry an `expect()` with an invariant-stating message *and* an exact
+//! budget in `lint.allow`, which doubles as the panic-debt burndown list.
+//!
+//! Scope: `FileClass::Lib` sources only. Binaries (`src/bin/`,
+//! `src/main.rs`) may panic at top level after printing a real error;
+//! test regions assert at will.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::workspace::{FileClass, SourceFile, Workspace};
+
+/// Runs L2 over every in-scope source file.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for member in &ws.members {
+        for file in &member.sources {
+            if file.class == FileClass::Lib {
+                check_file(file, out);
+            }
+        }
+    }
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        // Method position only: `.unwrap()` / `.expect(` — declarations
+        // (`fn expect`) and free idents stay legal, as do the non-panicking
+        // `unwrap_or*` family (different identifier tokens).
+        let panicky = t.is_ident("unwrap") || t.is_ident("expect");
+        if !panicky
+            || i == 0
+            || !toks[i - 1].is_punct(".")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            continue;
+        }
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            Rule::L2Panic,
+            &file.rel_path,
+            t.line,
+            format!(
+                "`{}()` in library code; return a typed error, or justify the \
+                 invariant in lint.allow",
+                t.text
+            ),
+        ));
+    }
+}

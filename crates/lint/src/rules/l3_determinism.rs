@@ -1,0 +1,50 @@
+//! L3 — determinism: no `HashMap`/`HashSet` in result-producing modules.
+//!
+//! `std::collections::HashMap` iterates in randomized order (SipHash with
+//! a per-process seed). Any hash iteration on a path that produces
+//! results, reports, or LP constraint rows makes output — and telemetry
+//! counter deltas — differ run to run, which breaks the bit-for-bit
+//! reproducibility the repro gate and the JSON-Lines reports promise.
+//! Use `BTreeMap`/`BTreeSet` (deterministic order) or index-keyed `Vec`s.
+//!
+//! Scope: the modules whose output reaches reports or verdicts —
+//! `crates/core/src`, `crates/telemetry/src`, the experiment modules
+//! `crates/bench/src/experiments`, and the repro dispatcher
+//! `crates/bench/src/bin`.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::workspace::Workspace;
+
+/// Workspace-relative path prefixes in scope for L3.
+pub const SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/telemetry/src/",
+    "crates/bench/src/experiments/",
+    "crates/bench/src/bin/",
+];
+
+/// Runs L3 over the determinism-critical modules.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for member in &ws.members {
+        for file in &member.sources {
+            if !SCOPE.iter().any(|p| file.rel_path.starts_with(p)) {
+                continue;
+            }
+            for t in &file.tokens {
+                let hashed = t.is_ident("HashMap") || t.is_ident("HashSet");
+                if hashed && !file.in_test_region(t.line) {
+                    out.push(Diagnostic::new(
+                        Rule::L3Determinism,
+                        &file.rel_path,
+                        t.line,
+                        format!(
+                            "`{}` in a result-producing module; iteration order is \
+                             nondeterministic — use BTreeMap/BTreeSet or index-keyed Vecs",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

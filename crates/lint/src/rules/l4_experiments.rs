@@ -1,0 +1,127 @@
+//! L4 — experiment wiring: every `experiments/e*.rs` module defines
+//! `verdicts()` and is registered end to end.
+//!
+//! The repro gate only checks bounds for experiments that (a) expose
+//! machine-checkable `verdicts()` and (b) are actually dispatched by the
+//! `repro` binary. A module that silently drops out of either place
+//! stops being verified without anything failing — exactly the kind of
+//! rot a reviewer won't notice. This rule fails the build instead.
+//!
+//! Checks, for every member with a `src/experiments/` directory:
+//!
+//! * each `e<N>_<name>.rs` defines a non-test `pub fn verdicts`;
+//! * `src/experiments/mod.rs` declares `pub mod e<N>_<name>;`;
+//! * the dispatcher (`src/bin/repro.rs`) references the module by name
+//!   *and* registers its id string (`"e<N>"`).
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::workspace::{Member, SourceFile, Workspace};
+
+/// Runs L4 over every member that has experiment modules.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for member in &ws.members {
+        let experiments: Vec<&SourceFile> = member
+            .sources
+            .iter()
+            .filter(|f| {
+                f.rel_path.contains("/src/experiments/") && experiment_stem(&f.rel_path).is_some()
+            })
+            .collect();
+        if experiments.is_empty() {
+            continue;
+        }
+        check_member(member, &experiments, out);
+    }
+}
+
+/// Returns the module stem for an `e<N>_<name>.rs` experiment file.
+fn experiment_stem(rel_path: &str) -> Option<&str> {
+    let file = rel_path.rsplit('/').next()?;
+    let stem = file.strip_suffix(".rs")?;
+    let digits = stem.strip_prefix('e')?.split('_').next()?;
+    (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())).then_some(stem)
+}
+
+fn check_member(member: &Member, experiments: &[&SourceFile], out: &mut Vec<Diagnostic>) {
+    let mod_rs = member
+        .sources
+        .iter()
+        .find(|f| f.rel_path.ends_with("/src/experiments/mod.rs"));
+    let dispatcher = member
+        .sources
+        .iter()
+        .find(|f| f.rel_path.ends_with("/src/bin/repro.rs"));
+    if dispatcher.is_none() {
+        out.push(Diagnostic::new(
+            Rule::L4Experiments,
+            &member.manifest_rel_path,
+            0,
+            format!(
+                "{} has experiment modules but no src/bin/repro.rs dispatcher",
+                member.name
+            ),
+        ));
+    }
+
+    for file in experiments {
+        let Some(stem) = experiment_stem(&file.rel_path) else {
+            continue;
+        };
+        let id = stem.split('_').next().unwrap_or(stem);
+
+        // (a) a non-test `pub fn verdicts`.
+        let has_verdicts = file.tokens.windows(3).any(|w| {
+            w[0].is_ident("pub")
+                && w[1].is_ident("fn")
+                && w[2].is_ident("verdicts")
+                && !file.in_test_region(w[2].line)
+        });
+        if !has_verdicts {
+            out.push(Diagnostic::new(
+                Rule::L4Experiments,
+                &file.rel_path,
+                0,
+                format!("experiment module {stem} defines no `pub fn verdicts`"),
+            ));
+        }
+
+        // (b) declared in mod.rs.
+        let declared = mod_rs.is_some_and(|m| {
+            m.tokens
+                .windows(2)
+                .any(|w| w[0].is_ident("mod") && w[1].is_ident(stem))
+        });
+        if let Some(m) = mod_rs {
+            if !declared {
+                out.push(Diagnostic::new(
+                    Rule::L4Experiments,
+                    &m.rel_path,
+                    0,
+                    format!("experiment module {stem} is not declared in mod.rs"),
+                ));
+            }
+        }
+
+        // (c) dispatched: module referenced and id string registered.
+        if let Some(d) = dispatcher {
+            let referenced = d.tokens.iter().any(|t| t.is_ident(stem));
+            let id_quoted = format!("\"{id}\"");
+            let registered = d
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Str && t.text == id_quoted);
+            if !referenced || !registered {
+                out.push(Diagnostic::new(
+                    Rule::L4Experiments,
+                    &d.rel_path,
+                    0,
+                    format!(
+                        "experiment {stem} is not registered in the dispatcher \
+                         (module referenced: {referenced}, id {id_quoted} present: {registered})"
+                    ),
+                ));
+            }
+        }
+    }
+}

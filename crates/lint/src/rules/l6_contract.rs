@@ -1,0 +1,71 @@
+//! L6 — the workspace lint contract lives in one place.
+//!
+//! `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` used to be
+//! copy-pasted into every crate root; a new crate could silently skip
+//! them. The contract now lives in the root manifest's
+//! `[workspace.lints.rust]` table and every member opts in with
+//! `[lints] workspace = true`. Checks:
+//!
+//! * the root manifest pins `unsafe_code = "forbid"` and
+//!   `missing_docs = "warn"` under `[workspace.lints.rust]`;
+//! * every member manifest contains `[lints]` with `workspace = true`;
+//! * no source file re-declares the migrated inner attributes
+//!   (`#![forbid(unsafe_code)]`, `#![warn(missing_docs)]`) — drift back
+//!   to per-crate headers would shadow the single source of truth.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::workspace::Workspace;
+
+/// The `[workspace.lints.rust]` keys the contract requires, with the
+/// exact levels.
+pub const REQUIRED_RUST_LINTS: [(&str, &str); 2] =
+    [("unsafe_code", "\"forbid\""), ("missing_docs", "\"warn\"")];
+
+/// Runs L6 over the root and member manifests and all sources.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (key, want) in REQUIRED_RUST_LINTS {
+        let got = ws.manifest.get("workspace.lints.rust", key);
+        if got != Some(want) {
+            out.push(Diagnostic::new(
+                Rule::L6Contract,
+                "Cargo.toml",
+                0,
+                format!(
+                    "[workspace.lints.rust] must set {key} = {want} (found {})",
+                    got.map_or_else(|| "nothing".to_string(), |g| g.to_string()),
+                ),
+            ));
+        }
+    }
+
+    for member in &ws.members {
+        if member.manifest.get("lints", "workspace") != Some("true") {
+            out.push(Diagnostic::new(
+                Rule::L6Contract,
+                &member.manifest_rel_path,
+                0,
+                format!(
+                    "{} does not inherit the workspace lint contract; \
+                     add `[lints]\\nworkspace = true`",
+                    member.name
+                ),
+            ));
+        }
+        for file in &member.sources {
+            for (line_idx, line) in file.text.lines().enumerate() {
+                let l = line.trim();
+                let migrated = l.starts_with("#![forbid(unsafe_code")
+                    || l.starts_with("#![warn(missing_docs")
+                    || l.starts_with("#![deny(missing_docs");
+                if migrated {
+                    out.push(Diagnostic::new(
+                        Rule::L6Contract,
+                        &file.rel_path,
+                        u32::try_from(line_idx + 1).unwrap_or(u32::MAX),
+                        "per-crate lint header duplicates [workspace.lints]; delete it".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The rule implementations, one module per rule.
+//!
+//! Every rule has the same shape: `check(&Workspace, &mut Vec<Diagnostic>)`.
+//! Token-stream rules (L1–L3, L5) walk the pre-lexed sources and skip
+//! `#[cfg(test)]` regions; structural rules (L4, L6) inspect the file
+//! layout and manifests. Scope policy, shared by the token rules:
+//! integration tests, benches, and examples are out of scope — the rules
+//! police *shipping* code, where a silent exactness or determinism bug
+//! can flip a machine-checked theorem verdict.
+
+pub mod l1_float_cmp;
+pub mod l2_panics;
+pub mod l3_determinism;
+pub mod l4_experiments;
+pub mod l5_telemetry;
+pub mod l6_contract;
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Runs every rule over `ws`, appending raw (pre-allowlist) diagnostics.
+pub fn check_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    l1_float_cmp::check(ws, out);
+    l2_panics::check(ws, out);
+    l3_determinism::check(ws, out);
+    l4_experiments::check(ws, out);
+    l5_telemetry::check(ws, out);
+    l6_contract::check(ws, out);
+}

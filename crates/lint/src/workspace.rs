@@ -1,0 +1,256 @@
+//! Workspace discovery: members, manifests, and classified source files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token};
+use crate::manifest::Manifest;
+
+/// How a source file participates in the build — rules scope on this.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileClass {
+    /// Library code under `src/` (excluding `src/bin/` and `src/main.rs`).
+    Lib,
+    /// Binary code: `src/main.rs` or anything under `src/bin/`.
+    Bin,
+}
+
+/// One lexed source file of a workspace member.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Library or binary code.
+    pub class: FileClass,
+    /// The raw text.
+    pub text: String,
+    /// The token stream (comments and strings already handled).
+    pub tokens: Vec<Token>,
+    /// 1-based inclusive line ranges of `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// True if `line` falls inside a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// One workspace member crate.
+#[derive(Clone, Debug)]
+pub struct Member {
+    /// Package name from `[package] name`.
+    pub name: String,
+    /// Workspace-relative directory (e.g. `crates/fairness`).
+    pub rel_dir: String,
+    /// The parsed manifest.
+    pub manifest: Manifest,
+    /// Workspace-relative path of `Cargo.toml`.
+    pub manifest_rel_path: String,
+    /// Lexed `src/` files (tests/, benches/, examples/ are out of scope:
+    /// the token rules only police shipping code).
+    pub sources: Vec<SourceFile>,
+}
+
+/// The discovered workspace.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// Absolute root directory.
+    pub root: PathBuf,
+    /// The root manifest.
+    pub manifest: Manifest,
+    /// Member crates, sorted by directory for deterministic output.
+    pub members: Vec<Member>,
+}
+
+/// An error from workspace discovery.
+#[derive(Debug)]
+pub enum DiscoverError {
+    /// No `Cargo.toml` with a `[workspace]` table was found.
+    NoWorkspace(PathBuf),
+    /// Filesystem error while reading `path`.
+    Io(PathBuf, io::Error),
+}
+
+impl std::fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoverError::NoWorkspace(p) => {
+                write!(f, "no workspace Cargo.toml found above {}", p.display())
+            }
+            DiscoverError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Result<PathBuf, DiscoverError> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let candidate = dir.join("Cargo.toml");
+        if candidate.is_file() {
+            let text = fs::read_to_string(&candidate)
+                .map_err(|e| DiscoverError::Io(candidate.clone(), e))?;
+            if Manifest::parse(&text).has_section("workspace") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(DiscoverError::NoWorkspace(start.to_path_buf()));
+        }
+    }
+}
+
+/// Discovers the workspace rooted at `root`: parses the root manifest,
+/// expands the `members` globs, and lexes every member's `src/` tree.
+pub fn discover(root: &Path) -> Result<Workspace, DiscoverError> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let text = fs::read_to_string(&root_manifest_path)
+        .map_err(|e| DiscoverError::Io(root_manifest_path.clone(), e))?;
+    let manifest = Manifest::parse(&text);
+
+    let mut member_dirs = Vec::new();
+    for pattern in manifest.string_array("workspace", "members") {
+        if let Some(prefix) = pattern.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let entries = fs::read_dir(&dir).map_err(|e| DiscoverError::Io(dir.clone(), e))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| DiscoverError::Io(dir.clone(), e))?;
+                let path = entry.path();
+                if path.join("Cargo.toml").is_file() {
+                    member_dirs.push(path);
+                }
+            }
+        } else {
+            let dir = root.join(&pattern);
+            if dir.join("Cargo.toml").is_file() {
+                member_dirs.push(dir);
+            }
+        }
+    }
+    member_dirs.sort();
+    member_dirs.dedup();
+
+    let mut members = Vec::new();
+    for dir in member_dirs {
+        members.push(load_member(root, &dir)?);
+    }
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        manifest,
+        members,
+    })
+}
+
+fn load_member(root: &Path, dir: &Path) -> Result<Member, DiscoverError> {
+    let manifest_path = dir.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest_path)
+        .map_err(|e| DiscoverError::Io(manifest_path.clone(), e))?;
+    let manifest = Manifest::parse(&text);
+    let name = manifest
+        .get("package", "name")
+        .map(|v| v.trim_matches('"').to_string())
+        .unwrap_or_else(|| rel(root, dir));
+
+    let mut sources = Vec::new();
+    let src = dir.join("src");
+    if src.is_dir() {
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let text = fs::read_to_string(&path).map_err(|e| DiscoverError::Io(path.clone(), e))?;
+            let tokens = lexer::lex(&text);
+            let test_regions = lexer::test_regions(&tokens);
+            let rel_path = rel(root, &path);
+            let class = if rel_path.ends_with("src/main.rs") || rel_path.contains("/src/bin/") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            };
+            sources.push(SourceFile {
+                rel_path,
+                class,
+                text,
+                tokens,
+                test_regions,
+            });
+        }
+    }
+    Ok(Member {
+        name,
+        rel_dir: rel(root, dir),
+        manifest,
+        manifest_rel_path: rel(root, &manifest_path),
+        sources,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), DiscoverError> {
+    let entries = fs::read_dir(dir).map_err(|e| DiscoverError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| DiscoverError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace this crate lives in is itself a fine fixture.
+    fn repo_root() -> PathBuf {
+        let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        find_root(manifest_dir.parent().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let ws = discover(&repo_root()).unwrap();
+        let lint = ws
+            .members
+            .iter()
+            .find(|m| m.name == "clos-lint")
+            .expect("clos-lint member missing");
+        assert!(lint
+            .sources
+            .iter()
+            .any(|s| s.rel_path == "crates/lint/src/workspace.rs"));
+        // Binary classification.
+        assert!(lint
+            .sources
+            .iter()
+            .any(|s| s.rel_path == "crates/lint/src/main.rs" && s.class == FileClass::Bin));
+        // This very test module is a test region.
+        let me = lint
+            .sources
+            .iter()
+            .find(|s| s.rel_path == "crates/lint/src/workspace.rs")
+            .expect("self not found");
+        assert!(!me.test_regions.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixture-based self-tests: each `tests/fixtures/<case>/` directory is a
+//! miniature workspace with its own `Cargo.toml`, optional `lint.allow`,
+//! and an `expected.txt` gold file holding the rendered diagnostics
+//! (empty when the fixture must lint clean).
+
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn run_fixture(name: &str) -> Vec<String> {
+    let root = fixtures_dir().join(name);
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "fixture {name} is missing its Cargo.toml"
+    );
+    let report = clos_lint::run_workspace(&root, None)
+        .unwrap_or_else(|e| panic!("fixture {name} failed to lint: {e}"));
+    report.diagnostics.iter().map(ToString::to_string).collect()
+}
+
+fn expected(name: &str) -> Vec<String> {
+    let path = fixtures_dir().join(name).join("expected.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} is missing expected.txt: {e}"));
+    text.lines().map(str::to_string).collect()
+}
+
+fn assert_fixture(name: &str) {
+    let got = run_fixture(name);
+    let want = expected(name);
+    assert_eq!(
+        got,
+        want,
+        "fixture {name}: diagnostics diverge from expected.txt\n\
+         got:\n  {}\nwant:\n  {}",
+        got.join("\n  "),
+        want.join("\n  ")
+    );
+}
+
+/// False-positive traps: floats in strings/comments/doc comments, ranges,
+/// method calls on float literals, `unwrap()` in `#[cfg(test)]` and in
+/// binaries, `HashMap` outside the deterministic scope.
+#[test]
+fn clean_workspace_stays_clean() {
+    assert_fixture("clean");
+    assert!(run_fixture("clean").is_empty());
+}
+
+#[test]
+fn l1_fires_on_raw_float_comparisons() {
+    let got = run_fixture("l1_fires");
+    assert_fixture("l1_fires");
+    assert!(got.iter().any(|d| d.contains("[L1]") && d.contains("==")));
+    assert!(got.iter().any(|d| d.contains("partial_cmp")));
+}
+
+#[test]
+fn l1_allowlist_suppresses() {
+    assert_fixture("l1_allow");
+}
+
+#[test]
+fn l2_fires_on_library_panics_only() {
+    let got = run_fixture("l2_fires");
+    assert_fixture("l2_fires");
+    // Both sites are in lib.rs; the bin and the test module stay silent.
+    assert!(got.iter().all(|d| d.contains("crates/panicky/src/lib.rs")));
+    assert_eq!(got.len(), 2);
+}
+
+#[test]
+fn l2_allowlist_suppresses_exact_budget() {
+    assert_fixture("l2_allow");
+}
+
+#[test]
+fn l2_overbudget_allowlist_is_reported_stale() {
+    let got = run_fixture("l2_stale");
+    assert_fixture("l2_stale");
+    assert!(got.iter().any(|d| d.contains("stale entry")));
+}
+
+#[test]
+fn l3_fires_only_in_scoped_modules() {
+    let got = run_fixture("l3_fires");
+    assert_fixture("l3_fires");
+    // crates/other uses the same collections but is out of scope.
+    assert!(got.iter().all(|d| d.contains("crates/core/")));
+}
+
+#[test]
+fn l3_allowlist_suppresses() {
+    assert_fixture("l3_allow");
+}
+
+#[test]
+fn l4_fires_on_unwired_experiment() {
+    let got = run_fixture("l4_fires");
+    assert_fixture("l4_fires");
+    // The orphan is flagged at all three wiring points; e1_good is not.
+    assert_eq!(got.len(), 3);
+    assert!(got.iter().all(|d| d.contains("e2_orphan")));
+}
+
+#[test]
+fn l4_allowlist_suppresses() {
+    assert_fixture("l4_allow");
+}
+
+#[test]
+fn l5_fires_on_naming_violations() {
+    let got = run_fixture("l5_fires");
+    assert_fixture("l5_fires");
+    assert!(got.iter().any(|d| d.contains("duplicate counter name")));
+    assert!(got.iter().any(|d| d.contains("registry scheme")));
+    assert!(got.iter().any(|d| d.contains("snapshot keys")));
+    assert!(got.iter().any(|d| d.contains("unregistered static")));
+}
+
+#[test]
+fn l5_allowlist_suppresses() {
+    assert_fixture("l5_allow");
+}
+
+#[test]
+fn l6_fires_on_contract_violations() {
+    let got = run_fixture("l6_fires");
+    assert_fixture("l6_fires");
+    assert!(got.iter().any(|d| d.contains("[workspace.lints.rust]")));
+    assert!(got.iter().any(|d| d.contains("workspace lint contract")));
+    assert!(got.iter().any(|d| d.contains("per-crate lint header")));
+}
+
+#[test]
+fn l6_allowlist_suppresses() {
+    assert_fixture("l6_allow");
+}

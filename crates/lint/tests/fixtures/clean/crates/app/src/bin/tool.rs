@@ -1,0 +1,5 @@
+//! Fixture: binaries may unwrap.
+fn main() {
+    let v: Option<u32> = Some(3);
+    println!("{}", v.unwrap());
+}

@@ -1,0 +1,30 @@
+//! Fixture: constructs that must NOT trip any rule.
+
+/// A float mentioned in a doc comment: 1.0 == 2.0 should not fire.
+pub fn ranges_and_methods() -> usize {
+    // comment with x == 1.5 inside
+    let s = "string with 0.5 == 0.5";
+    let mut n = 0;
+    for i in 0..4 {
+        n += i;
+    }
+    let m = 1.0_f64.max(2.0);
+    let hex = 0xff;
+    n + s.len() + hex + m as usize
+}
+
+/// HashMap outside the deterministic scope is fine.
+pub fn non_scoped_map() -> usize {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1, 2);
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<f64> = Some(1.5);
+        assert!(v.unwrap() == 1.5);
+    }
+}

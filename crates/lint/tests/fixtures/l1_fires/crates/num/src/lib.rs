@@ -1,0 +1,8 @@
+//! Fixture: raw float comparisons.
+
+/// Compares floats directly: both sites must fire.
+pub fn bad(a: f64, b: f64) -> bool {
+    let exact = a == 0.5;
+    let sorted = a.partial_cmp(&b).unwrap();
+    exact && sorted.is_eq() && b != 1.0
+}

@@ -1,0 +1,4 @@
+//! Bins may unwrap.
+fn main() {
+    println!("{}", Some(1).unwrap());
+}

@@ -1,0 +1,22 @@
+//! Fixture: panicking calls in library code.
+
+/// Unwraps in non-test library code: both must fire.
+pub fn bad() -> u32 {
+    let v: Option<u32> = Some(1);
+    let w: Option<u32> = Some(2);
+    v.unwrap() + w.expect("present")
+}
+
+/// `unwrap_or` and friends are fine.
+pub fn good() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap_or(7) + v.unwrap_or_else(|| 8) + v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_ok() {
+        assert_eq!(super::bad(), Some(3).unwrap());
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: nondeterministic collections in a report-producing module.
+
+/// Iteration order leaks into output: must fire.
+pub fn tally() -> Vec<(u32, u32)> {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+    let s: std::collections::HashSet<u32> = m.keys().copied().collect();
+    m.into_iter().chain(s.into_iter().map(|k| (k, 0))).collect()
+}

@@ -1,0 +1,7 @@
+//! Dispatcher.
+fn main() {
+    let id = "e1";
+    if id == "e1" {
+        let _ = fx_bench::experiments::e1_good::verdicts();
+    }
+}

@@ -1,0 +1,4 @@
+//! Orphan experiment: no verdicts, not declared, not dispatched.
+
+/// Not a verdicts function.
+pub fn run() {}

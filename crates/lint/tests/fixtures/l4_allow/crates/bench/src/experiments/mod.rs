@@ -1,0 +1,2 @@
+//! Experiment modules.
+pub mod e1_good;

@@ -1,0 +1,6 @@
+//! Fixture bench lib.
+
+/// Experiments.
+pub mod experiments {
+    pub use super::*;
+}

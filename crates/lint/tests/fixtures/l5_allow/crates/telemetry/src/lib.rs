@@ -1,0 +1,43 @@
+//! Fixture: telemetry registry with naming violations.
+
+/// Minimal stand-ins for the registry types.
+pub struct Counter;
+impl Counter {
+    /// Registers a counter.
+    #[must_use]
+    pub const fn new(_name: &str) -> Self {
+        Counter
+    }
+    /// Bumps it.
+    pub fn incr(&self) {}
+}
+/// Timer stand-in.
+pub struct Timer;
+impl Timer {
+    /// Registers a timer.
+    #[must_use]
+    pub const fn new(_name: &str) -> Self {
+        Timer
+    }
+}
+
+/// Registered statics.
+pub mod counters {
+    use super::{Counter, Timer};
+    /// Fine.
+    pub static GOOD: Counter = Counter::new("search.rounds");
+    /// Duplicate of GOOD.
+    pub static DUP: Counter = Counter::new("search.rounds");
+    /// Scheme violation.
+    pub static UGLY: Counter = Counter::new("Search-Rounds");
+    /// Collides with the timer snapshot key below.
+    pub static SHADOW: Counter = Counter::new("solve.nanos");
+    /// The timer whose derived keys SHADOW collides with.
+    pub static SOLVE: Timer = Timer::new("solve");
+}
+
+/// Instrumentation sites.
+pub fn touch() {
+    counters::GOOD.incr();
+    counters::MISSING.incr();
+}

@@ -1,0 +1,6 @@
+//! Fixture: per-crate lint headers instead of the workspace contract.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Nothing else to see.
+pub fn noop() {}

@@ -1,0 +1,32 @@
+//! Tier-1 gate: the real workspace must lint clean with the checked-in
+//! `lint.allow`. This is the same check CI runs via
+//! `cargo run -p clos-lint -- --workspace`, kept here so a plain
+//! `cargo test` refuses violations (and stale allowlist budgets) too.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = clos_lint::run_workspace(root, None).expect("workspace discovery");
+    assert!(
+        report.is_clean(),
+        "clos-lint found {} violation(s) in the workspace:\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The whole workspace is in scope, not just a corner of it.
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+}

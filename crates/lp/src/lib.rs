@@ -37,9 +37,6 @@
 //!
 //! [`Rational`]: clos_rational::Rational
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod simplex;
 
 pub use crate::simplex::{LinearProgram, LpOutcome};

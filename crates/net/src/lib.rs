@@ -31,9 +31,6 @@
 //! assert!(path.is_valid(clos.network(), flow).is_ok());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dot;
 
 mod capacity;

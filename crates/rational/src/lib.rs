@@ -29,9 +29,6 @@
 //! assert_eq!((half / third).to_string(), "3/2");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod rational;
 mod scalar;
 mod total_f64;

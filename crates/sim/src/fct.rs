@@ -374,7 +374,7 @@ pub fn simulate_fct_records(
 
     // Summaries (nearest-rank percentiles).
     let mut sorted: Vec<f64> = records.iter().map(|r| r.fct).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let pct = |p: f64| {
         let rank = ((sorted.len() as f64) * p).ceil() as usize;
         sorted[rank.clamp(1, sorted.len()) - 1]

@@ -16,9 +16,6 @@
 //! Both run the same water-filling allocator as the exact theorem
 //! machinery, instantiated at `TotalF64` for speed.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod fct;
 pub mod rate_study;
 pub mod utilization;

@@ -61,7 +61,7 @@ pub struct RateStudy {
 pub fn summarize(ratios: &[f64]) -> RatioSummary {
     assert!(!ratios.is_empty(), "cannot summarize zero ratios");
     let mut sorted = ratios.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    sorted.sort_by(f64::total_cmp);
     // Nearest-rank percentile: the smallest value with at least p·N values
     // at or below it.
     let pct = |p: f64| {

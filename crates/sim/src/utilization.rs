@@ -21,7 +21,10 @@ pub struct UtilizationReport {
     pub fabric_mean: f64,
     /// Maximum utilization over fabric links.
     pub fabric_max: f64,
-    /// Number of fabric links carrying no traffic at all.
+    /// Number of fabric links traversed by no routed flow. This is a
+    /// property of the routing alone — max-min fair rates are strictly
+    /// positive, so "no flow routed here" and "exactly zero load"
+    /// coincide, and counting paths avoids any float comparison.
     pub fabric_idle: usize,
     /// Total number of fabric links.
     pub fabric_links: usize,
@@ -73,16 +76,32 @@ pub fn utilization(
     let loads = link_loads(clos.network(), flows, routing, allocation);
     let cap = clos.params().link_capacity.to_f64();
 
+    // Idleness is decided exactly, from the routing: a link no flow's
+    // path traverses carries exactly zero load (and every routed flow
+    // gets a strictly positive max-min rate), so no `== 0.0` on
+    // accumulated floats is needed.
+    let mut traversed = vec![false; clos.network().link_count()];
+    for path in routing.paths() {
+        for &link in path.links() {
+            traversed[link.index()] = true;
+        }
+    }
+
     let mut host = Vec::new();
     let mut fabric = Vec::new();
+    let mut fabric_idle = 0usize;
     for tor in 0..clos.tor_count() {
         for h in 0..clos.hosts_per_tor() {
             host.push(loads[clos.host_uplink(tor, h).index()].get() / cap);
             host.push(loads[clos.host_downlink(tor, h).index()].get() / cap);
         }
         for m in 0..clos.middle_count() {
-            fabric.push(loads[clos.uplink(tor, m).index()].get() / cap);
-            fabric.push(loads[clos.downlink(m, tor).index()].get() / cap);
+            for link in [clos.uplink(tor, m), clos.downlink(m, tor)] {
+                fabric.push(loads[link.index()].get() / cap);
+                if !traversed[link.index()] {
+                    fabric_idle += 1;
+                }
+            }
         }
     }
 
@@ -93,7 +112,7 @@ pub fn utilization(
         host_max: max(&host),
         fabric_mean: mean(&fabric),
         fabric_max: max(&fabric),
-        fabric_idle: fabric.iter().filter(|&&u| u == 0.0).count(),
+        fabric_idle,
         fabric_links: fabric.len(),
     }
 }

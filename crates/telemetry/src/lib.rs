@@ -54,9 +54,6 @@
 //! # clos_telemetry::set_enabled(false);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod json;
 mod registry;
 mod report;

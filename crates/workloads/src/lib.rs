@@ -31,9 +31,6 @@
 //! assert_eq!(flows.len(), 18); // one per source
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use clos_net::{ClosNetwork, Flow};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
