@@ -1,0 +1,336 @@
+//! `bench_search` — wall-clock benchmark of the branch-and-bound routing
+//! search on fixed, deterministic instances.
+//!
+//! Three engine configurations run on each instance:
+//!
+//! * **baseline** — one thread, pruning disabled: the pre-engine
+//!   exhaustive scan over the canonical enumeration;
+//! * **prune** — one thread, pruning enabled: isolates the
+//!   branch-and-bound contribution;
+//! * **tuned** — pruning plus the auto-selected thread count (or
+//!   `--threads N`): the production configuration.
+//!
+//! All three must return byte-identical `RoutedAllocation`s — the binary
+//! exits nonzero on any divergence, so CI doubles as a determinism gate.
+//! Results land in a single JSON document (default `BENCH_search.json`)
+//! with per-configuration wall times, examined/pruned counts, and the
+//! prune-only and total speedups.
+//!
+//! The instances are hand-built (no RNG): a tie-rich C_3 collection, a
+//! 9-flow hot-ToR C_3 collection, and a 9-flow hot-ToR C_4 collection
+//! that doubles as the n = 4 scale evidence for the e-series experiments.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_search [--out PATH] [--threads N] [--min-speedup X] [--reps R]
+//! ```
+//!
+//! `--min-speedup X` makes the run fail unless the best total speedup
+//! (baseline / tuned) over all instance/objective rows reaches `X`; the
+//! default `0` records without gating, for single-core or otherwise
+//! wall-clock-hostile environments.
+
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use clos_core::objectives::{search_lex_max_min_with, search_throughput_max_min_with, SearchStats};
+use clos_core::search::{search_threads, set_search_threads, SearchConfig};
+use clos_core::RoutedAllocation;
+use clos_net::{ClosNetwork, Flow};
+use clos_telemetry::json::JsonValue;
+
+/// Parsed command-line options.
+struct Options {
+    out: String,
+    threads: Option<usize>,
+    min_speedup: f64,
+    reps: u32,
+}
+
+const USAGE: &str = "usage: bench_search [--out PATH] [--threads N] [--min-speedup X] [--reps R]
+  --out PATH        output JSON path (default BENCH_search.json)
+  --threads N       thread count for the tuned configuration (default: auto)
+  --min-speedup X   fail unless some row speeds up by at least X (default 0)
+  --reps R          timing repetitions per configuration, best-of (default 3)";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_search.json".to_string(),
+        threads: None,
+        min_speedup: 0.0,
+        reps: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+                opts.threads = Some(n);
+            }
+            "--min-speedup" => {
+                let v = value("--min-speedup")?;
+                opts.min_speedup = v.parse().map_err(|_| format!("bad --min-speedup {v}"))?;
+            }
+            "--reps" => {
+                let v = value("--reps")?;
+                let r: u32 = v.parse().map_err(|_| format!("bad --reps {v}"))?;
+                if r == 0 {
+                    return Err("--reps must be positive".to_string());
+                }
+                opts.reps = r;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// A fixed benchmark instance: network size plus hand-picked flows.
+struct Instance {
+    name: &'static str,
+    n: usize,
+    coords: &'static [(usize, usize, usize, usize)],
+}
+
+/// The fixed instance set, smallest first; the best total speedup over
+/// all rows carries the `--min-speedup` gate.
+const INSTANCES: &[Instance] = &[
+    // Tie-rich: three identical flows plus two sharing a source ToR; every
+    // spread of the triple over distinct middles produces an identical
+    // key, stressing the first-canonical-wins tie-break.
+    Instance {
+        name: "ties3",
+        n: 3,
+        coords: &[
+            (0, 0, 3, 0),
+            (0, 0, 3, 0),
+            (0, 0, 3, 0),
+            (1, 0, 4, 0),
+            (1, 1, 4, 1),
+        ],
+    },
+    // Nine all-distinct flows on C_3, six of them leaving the three-uplink
+    // ToR 0: uplink contention makes the lex prefix bound bite.
+    Instance {
+        name: "hot3",
+        n: 3,
+        coords: &[
+            (0, 0, 3, 0),
+            (0, 0, 3, 1),
+            (0, 1, 4, 0),
+            (0, 1, 4, 1),
+            (0, 2, 5, 0),
+            (0, 2, 5, 1),
+            (1, 0, 3, 2),
+            (1, 1, 4, 2),
+            (2, 0, 5, 2),
+        ],
+    },
+    // Nine flows on C_4 — the n = 4 scale evidence: five flows leave the
+    // four-uplink ToR 0 (one uplink must carry two of them), plus a
+    // permutation tail. The hot ToR drives the deepest pruning, so this
+    // instance typically posts the gating speedup.
+    Instance {
+        name: "hot4",
+        n: 4,
+        coords: &[
+            (0, 0, 4, 0),
+            (0, 1, 4, 1),
+            (0, 2, 4, 2),
+            (0, 3, 4, 3),
+            (0, 0, 5, 0),
+            (1, 0, 5, 1),
+            (1, 1, 6, 0),
+            (2, 0, 6, 1),
+            (3, 0, 7, 0),
+        ],
+    },
+];
+
+fn build(instance: &Instance) -> (ClosNetwork, Vec<Flow>) {
+    let clos = ClosNetwork::standard(instance.n);
+    let flows = instance
+        .coords
+        .iter()
+        .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+        .collect();
+    (clos, flows)
+}
+
+/// One configuration's measurement: best-of-`reps` wall time plus the
+/// (rep-invariant) search statistics and result.
+struct Measured {
+    wall_ms: f64,
+    stats: SearchStats,
+    result: RoutedAllocation,
+}
+
+fn measure(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    objective: &str,
+    config: SearchConfig,
+    reps: u32,
+) -> Measured {
+    let mut best_ms = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (result, stats) = match objective {
+            "lex" => search_lex_max_min_with(clos, flows, config),
+            "throughput" => search_throughput_max_min_with(clos, flows, config),
+            other => unreachable!("unknown objective {other}"),
+        };
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+        outcome = Some((result, stats));
+    }
+    let (result, stats) = outcome.expect("reps >= 1 enforced by parse_args");
+    Measured {
+        wall_ms: best_ms,
+        stats,
+        result,
+    }
+}
+
+fn config_json(m: &Measured) -> JsonValue {
+    JsonValue::Object(vec![
+        ("wall_ms".to_string(), JsonValue::from(m.wall_ms)),
+        (
+            "routings_examined".to_string(),
+            JsonValue::from(m.stats.routings_examined),
+        ),
+        ("pruned".to_string(), JsonValue::from(m.stats.pruned)),
+        (
+            "improvements".to_string(),
+            JsonValue::from(m.stats.improvements),
+        ),
+    ])
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    if let Some(threads) = opts.threads {
+        set_search_threads(threads);
+    }
+    let tuned_threads = search_threads();
+
+    let baseline_cfg = SearchConfig {
+        threads: Some(1),
+        no_prune: true,
+    };
+    let prune_cfg = SearchConfig {
+        threads: Some(1),
+        no_prune: false,
+    };
+    let tuned_cfg = SearchConfig {
+        threads: None,
+        no_prune: false,
+    };
+
+    let mut rows = Vec::new();
+    let mut gated_speedup = 0.0_f64;
+    println!(
+        "{:<10} {:>10} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "instance",
+        "objective",
+        "flows",
+        "baseline_ms",
+        "prune_ms",
+        "tuned_ms",
+        "sp_prune",
+        "sp_total"
+    );
+    for instance in INSTANCES {
+        let (clos, flows) = build(instance);
+        // The throughput objective rides along on the largest instance
+        // only; lex is the paper's primary objective.
+        let objectives: &[&str] = if instance.name == "hot4" {
+            &["lex", "throughput"]
+        } else {
+            &["lex"]
+        };
+        for objective in objectives {
+            let baseline = measure(&clos, &flows, objective, baseline_cfg, opts.reps);
+            let prune = measure(&clos, &flows, objective, prune_cfg, opts.reps);
+            let tuned = measure(&clos, &flows, objective, tuned_cfg, opts.reps);
+
+            if prune.result != baseline.result || tuned.result != baseline.result {
+                return Err(format!(
+                    "{}/{objective}: configurations disagree on the optimal \
+                     RoutedAllocation — determinism violated",
+                    instance.name
+                ));
+            }
+
+            let speedup_prune = baseline.wall_ms / prune.wall_ms.max(1e-9);
+            let speedup_total = baseline.wall_ms / tuned.wall_ms.max(1e-9);
+            gated_speedup = gated_speedup.max(speedup_total);
+            println!(
+                "{:<10} {:>10} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>7.1}x {:>7.1}x",
+                instance.name,
+                objective,
+                flows.len(),
+                baseline.wall_ms,
+                prune.wall_ms,
+                tuned.wall_ms,
+                speedup_prune,
+                speedup_total
+            );
+
+            rows.push(JsonValue::Object(vec![
+                ("instance".to_string(), JsonValue::from(instance.name)),
+                ("objective".to_string(), JsonValue::from(*objective)),
+                ("n".to_string(), JsonValue::from(instance.n)),
+                ("flows".to_string(), JsonValue::from(flows.len())),
+                ("baseline".to_string(), config_json(&baseline)),
+                ("prune".to_string(), config_json(&prune)),
+                ("tuned".to_string(), config_json(&tuned)),
+                ("speedup_prune".to_string(), JsonValue::from(speedup_prune)),
+                ("speedup_total".to_string(), JsonValue::from(speedup_total)),
+                ("results_identical".to_string(), JsonValue::from(true)),
+            ]));
+        }
+    }
+
+    let report = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::from("bench_search/v1")),
+        ("tuned_threads".to_string(), JsonValue::from(tuned_threads)),
+        ("reps".to_string(), JsonValue::from(u64::from(opts.reps))),
+        ("instances".to_string(), JsonValue::Array(rows)),
+    ]);
+    fs::write(&opts.out, format!("{report}\n")).map_err(|e| format!("write {}: {e}", opts.out))?;
+    println!("report written to {}", opts.out);
+
+    if opts.min_speedup > 0.0 && gated_speedup < opts.min_speedup {
+        return Err(format!(
+            "best total speedup {gated_speedup:.2}x below the required {:.2}x",
+            opts.min_speedup
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_search: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

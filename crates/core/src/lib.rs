@@ -16,6 +16,10 @@
 //!   *exactly* by symmetry-pruned exhaustive search over routings:
 //!   lex-max-min fair allocations (Definition 2.4) and throughput-max-min
 //!   fair allocations (Definition 2.5).
+//! * [`search`] — the deterministic parallel branch-and-bound engine
+//!   behind [`objectives`] and [`relative`]: combined symmetry reduction,
+//!   admissible per-prefix bounds, and prefix-splitting parallelism with
+//!   byte-identical results for any thread count.
 //! * [`doom_switch`] — Algorithm 1, the Doom-Switch routing that
 //!   approximates a throughput-max-min fair allocation and realizes the
 //!   tight factor-2 gain of Theorem 5.4.
@@ -69,6 +73,7 @@ pub mod objectives;
 pub mod relative;
 pub mod replication;
 pub mod routers;
+pub mod search;
 pub mod splittable;
 
 mod routed;

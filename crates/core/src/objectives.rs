@@ -9,47 +9,72 @@
 //! * **throughput-max-min fairness** (Definition 2.5): maximize the
 //!   throughput of the max-min fair allocation.
 //!
-//! Both are computed here by enumeration with two sound symmetry
-//! reductions (all links have equal capacity, so relabeling middle switches
-//! and permuting identical flows preserve allocations):
+//! Both are computed by the deterministic parallel branch-and-bound engine
+//! in [`search`](crate::search), which enumerates one representative per
+//! routing orbit (all links have equal capacity, so relabeling middle
+//! switches and permuting identical flows preserve allocations) under the
+//! *combined* symmetry reduction:
 //!
 //! * flows between the same source–destination pair are interchangeable,
-//!   so only sorted middle assignments are enumerated within such a group;
-//! * when all flows are distinct, middle labels are canonicalized by first
-//!   use (flow `i` may only use a middle index at most one above the
-//!   largest used so far).
+//!   so middle assignments are non-decreasing within such a group; and
+//! * simultaneously, middle labels are canonicalized by first use (a flow
+//!   may only use a middle index at most one above the largest used so
+//!   far).
+//!
+//! # Tie-breaking
+//!
+//! When several routings attain the optimal key, the **first canonical
+//! assignment in lexicographic order wins**. This choice is what makes the
+//! parallel search checkable: the engine returns byte-identical results
+//! and [`SearchStats`] for any thread count (see the determinism notes in
+//! [`search`](crate::search)).
 //!
 //! Exhaustive search is exponential; it is intended for the small instances
-//! where the paper's statements are verified end-to-end (`n ≤ 3`, a dozen
+//! where the paper's statements are verified end-to-end (`n ≤ 4`, a dozen
 //! flows). The adversarial constructions for large `n` come with optimal
 //! *certificate* routings from the paper's proofs instead (see
 //! [`constructions`]).
 //!
 //! [`constructions`]: crate::constructions
 
-use clos_fairness::{max_min_fair, Allocation};
+use clos_fairness::max_min_fair;
 use clos_net::{ClosNetwork, Flow, Routing};
 use clos_rational::Rational;
-use clos_telemetry::{counters, timers};
+use clos_telemetry::counters;
 
+use crate::search::{
+    run_search, walk_completions, CanonicalSpace, LexMaxMin, SearchConfig, ThroughputMaxMin,
+    Visitor,
+};
 use crate::RoutedAllocation;
 
 /// Statistics from an exhaustive routing search.
+///
+/// All three fields are deterministic: for a given instance and objective
+/// they are identical whatever the thread count (see
+/// [`search`](crate::search)).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SearchStats {
     /// Number of (canonical) routings whose allocation was evaluated.
+    /// With pruning, this is at most the canonical enumeration size.
     pub routings_examined: u64,
     /// Number of times the incumbent optimum was replaced (including the
     /// first routing examined).
     pub improvements: u64,
+    /// Number of assignment subtrees skipped because their admissible
+    /// objective bound could not beat an incumbent.
+    pub pruned: u64,
 }
 
 /// Invokes `visit` with every canonical middle-switch assignment for
-/// `flows` in `clos`.
+/// `flows` in `clos`, in lexicographic order.
 ///
 /// The assignment slice maps flow positions to middle-switch indices. At
 /// least one representative of every routing orbit (under middle-switch
-/// relabeling and identical-flow permutation) is visited.
+/// relabeling and identical-flow permutation) is visited: the
+/// lexicographically least element of each orbit is always emitted. The
+/// enumeration is iterative (explicit stack), so large flow collections
+/// cannot overflow the call stack.
 ///
 /// # Panics
 ///
@@ -57,87 +82,19 @@ pub struct SearchStats {
 pub fn for_each_canonical_assignment(
     clos: &ClosNetwork,
     flows: &[Flow],
-    mut visit: impl FnMut(&[usize]),
+    visit: impl FnMut(&[usize]),
 ) {
-    let n = clos.middle_count();
-    if flows.is_empty() {
-        counters::SEARCH_ASSIGNMENTS.incr();
-        visit(&[]);
-        return;
-    }
-
-    // Group consecutive positions of identical flows: assignments within a
-    // group are enumerated in non-decreasing order.
-    let mut group_of = vec![0usize; flows.len()];
-    {
-        use std::collections::BTreeMap;
-        let mut seen: BTreeMap<(clos_net::NodeId, clos_net::NodeId), usize> = BTreeMap::new();
-        let mut next = 0;
-        for (i, f) in flows.iter().enumerate() {
-            let key = (f.src(), f.dst());
-            let g = *seen.entry(key).or_insert_with(|| {
-                let g = next;
-                next += 1;
-                g
-            });
-            group_of[i] = g;
-        }
-    }
-    let all_distinct = {
-        let mut counts = std::collections::BTreeMap::new();
-        for &g in &group_of {
-            *counts.entry(g).or_insert(0usize) += 1;
-        }
-        counts.values().all(|&c| c == 1)
-    };
-    // Previous position in the same group, for the sortedness constraint.
-    let mut prev_in_group = vec![None; flows.len()];
-    {
-        let mut last: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
-        for i in 0..flows.len() {
-            if let Some(&p) = last.get(&group_of[i]) {
-                prev_in_group[i] = Some(p);
-            }
-            last.insert(group_of[i], i);
-        }
-    }
-
-    let mut assignment = vec![0usize; flows.len()];
-    // Iterative depth-first enumeration.
-    fn recurse(
-        i: usize,
-        n: usize,
-        all_distinct: bool,
-        prev_in_group: &[Option<usize>],
-        assignment: &mut Vec<usize>,
-        visit: &mut impl FnMut(&[usize]),
-    ) {
-        if i == assignment.len() {
+    struct Each<F>(F);
+    impl<F: FnMut(&[usize])> Visitor for Each<F> {
+        fn leaf(&mut self, assignment: &[usize]) {
             counters::SEARCH_ASSIGNMENTS.incr();
-            visit(assignment);
-            return;
-        }
-        let lower = prev_in_group[i].map_or(0, |p| assignment[p]);
-        let upper = if all_distinct {
-            // First-use canonicalization of middle labels.
-            let max_used = assignment[..i].iter().copied().max().map_or(0, |m| m + 1);
-            (max_used + 1).min(n)
-        } else {
-            n
-        };
-        for m in lower..upper {
-            assignment[i] = m;
-            recurse(i + 1, n, all_distinct, prev_in_group, assignment, visit);
+            (self.0)(assignment);
         }
     }
-    recurse(
-        0,
-        n,
-        all_distinct,
-        &prev_in_group,
-        &mut assignment,
-        &mut visit,
-    );
+    let space = CanonicalSpace::new(clos, flows);
+    let mut assignment = vec![0usize; flows.len()];
+    let mut fresh = vec![0usize; flows.len() + 1];
+    walk_completions(&space, &mut assignment, &mut fresh, 0, &mut Each(visit));
 }
 
 fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> Routing {
@@ -148,56 +105,27 @@ fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usi
         .collect()
 }
 
-/// Exhaustively searches canonical routings, keeping the routing whose
-/// max-min fair allocation maximizes `key`.
+/// Rebuilds the winning routing and allocation once, after the search.
 ///
-/// Both objectives reduce to this: lex-max-min uses the sorted rate vector
-/// as the key, throughput-max-min uses the total throughput. The shared
-/// loop guarantees both report identical [`SearchStats`] semantics and feed
-/// the same telemetry counters.
-fn search_best_by<K: PartialOrd>(
-    clos: &ClosNetwork,
-    flows: &[Flow],
-    mut key: impl FnMut(&Allocation<Rational>) -> K,
-) -> (RoutedAllocation, SearchStats) {
-    let _span = timers::SEARCH.scope();
-    counters::SEARCH_RUNS.incr();
-    let mut best: Option<RoutedAllocation> = None;
-    let mut best_key: Option<K> = None;
-    let mut examined = 0u64;
-    let mut improvements = 0u64;
-    for_each_canonical_assignment(clos, flows, |assignment| {
-        examined += 1;
-        let routing = routing_from_assignment(clos, flows, assignment);
-        let allocation = max_min_fair::<Rational>(clos.network(), flows, &routing)
-            .expect("Clos links are finite");
-        let candidate = key(&allocation);
-        let better = match &best_key {
-            None => true,
-            Some(current) => candidate > *current,
-        };
-        if better {
-            improvements += 1;
-            counters::SEARCH_IMPROVEMENTS.incr();
-            best_key = Some(candidate);
-            best = Some(RoutedAllocation {
-                routing,
-                allocation,
-            });
-        }
-    });
-    (
-        best.expect("at least one routing exists"),
-        SearchStats {
-            routings_examined: examined,
-            improvements,
-        },
-    )
+/// The scan itself only tracks the best canonical assignment and key;
+/// materializing `Routing` + `Allocation` per improvement would allocate
+/// proportionally to the improvement count for no benefit.
+fn finish(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> RoutedAllocation {
+    let routing = routing_from_assignment(clos, flows, assignment);
+    let allocation =
+        max_min_fair::<Rational>(clos.network(), flows, &routing).expect("Clos links are finite");
+    RoutedAllocation {
+        routing,
+        allocation,
+    }
 }
 
 /// Computes a lex-max-min fair allocation `a^L-MmF` (Definition 2.4) by
 /// exhaustive search, returning the optimal routing, its allocation, and
 /// search statistics.
+///
+/// On key ties, the first canonical assignment in lexicographic order
+/// wins, independent of the thread count.
 ///
 /// # Panics
 ///
@@ -206,7 +134,24 @@ fn search_best_by<K: PartialOrd>(
 /// instance sizes.
 #[must_use]
 pub fn search_lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> (RoutedAllocation, SearchStats) {
-    search_best_by(clos, flows, Allocation::sorted)
+    search_lex_max_min_with(clos, flows, SearchConfig::default())
+}
+
+/// [`search_lex_max_min`] with explicit engine configuration (thread
+/// count, pruning toggle). Results are identical for every configuration;
+/// only statistics and wall time differ.
+///
+/// # Panics
+///
+/// See [`search_lex_max_min`].
+#[must_use]
+pub fn search_lex_max_min_with(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    config: SearchConfig,
+) -> (RoutedAllocation, SearchStats) {
+    let (assignment, stats) = run_search(clos, flows, &LexMaxMin, config);
+    (finish(clos, flows, &assignment), stats)
 }
 
 /// Computes a lex-max-min fair allocation (Definition 2.4); convenience
@@ -243,6 +188,9 @@ pub fn lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
 /// Computes a throughput-max-min fair allocation `a^T-MmF`
 /// (Definition 2.5) by exhaustive search.
 ///
+/// On key ties, the first canonical assignment in lexicographic order
+/// wins, independent of the thread count.
+///
 /// # Panics
 ///
 /// See [`search_lex_max_min`].
@@ -251,7 +199,24 @@ pub fn search_throughput_max_min(
     clos: &ClosNetwork,
     flows: &[Flow],
 ) -> (RoutedAllocation, SearchStats) {
-    search_best_by(clos, flows, Allocation::throughput)
+    search_throughput_max_min_with(clos, flows, SearchConfig::default())
+}
+
+/// [`search_throughput_max_min`] with explicit engine configuration.
+/// Results are identical for every configuration; only statistics and
+/// wall time differ.
+///
+/// # Panics
+///
+/// See [`search_lex_max_min`].
+#[must_use]
+pub fn search_throughput_max_min_with(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    config: SearchConfig,
+) -> (RoutedAllocation, SearchStats) {
+    let (assignment, stats) = run_search(clos, flows, &ThroughputMaxMin, config);
+    (finish(clos, flows, &assignment), stats)
 }
 
 /// Computes a throughput-max-min fair allocation (Definition 2.5);
@@ -302,19 +267,55 @@ mod tests {
     }
 
     #[test]
-    fn identical_flows_enumerate_multisets() {
+    fn identical_flows_enumerate_canonical_multisets() {
         let clos = ClosNetwork::standard(3);
-        // Three identical flows over 3 middles: multisets of size 3 from 3
-        // = C(5,2) = 10 instead of 27.
+        // Three identical flows over 3 middles. Group-sortedness alone
+        // would leave the 10 multisets of size 3; combining it with
+        // first-use label canonicalization cuts the enumeration to 4:
+        // 000, 001, 011, 012 (e.g. 002 ~ 001 and 112 ~ 001 under middle
+        // relabeling). The set is a superset of the 3 true orbits — 011
+        // shares an orbit with 001 but satisfies both constraints, so it
+        // stays. Soundness (every orbit's lex-min survives) is checked
+        // against unreduced brute force by the orbit-coverage proptest in
+        // tests/symmetry_soundness.rs.
         let flows = vec![Flow::new(clos.source(0, 0), clos.destination(3, 0)); 3];
-        let mut count = 0;
+        let mut seen = Vec::new();
         let mut sorted_ok = true;
         for_each_canonical_assignment(&clos, &flows, |a| {
-            count += 1;
+            seen.push(a.to_vec());
             sorted_ok &= a.windows(2).all(|w| w[0] <= w[1]);
         });
-        assert_eq!(count, 10);
+        assert_eq!(
+            seen,
+            vec![vec![0, 0, 0], vec![0, 0, 1], vec![0, 1, 1], vec![0, 1, 2]]
+        );
         assert!(sorted_ok);
+    }
+
+    #[test]
+    fn mixed_groups_combine_both_reductions() {
+        let clos = ClosNetwork::standard(3);
+        // Two identical flows plus one distinct flow. With the old
+        // either/or reduction the duplicate pair disabled first-use
+        // canonicalization entirely (6 * 3 = 18 assignments); combined,
+        // only 5 survive: 000, 001, 010, 011, 012.
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(4, 0)),
+        ];
+        let mut seen = Vec::new();
+        for_each_canonical_assignment(&clos, &flows, |a| seen.push(a.to_vec()));
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0, 0],
+                vec![0, 0, 1],
+                vec![0, 1, 0],
+                vec![0, 1, 1],
+                vec![0, 1, 2],
+            ]
+        );
     }
 
     #[test]
@@ -411,5 +412,26 @@ mod tests {
             let a = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
             assert!(best.throughput() >= a.throughput());
         });
+    }
+
+    /// S3 regression: on key ties the first canonical assignment wins,
+    /// for any thread count. Two identical flows to the same destination
+    /// tie across both canonical routings (the second flow's rate is the
+    /// same shared either way only when capacities force it); use a
+    /// symmetric instance where several routings attain the optimum.
+    #[test]
+    fn ties_resolve_to_first_canonical_assignment() {
+        let clos = ClosNetwork::standard(2);
+        // One flow: both middles give rate 1 -> tie; middle 0 must win.
+        let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 0))];
+        for threads in [1usize, 2, 4, 8] {
+            let config = SearchConfig {
+                threads: Some(threads),
+                no_prune: false,
+            };
+            let (best, _) = search_lex_max_min_with(&clos, &flows, config);
+            let m = clos.middle_of_path(best.routing.path(clos_net::FlowId::new(0)));
+            assert_eq!(m, Some(0), "threads={threads}");
+        }
     }
 }

@@ -19,8 +19,9 @@ use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
 use clos_rational::Rational;
 
 use crate::macro_switch::macro_max_min;
-use crate::objectives::{for_each_canonical_assignment, SearchStats};
+use crate::objectives::SearchStats;
 use crate::routers::{GreedyRouter, Router};
+use crate::search::{run_search, Objective, Problem, SearchConfig};
 use crate::RoutedAllocation;
 
 /// The outcome of a relative max-min fairness optimization.
@@ -135,40 +136,39 @@ pub fn search_relative_max_min(
     flows: &[Flow],
 ) -> (RelativeOutcome, SearchStats) {
     assert!(!flows.is_empty(), "need at least one flow");
-    let _span = clos_telemetry::timers::SEARCH.scope();
-    clos_telemetry::counters::SEARCH_RUNS.incr();
-    let reference = macro_reference_rates(clos, ms, flows);
-    let mut best: Option<RelativeOutcome> = None;
-    let mut best_sorted: Option<SortedRates<Rational>> = None;
-    let mut examined = 0u64;
-    let mut improvements = 0u64;
-    for_each_canonical_assignment(clos, flows, |assignment| {
-        examined += 1;
-        let routing: Routing = flows
-            .iter()
-            .zip(assignment)
-            .map(|(&f, &m)| clos.path_via(f, m))
-            .collect();
-        let candidate = outcome_for(clos, flows, routing, &reference);
-        let sorted = candidate.sorted_ratios();
-        let better = match &best_sorted {
-            None => true,
-            Some(current) => sorted > *current,
-        };
-        if better {
-            improvements += 1;
-            clos_telemetry::counters::SEARCH_IMPROVEMENTS.incr();
-            best_sorted = Some(sorted);
-            best = Some(candidate);
+
+    /// The relative objective: the sorted per-flow ratio vector, compared
+    /// lexicographically. No admissible prefix bound is known in ratio
+    /// space (the lex bound of the absolute objective does not transfer:
+    /// dividing by per-flow references is not monotone under the sorted
+    /// order), so this search benefits from the engine's symmetry
+    /// reduction and parallelism only.
+    struct RelativeObjective<'r> {
+        reference: &'r [Rational],
+    }
+    impl Objective for RelativeObjective<'_> {
+        type Key = SortedRates<Rational>;
+
+        fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
+            Allocation::from_rates(ratios_for(allocation, self.reference)).sorted()
         }
-    });
-    (
-        best.expect("at least one routing"),
-        SearchStats {
-            routings_examined: examined,
-            improvements,
-        },
-    )
+
+        fn prefix_bound(&self, _problem: &Problem<'_>, _prefix: &[usize]) -> Option<Self::Key> {
+            None
+        }
+    }
+
+    let reference = macro_reference_rates(clos, ms, flows);
+    let objective = RelativeObjective {
+        reference: &reference,
+    };
+    let (assignment, stats) = run_search(clos, flows, &objective, SearchConfig::default());
+    let routing: Routing = flows
+        .iter()
+        .zip(&assignment)
+        .map(|(&f, &m)| clos.path_via(f, m))
+        .collect();
+    (outcome_for(clos, flows, routing, &reference), stats)
 }
 
 /// Approximates a relative-max-min fair allocation: greedy seeding, then

@@ -1,0 +1,841 @@
+//! Deterministic parallel branch-and-bound search over canonical routings.
+//!
+//! Both routing objectives of §2.3 (and the relative objective of §7)
+//! reduce to the same problem: over the `n^F` routings of `F` flows in
+//! `C_n`, maximize a key derived from the max-min fair allocation. This
+//! module is the shared engine. It improves on naive enumeration three
+//! ways, without leaving exact territory:
+//!
+//! 1. **Combined symmetry reduction.** All links have equal capacity, so
+//!    relabeling middle switches and permuting identical flows preserve
+//!    allocations. The enumerator emits only assignments that are
+//!    simultaneously *group-sorted* (non-decreasing within each set of
+//!    identical flows) and *first-use canonical* (middle labels first
+//!    appear in increasing order). Every orbit keeps a representative:
+//!    its lexicographically least element satisfies both constraints at
+//!    once — if it violated group-sortedness, sorting within groups would
+//!    produce a lex-smaller orbit element, and if it violated first-use
+//!    order, relabeling by first use would.
+//! 2. **Branch-and-bound pruning.** Each [`Objective`] may supply an
+//!    *admissible* per-prefix upper bound on its key; subtrees whose bound
+//!    cannot strictly beat the incumbent are skipped (counted in telemetry
+//!    as `search.pruned`).
+//! 3. **Prefix-splitting parallelism.** The canonical tree is split into
+//!    blocks at a fixed prefix depth and the blocks are distributed over
+//!    `std::thread::scope` workers.
+//!
+//! # Determinism
+//!
+//! Results and [`SearchStats`] are byte-identical for any thread count.
+//! The block decomposition depends only on the instance (smallest depth
+//! with at least [`BLOCK_TARGET`] canonical prefixes), each block prunes
+//! against a *block-local* incumbent seeded with the key of the first
+//! canonical leaf (the all-zeros assignment, evaluated once up front), and
+//! block winners are merged in block order with a strict comparison. The
+//! final answer is therefore always the lexicographically first canonical
+//! assignment attaining the optimal key — exactly what a sequential
+//! first-wins scan returns — and every per-block statistic is a property
+//! of the block alone, independent of scheduling.
+//!
+//! Pruning cannot lose that first winner: a subtree is skipped only when
+//! its bound is `<=` the local incumbent key, and the incumbent (seed or
+//! an earlier leaf of the same block) always precedes the subtree in
+//! lexicographic order, so any equal-key leaf inside it was never going to
+//! replace the incumbent.
+//!
+//! [`SearchStats`]: crate::objectives::SearchStats
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use clos_fairness::{max_min_fair, Allocation};
+use clos_net::{ClosNetwork, Flow, LinkId, Path, Routing};
+use clos_rational::Rational;
+use clos_telemetry::counters;
+
+use crate::objectives::SearchStats;
+
+/// Target number of prefix blocks for the parallel decomposition.
+///
+/// The split depth is the smallest depth whose canonical prefix count
+/// reaches this target (clamped to the flow count), *independent of the
+/// thread count* — that is what keeps [`SearchStats`] identical across
+/// thread counts while still giving a 16-way machine enough blocks to
+/// balance load.
+pub const BLOCK_TARGET: usize = 64;
+
+/// Upper cap on the auto-detected thread count.
+const MAX_AUTO_THREADS: usize = 8;
+
+/// Requested worker count: 0 means "auto" (env var, then hardware).
+static SEARCH_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for subsequent searches (process-global).
+///
+/// `0` restores the default resolution order: the `CLOS_SEARCH_THREADS`
+/// environment variable if set, otherwise the available hardware
+/// parallelism capped at 8. Results are identical for every setting; only
+/// wall-clock time changes.
+pub fn set_search_threads(threads: usize) {
+    SEARCH_THREADS.store(threads, Ordering::Release);
+}
+
+/// Resolves the worker count a search started now would use.
+#[must_use]
+pub fn search_threads() -> usize {
+    let explicit = SEARCH_THREADS.load(Ordering::Acquire);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(var) = std::env::var("CLOS_SEARCH_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(MAX_AUTO_THREADS)
+}
+
+/// Tuning knobs for one search run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SearchConfig {
+    /// Worker count; `None` resolves via [`search_threads`].
+    pub threads: Option<usize>,
+    /// Disables branch-and-bound pruning when `true` (the enumeration
+    /// then visits every canonical assignment). Used by benchmarks to
+    /// measure the pruning contribution; results are identical either way.
+    pub no_prune: bool,
+}
+
+/// Precomputed, read-only view of one search instance, shared by all
+/// workers and handed to [`Objective::prefix_bound`].
+#[derive(Debug)]
+pub struct Problem<'a> {
+    clos: &'a ClosNetwork,
+    flows: &'a [Flow],
+    /// `paths[i][m]`: the path of flow `i` via middle `m`.
+    paths: Vec<Vec<Path>>,
+    /// Fabric uplink of flow `i` via middle `m` (throughput cover bound).
+    uplinks: Vec<Vec<LinkId>>,
+    /// Fabric downlink of flow `i` via middle `m`.
+    downlinks: Vec<Vec<LinkId>>,
+    /// Distinct source host-uplinks among `flows[k..]`, for every `k`.
+    suffix_src_hosts: Vec<usize>,
+    /// Distinct destination host-downlinks among `flows[k..]`.
+    suffix_dst_hosts: Vec<usize>,
+    /// The uniform link capacity of the network.
+    capacity: Rational,
+}
+
+impl<'a> Problem<'a> {
+    fn new(clos: &'a ClosNetwork, flows: &'a [Flow]) -> Problem<'a> {
+        let n = clos.middle_count();
+        let mut paths = Vec::with_capacity(flows.len());
+        let mut uplinks = Vec::with_capacity(flows.len());
+        let mut downlinks = Vec::with_capacity(flows.len());
+        for &f in flows {
+            paths.push((0..n).map(|m| clos.path_via(f, m)).collect::<Vec<_>>());
+            let st = clos.src_tor(f);
+            let dt = clos.dst_tor(f);
+            uplinks.push((0..n).map(|m| clos.uplink(st, m)).collect::<Vec<_>>());
+            downlinks.push((0..n).map(|m| clos.downlink(m, dt)).collect::<Vec<_>>());
+        }
+        // Suffix counts of distinct host links (a flow crosses its source
+        // host-uplink and destination host-downlink no matter the middle).
+        let mut suffix_src_hosts = vec![0usize; flows.len() + 1];
+        let mut suffix_dst_hosts = vec![0usize; flows.len() + 1];
+        let mut seen_src = std::collections::BTreeSet::new();
+        let mut seen_dst = std::collections::BTreeSet::new();
+        for k in (0..flows.len()).rev() {
+            let (st, sh) = clos.source_coords(flows[k].src());
+            let (dt, dh) = clos.destination_coords(flows[k].dst());
+            seen_src.insert(clos.host_uplink(st, sh));
+            seen_dst.insert(clos.host_downlink(dt, dh));
+            suffix_src_hosts[k] = seen_src.len();
+            suffix_dst_hosts[k] = seen_dst.len();
+        }
+        Problem {
+            clos,
+            flows,
+            paths,
+            uplinks,
+            downlinks,
+            suffix_src_hosts,
+            suffix_dst_hosts,
+            capacity: clos.params().link_capacity,
+        }
+    }
+
+    /// The network being searched.
+    #[must_use]
+    pub fn clos(&self) -> &'a ClosNetwork {
+        self.clos
+    }
+
+    /// The flow collection being routed.
+    #[must_use]
+    pub fn flows(&self) -> &'a [Flow] {
+        self.flows
+    }
+
+    /// The uniform link capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Rational {
+        self.capacity
+    }
+
+    /// Builds the routing selecting `assignment[i]` as flow `i`'s middle;
+    /// `assignment` may cover just a prefix of the flow collection.
+    #[must_use]
+    pub fn partial_routing(&self, assignment: &[usize]) -> Routing {
+        Routing::new(
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| self.paths[i][m].clone())
+                .collect(),
+        )
+    }
+
+    /// Max-min fair allocation of the *prefix* flows routed by
+    /// `assignment`, ignoring the unassigned remainder.
+    #[must_use]
+    pub fn prefix_allocation(&self, assignment: &[usize]) -> Allocation<Rational> {
+        let routing = self.partial_routing(assignment);
+        max_min_fair::<Rational>(
+            self.clos.network(),
+            &self.flows[..assignment.len()],
+            &routing,
+        )
+        .expect("Clos links are finite")
+    }
+
+    /// Admissible upper bound on the *total throughput* of any completion
+    /// of `prefix` (a cover argument): every flow's rate crosses its
+    /// source host-uplink and its destination host-downlink, every
+    /// assigned flow's rate crosses its chosen fabric uplink and downlink,
+    /// and each link carries at most its capacity. Summing capacities over
+    /// either cover — assigned fabric uplinks plus unassigned source
+    /// host-uplinks, or the downlink-side mirror — bounds the total.
+    #[must_use]
+    pub fn throughput_cover_bound(&self, prefix: &[usize]) -> Rational {
+        let k = prefix.len();
+        let mut up: Vec<LinkId> = (0..k).map(|i| self.uplinks[i][prefix[i]]).collect();
+        let mut down: Vec<LinkId> = (0..k).map(|i| self.downlinks[i][prefix[i]]).collect();
+        up.sort_unstable();
+        up.dedup();
+        down.sort_unstable();
+        down.dedup();
+        let links = (up.len() + self.suffix_src_hosts[k])
+            .min(down.len() + self.suffix_dst_hosts[k])
+            .min(self.suffix_src_hosts[0])
+            .min(self.suffix_dst_hosts[0]);
+        self.capacity * Rational::from_integer(links as i128)
+    }
+}
+
+/// A search objective: a (partially) ordered key computed from the
+/// max-min fair allocation of a routing, plus an optional admissible
+/// bound that enables branch-and-bound pruning.
+pub trait Objective: Sync {
+    /// Comparison key; the search maximizes it. Ties are broken toward
+    /// the lexicographically first canonical assignment. (`Sync` because
+    /// the seed key is shared with every worker by reference.)
+    type Key: PartialOrd + Clone + Send + Sync;
+
+    /// The key of a fully routed allocation.
+    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key;
+
+    /// An upper bound on [`Self::key`] over *every* completion of
+    /// `prefix` (flows `prefix.len()..` still unassigned), or `None` to
+    /// skip pruning at this prefix. Soundness requirement: whenever the
+    /// bound compares `<=` to some key `k`, no completion's key exceeds
+    /// `k`.
+    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key>;
+}
+
+/// Lex-max-min fairness (Definition 2.4): the key is the sorted rate
+/// vector, compared lexicographically from the smallest rate.
+///
+/// Its prefix bound concatenates the max-min fair rates of the prefix
+/// flows *alone* with one full link capacity per unassigned flow, and
+/// sorts. Admissibility: in any completion, the allocation restricted to
+/// the prefix flows is feasible for the prefix-only problem, whose
+/// max-min fair allocation is leximin-maximal among feasible rate
+/// vectors; each unassigned flow is individually capped by its host
+/// links; and sorting is monotone under componentwise domination of the
+/// two parts, so the concatenated bound vector dominates every
+/// completion's sorted vector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LexMaxMin;
+
+impl Objective for LexMaxMin {
+    type Key = clos_fairness::SortedRates<Rational>;
+
+    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
+        allocation.sorted()
+    }
+
+    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key> {
+        let k = prefix.len();
+        let f = problem.flows().len();
+        // A bound costs one water-filling pass; only spend it where it
+        // can pay for a subtree (>= n^2 leaves) on a meaningful prefix.
+        if k < 2 || f - k < 2 {
+            return None;
+        }
+        let mut rates = problem.prefix_allocation(prefix).rates().to_vec();
+        rates.resize(f, problem.capacity());
+        Some(Allocation::from_rates(rates).sorted())
+    }
+}
+
+/// Throughput-max-min fairness (Definition 2.5): the key is the total
+/// throughput of the max-min fair allocation, bounded per prefix by
+/// [`Problem::throughput_cover_bound`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThroughputMaxMin;
+
+impl Objective for ThroughputMaxMin {
+    type Key = Rational;
+
+    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
+        allocation.throughput()
+    }
+
+    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key> {
+        Some(problem.throughput_cover_bound(prefix))
+    }
+}
+
+/// The canonical assignment space: per-position value ranges encoding the
+/// combined symmetry reduction (see the module docs).
+pub(crate) struct CanonicalSpace {
+    n: usize,
+    /// Previous position holding an identical flow, if any.
+    prev_in_group: Vec<Option<usize>>,
+}
+
+impl CanonicalSpace {
+    pub(crate) fn new(clos: &ClosNetwork, flows: &[Flow]) -> CanonicalSpace {
+        use std::collections::BTreeMap;
+        let mut last: BTreeMap<(clos_net::NodeId, clos_net::NodeId), usize> = BTreeMap::new();
+        let mut prev_in_group = vec![None; flows.len()];
+        for (i, f) in flows.iter().enumerate() {
+            prev_in_group[i] = last.insert((f.src(), f.dst()), i);
+        }
+        CanonicalSpace {
+            n: clos.middle_count(),
+            prev_in_group,
+        }
+    }
+
+    /// Smallest admissible value at position `i` given the prefix:
+    /// group-sortedness forces at least the previous identical flow's
+    /// value. (First-use canonicalization never raises this further, so
+    /// the range below [`Self::upper`] is nonempty: the group bound is a
+    /// label already used in the prefix, hence at most `fresh`.)
+    fn lower(&self, assignment: &[usize], i: usize) -> usize {
+        self.prev_in_group[i].map_or(0, |p| assignment[p])
+    }
+
+    /// One past the largest admissible value: first-use canonicalization
+    /// allows reusing any label `< fresh` or introducing exactly the next
+    /// fresh one (`fresh` is one past the largest label in the prefix).
+    fn upper(&self, fresh: usize) -> usize {
+        (fresh + 1).min(self.n)
+    }
+}
+
+/// Callbacks driving the canonical walker.
+pub(crate) trait Visitor {
+    /// Called once per proper prefix (never the block root, never a
+    /// complete assignment); returning `true` skips the subtree.
+    fn prune(&mut self, _prefix: &[usize]) -> bool {
+        false
+    }
+
+    /// Called once per surviving complete assignment.
+    fn leaf(&mut self, assignment: &[usize]);
+}
+
+/// Iteratively enumerates, in lexicographic order, every canonical
+/// completion of `assignment[..start]` — an explicit-stack depth-first
+/// walk, so deep flow collections cannot overflow the call stack.
+///
+/// `fresh[i]` must hold one past the largest label in `assignment[..i]`
+/// for `i <= start` on entry; the walker maintains it for deeper levels.
+pub(crate) fn walk_completions(
+    space: &CanonicalSpace,
+    assignment: &mut [usize],
+    fresh: &mut [usize],
+    start: usize,
+    visitor: &mut impl Visitor,
+) {
+    let count = assignment.len();
+    if start == count {
+        visitor.leaf(assignment);
+        return;
+    }
+    let mut i = start;
+    assignment[i] = space.lower(assignment, i);
+    loop {
+        if assignment[i] < space.upper(fresh[i]) {
+            fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+            if i + 1 == count {
+                visitor.leaf(assignment);
+            } else if !visitor.prune(&assignment[..=i]) {
+                i += 1;
+                assignment[i] = space.lower(assignment, i);
+                continue;
+            }
+            assignment[i] += 1;
+            continue;
+        }
+        // Values exhausted at this depth: backtrack.
+        if i == start {
+            return;
+        }
+        i -= 1;
+        assignment[i] += 1;
+    }
+}
+
+/// A [`Visitor`] that collects every leaf (used for prefix enumeration
+/// and by tests).
+struct Collect(Vec<Vec<usize>>);
+
+impl Visitor for Collect {
+    fn leaf(&mut self, assignment: &[usize]) {
+        self.0.push(assignment.to_vec());
+    }
+}
+
+/// Collects every canonical prefix of length `depth`.
+fn canonical_prefixes(space: &CanonicalSpace, depth: usize) -> Vec<Vec<usize>> {
+    let mut assignment = vec![0usize; depth];
+    let mut fresh = vec![0usize; depth + 1];
+    let mut collect = Collect(Vec::new());
+    walk_completions(space, &mut assignment, &mut fresh, 0, &mut collect);
+    collect.0
+}
+
+/// Picks the block decomposition: the canonical prefixes at the smallest
+/// depth reaching [`BLOCK_TARGET`] blocks (or the full depth).
+fn prefix_blocks(space: &CanonicalSpace, flow_count: usize) -> (usize, Vec<Vec<usize>>) {
+    let mut depth = 0;
+    loop {
+        let blocks = canonical_prefixes(space, depth);
+        if blocks.len() >= BLOCK_TARGET || depth == flow_count {
+            return (depth, blocks);
+        }
+        depth += 1;
+    }
+}
+
+/// Per-block search outcome; every field is a pure function of the block,
+/// the instance, and the seed key — never of thread scheduling.
+struct BlockOutcome<K> {
+    index: usize,
+    /// Lexicographically first leaf of the block whose key strictly beats
+    /// the seed key (with its key), if any.
+    best: Option<(Vec<usize>, K)>,
+    examined: u64,
+    improvements: u64,
+    pruned: u64,
+}
+
+fn strictly_greater<K: PartialOrd>(a: &K, b: &K) -> bool {
+    matches!(a.partial_cmp(b), Some(std::cmp::Ordering::Greater))
+}
+
+fn bound_cannot_beat<K: PartialOrd>(bound: &K, incumbent: &K) -> bool {
+    // Explicit on incomparability: only a bound provably <= the incumbent
+    // justifies skipping the subtree.
+    matches!(
+        bound.partial_cmp(incumbent),
+        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+    )
+}
+
+fn evaluate<O: Objective>(problem: &Problem<'_>, objective: &O, assignment: &[usize]) -> O::Key {
+    counters::SEARCH_ASSIGNMENTS.incr();
+    let routing = problem.partial_routing(assignment);
+    let allocation = max_min_fair::<Rational>(problem.clos().network(), problem.flows(), &routing)
+        .expect("Clos links are finite");
+    objective.key(&allocation)
+}
+
+/// Read-only state shared by every block of one search run.
+struct SearchContext<'a, O: Objective> {
+    space: CanonicalSpace,
+    problem: Problem<'a>,
+    objective: &'a O,
+    config: SearchConfig,
+    /// The all-zeros seed assignment and its key.
+    seed: Vec<usize>,
+    seed_key: O::Key,
+}
+
+/// The per-block worker: walks one block with block-local pruning.
+struct BlockVisitor<'a, 'p, O: Objective> {
+    ctx: &'a SearchContext<'p, O>,
+    local_key: O::Key,
+    /// The seed leaf lives in the first block; skip its re-evaluation
+    /// there (it was examined up front).
+    seed_pending: bool,
+    outcome: BlockOutcome<O::Key>,
+}
+
+impl<O: Objective> Visitor for BlockVisitor<'_, '_, O> {
+    fn prune(&mut self, prefix: &[usize]) -> bool {
+        if self.ctx.config.no_prune {
+            return false;
+        }
+        match self.ctx.objective.prefix_bound(&self.ctx.problem, prefix) {
+            Some(bound) if bound_cannot_beat(&bound, &self.local_key) => {
+                self.outcome.pruned += 1;
+                counters::SEARCH_PRUNED.incr();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn leaf(&mut self, assignment: &[usize]) {
+        if self.seed_pending && assignment == &self.ctx.seed[..] {
+            self.seed_pending = false;
+            return;
+        }
+        self.outcome.examined += 1;
+        let key = evaluate(&self.ctx.problem, self.ctx.objective, assignment);
+        if strictly_greater(&key, &self.local_key) {
+            self.outcome.improvements += 1;
+            counters::SEARCH_IMPROVEMENTS.incr();
+            self.local_key = key.clone();
+            self.outcome.best = Some((assignment.to_vec(), key));
+        }
+    }
+}
+
+fn process_block<O: Objective>(
+    ctx: &SearchContext<'_, O>,
+    index: usize,
+    prefix: &[usize],
+) -> BlockOutcome<O::Key> {
+    let flow_count = ctx.problem.flows().len();
+    let depth = prefix.len();
+    let mut assignment = vec![0usize; flow_count];
+    assignment[..depth].copy_from_slice(prefix);
+    let mut fresh = vec![0usize; flow_count + 1];
+    for i in 0..depth {
+        fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+    }
+    let mut visitor = BlockVisitor {
+        ctx,
+        local_key: ctx.seed_key.clone(),
+        seed_pending: index == 0,
+        outcome: BlockOutcome {
+            index,
+            best: None,
+            examined: 0,
+            improvements: 0,
+            pruned: 0,
+        },
+    };
+    // The walker only bounds prefixes strictly deeper than the block
+    // root; bound the root itself first.
+    if depth > 0 && depth < flow_count && visitor.prune(&assignment[..depth]) {
+        return visitor.outcome;
+    }
+    walk_completions(&ctx.space, &mut assignment, &mut fresh, depth, &mut visitor);
+    visitor.outcome
+}
+
+/// Runs the full search: returns the lexicographically first canonical
+/// assignment maximizing the objective key, plus deterministic statistics.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is invalid for `clos`, or if evaluation
+/// itself panicked on a worker thread.
+pub fn run_search<O: Objective>(
+    clos: &ClosNetwork,
+    flows: &[Flow],
+    objective: &O,
+    config: SearchConfig,
+) -> (Vec<usize>, SearchStats) {
+    let _span = clos_telemetry::timers::SEARCH.scope();
+    counters::SEARCH_RUNS.incr();
+
+    let problem = Problem::new(clos, flows);
+    let space = CanonicalSpace::new(clos, flows);
+    let (_, blocks) = prefix_blocks(&space, flows.len());
+
+    // Seed incumbent: the lexicographically first canonical leaf — all
+    // zeros, since every position's group and first-use lower bound is 0.
+    let seed = vec![0usize; flows.len()];
+    let seed_key = evaluate(&problem, objective, &seed);
+    counters::SEARCH_IMPROVEMENTS.incr();
+
+    let ctx = SearchContext {
+        space,
+        problem,
+        objective,
+        config,
+        seed,
+        seed_key,
+    };
+
+    let threads = config.threads.unwrap_or_else(search_threads).max(1);
+    let mut outcomes: Vec<BlockOutcome<O::Key>> = if threads == 1 || blocks.len() <= 1 {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(index, prefix)| process_block(&ctx, index, prefix))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(blocks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(prefix) = blocks.get(index) else {
+                                break;
+                            };
+                            mine.push(process_block(&ctx, index, prefix));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+    };
+
+    // Deterministic merge: block order, strict improvement only, so the
+    // earliest block (hence the lexicographically earliest leaf) wins
+    // ties.
+    outcomes.sort_by_key(|o| o.index);
+    let mut stats = SearchStats {
+        routings_examined: 1,
+        improvements: 1,
+        pruned: 0,
+    };
+    let mut best_assignment = ctx.seed;
+    let mut best_key = ctx.seed_key;
+    for outcome in outcomes {
+        stats.routings_examined += outcome.examined;
+        stats.improvements += outcome.improvements;
+        stats.pruned += outcome.pruned;
+        if let Some((assignment, key)) = outcome.best {
+            if strictly_greater(&key, &best_key) {
+                best_key = key;
+                best_assignment = assignment;
+            }
+        }
+    }
+    (best_assignment, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn flows_from_coords(clos: &ClosNetwork, coords: &[(usize, usize, usize, usize)]) -> Vec<Flow> {
+        coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+            .collect()
+    }
+
+    /// Enumerates all canonical leaves without pruning.
+    fn all_leaves(clos: &ClosNetwork, flows: &[Flow]) -> Vec<Vec<usize>> {
+        let space = CanonicalSpace::new(clos, flows);
+        let mut assignment = vec![0usize; flows.len()];
+        let mut fresh = vec![0usize; flows.len() + 1];
+        let mut collect = Collect(Vec::new());
+        walk_completions(&space, &mut assignment, &mut fresh, 0, &mut collect);
+        collect.0
+    }
+
+    #[test]
+    fn blocks_partition_the_leaves() {
+        let clos = ClosNetwork::standard(3);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(3, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(3, 1)),
+            Flow::new(clos.source(1, 0), clos.destination(4, 0)),
+        ];
+        let space = CanonicalSpace::new(&clos, &flows);
+        let (depth, blocks) = prefix_blocks(&space, flows.len());
+        let mut via_blocks = Vec::new();
+        for prefix in &blocks {
+            let mut assignment = vec![0usize; flows.len()];
+            assignment[..depth].copy_from_slice(prefix);
+            let mut fresh = vec![0usize; flows.len() + 1];
+            for i in 0..depth {
+                fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+            }
+            let mut collect = Collect(Vec::new());
+            walk_completions(&space, &mut assignment, &mut fresh, depth, &mut collect);
+            via_blocks.extend(collect.0);
+        }
+        assert_eq!(via_blocks, all_leaves(&clos, &flows));
+    }
+
+    #[test]
+    fn seed_is_first_leaf_and_order_is_lexicographic() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+        ];
+        let leaves = all_leaves(&clos, &flows);
+        assert_eq!(leaves[0], vec![0, 0, 0]);
+        for w in leaves.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Admissibility of both prefix bounds: no completion's key exceeds
+    /// the bound of any of its prefixes.
+    fn check_bounds_admissible(coords: &[(usize, usize, usize, usize)]) {
+        let clos = ClosNetwork::standard(2);
+        let flows = flows_from_coords(&clos, coords);
+        let problem = Problem::new(&clos, &flows);
+        for leaf in all_leaves(&clos, &flows) {
+            let alloc = problem.prefix_allocation(&leaf);
+            let lex_key = LexMaxMin.key(&alloc);
+            let tput_key = ThroughputMaxMin.key(&alloc);
+            for k in 0..flows.len() {
+                if let Some(bound) = LexMaxMin.prefix_bound(&problem, &leaf[..k]) {
+                    assert!(bound >= lex_key, "lex bound below a completion's key");
+                }
+                if let Some(bound) = ThroughputMaxMin.prefix_bound(&problem, &leaf[..k]) {
+                    assert!(
+                        bound >= tput_key,
+                        "throughput bound below a completion's key"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The engine returns the lexicographically first canonical leaf
+    /// attaining the optimum, for every thread count and with pruning on
+    /// or off.
+    fn check_engine_matches_first_wins_scan(coords: &[(usize, usize, usize, usize)]) {
+        let clos = ClosNetwork::standard(2);
+        let flows = flows_from_coords(&clos, coords);
+        let problem = Problem::new(&clos, &flows);
+        // Reference: sequential first-wins scan over all leaves.
+        let mut expect: Option<(Vec<usize>, Rational)> = None;
+        for leaf in all_leaves(&clos, &flows) {
+            let key = ThroughputMaxMin.key(&problem.prefix_allocation(&leaf));
+            if expect.as_ref().is_none_or(|(_, b)| key > *b) {
+                expect = Some((leaf, key));
+            }
+        }
+        let (expect_leaf, _) = expect.unwrap();
+        for (threads, no_prune) in [(1, false), (1, true), (3, false), (7, true)] {
+            let config = SearchConfig {
+                threads: Some(threads),
+                no_prune,
+            };
+            let (got, _) = run_search(&clos, &flows, &ThroughputMaxMin, config);
+            assert_eq!(got, expect_leaf, "threads={threads} no_prune={no_prune}");
+        }
+    }
+
+    /// Statistics are identical across thread counts (the block
+    /// decomposition, not the schedule, defines them).
+    fn check_stats_identical_across_thread_counts(coords: &[(usize, usize, usize, usize)]) {
+        let clos = ClosNetwork::standard(2);
+        let flows = flows_from_coords(&clos, coords);
+        let one = run_search(
+            &clos,
+            &flows,
+            &LexMaxMin,
+            SearchConfig {
+                threads: Some(1),
+                no_prune: false,
+            },
+        );
+        for threads in [2, 5, 16] {
+            let multi = run_search(
+                &clos,
+                &flows,
+                &LexMaxMin,
+                SearchConfig {
+                    threads: Some(threads),
+                    no_prune: false,
+                },
+            );
+            assert_eq!(one, multi, "threads={threads}");
+        }
+    }
+
+    /// Deterministic coverage of the three engine invariants on fixed
+    /// instances (duplicates, shared endpoints, singletons), so the
+    /// invariants are exercised even where proptest is unavailable.
+    #[test]
+    fn fixed_instances_uphold_engine_invariants() {
+        let instances: [&[(usize, usize, usize, usize)]; 4] = [
+            &[(0, 1, 0, 1), (0, 1, 1, 0), (0, 1, 1, 1), (1, 0, 1, 0)],
+            &[(0, 0, 2, 0), (0, 0, 2, 0), (1, 0, 3, 0)],
+            &[(0, 0, 0, 0), (0, 0, 0, 0), (0, 0, 0, 0), (1, 1, 2, 1)],
+            &[(2, 1, 3, 0)],
+        ];
+        for coords in instances {
+            check_bounds_admissible(coords);
+            check_engine_matches_first_wins_scan(coords);
+            check_stats_identical_across_thread_counts(coords);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prefix_bounds_are_admissible(
+            coords in prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 2..=5)
+        ) {
+            check_bounds_admissible(&coords);
+        }
+
+        #[test]
+        fn engine_matches_first_wins_scan(
+            coords in prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 1..=5)
+        ) {
+            check_engine_matches_first_wins_scan(&coords);
+        }
+
+        #[test]
+        fn stats_identical_across_thread_counts(
+            coords in prop::collection::vec((0..4usize, 0..2usize, 0..4usize, 0..2usize), 1..=5)
+        ) {
+            check_stats_identical_across_thread_counts(&coords);
+        }
+    }
+
+    #[test]
+    fn search_threads_resolution_prefers_explicit() {
+        set_search_threads(3);
+        assert_eq!(search_threads(), 3);
+        set_search_threads(0);
+        assert!(search_threads() >= 1);
+    }
+}

@@ -2,7 +2,11 @@
 //! canonical enumeration must find the same optima as raw brute force
 //! over all `n^F` routings.
 
-use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use std::collections::BTreeSet;
+
+use clos_core::objectives::{
+    for_each_canonical_assignment, search_lex_max_min, search_throughput_max_min,
+};
 use clos_fairness::max_min_fair;
 use clos_net::{ClosNetwork, Flow, Routing};
 use clos_rational::Rational;
@@ -50,6 +54,45 @@ fn brute_force_optima(
     }
 }
 
+/// All permutations of `0..n` (n is tiny here).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for slot in 0..=p.len() {
+            let mut q = p.clone();
+            q.insert(slot, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// The lexicographically least element of `assignment`'s orbit under
+/// middle-switch relabeling and identical-flow permutation. `groups`
+/// lists, per identical-flow class, the positions holding those flows.
+fn lex_min_orbit_element(assignment: &[usize], n: usize, groups: &[Vec<usize>]) -> Vec<usize> {
+    let mut best: Option<Vec<usize>> = None;
+    for perm in permutations(n) {
+        let mut relabeled: Vec<usize> = assignment.iter().map(|&m| perm[m]).collect();
+        // Permuting identical flows = freely reordering each group's
+        // values; the lex-least arrangement sorts them in position order.
+        for group in groups {
+            let mut values: Vec<usize> = group.iter().map(|&p| relabeled[p]).collect();
+            values.sort_unstable();
+            for (&p, v) in group.iter().zip(values) {
+                relabeled[p] = v;
+            }
+        }
+        if best.as_ref().is_none_or(|b| relabeled < *b) {
+            best = Some(relabeled);
+        }
+    }
+    best.unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -90,5 +133,95 @@ proptest! {
         }
         let (tput, _) = search_throughput_max_min(&clos, &flows);
         prop_assert_eq!(tput.throughput(), bf_throughput);
+    }
+
+    /// Orbit coverage of the combined reduction (group-sortedness AND
+    /// first-use label canonicalization applied together): every orbit of
+    /// the raw `n^F` space keeps its lexicographically least element in
+    /// the canonical enumeration, and everything enumerated satisfies
+    /// both canonicality constraints.
+    ///
+    /// The enumeration is deliberately a *superset* of the perfect
+    /// one-per-orbit transversal: the two constraints are each exact for
+    /// their own subgroup, but their intersection can retain more than
+    /// one element of a joint orbit (e.g. `[0,0,1,1]` and `[0,1,1,0]`
+    /// with flows 0–2 identical — relabeling then re-sorting maps one to
+    /// the other). Soundness only needs coverage; the lex-min element of
+    /// every orbit is always kept, so no optimum is lost.
+    #[test]
+    fn canonical_enumeration_covers_the_lex_min_of_every_orbit(
+        coords in prop::collection::vec((0..6usize, 0..3usize, 0..6usize, 0..3usize), 1..=4)
+    ) {
+        let clos = ClosNetwork::standard(3);
+        let n = clos.middle_count();
+        let flows: Vec<Flow> = coords
+            .iter()
+            .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+            .collect();
+        // Identical-flow classes by (src, dst).
+        let mut classes: std::collections::BTreeMap<_, Vec<usize>> = std::collections::BTreeMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            classes.entry((f.src(), f.dst())).or_default().push(i);
+        }
+        let groups: Vec<Vec<usize>> = classes.into_values().collect();
+
+        let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for_each_canonical_assignment(&clos, &flows, |a| {
+            visited.insert(a.to_vec());
+        });
+
+        // Everything enumerated is group-sorted and first-use canonical.
+        for a in &visited {
+            for group in &groups {
+                prop_assert!(
+                    group.windows(2).all(|w| a[w[0]] <= a[w[1]]),
+                    "{:?} is not sorted within group {:?}",
+                    a,
+                    group
+                );
+            }
+            let mut fresh = 0usize;
+            for &m in a {
+                prop_assert!(
+                    m <= fresh,
+                    "{:?} introduces label {} before {}",
+                    a,
+                    m,
+                    fresh
+                );
+                if m == fresh {
+                    fresh += 1;
+                }
+            }
+        }
+
+        // Sweep the raw space with a mixed-radix counter: every orbit's
+        // lex-min element must have been enumerated.
+        let f = flows.len();
+        let mut minima: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut assignment = vec![0usize; f];
+        'sweep: loop {
+            let canonical = lex_min_orbit_element(&assignment, n, &groups);
+            prop_assert!(
+                visited.contains(&canonical),
+                "orbit of {:?} has lex-min {:?}, missing from the canonical enumeration",
+                assignment,
+                canonical
+            );
+            minima.insert(canonical);
+            let mut i = 0;
+            loop {
+                if i == f {
+                    break 'sweep;
+                }
+                assignment[i] += 1;
+                if assignment[i] < n {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+        prop_assert!(minima.is_subset(&visited));
     }
 }

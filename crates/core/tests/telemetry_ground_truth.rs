@@ -9,7 +9,9 @@ use std::sync::Mutex;
 
 use clos_core::objectives::{
     for_each_canonical_assignment, search_lex_max_min, search_throughput_max_min,
+    search_throughput_max_min_with,
 };
+use clos_core::search::SearchConfig;
 use clos_fairness::max_min_fair_traced;
 use clos_net::{ClosNetwork, Flow, Routing};
 use clos_rational::Rational;
@@ -81,6 +83,11 @@ fn search_stats_agree_with_counters() {
             Flow::new(clos.source(0, 1), clos.destination(2, 1)),
             Flow::new(clos.source(1, 0), clos.destination(3, 0)),
         ];
+        // The size of the canonical enumeration, for comparison below.
+        let mut enumerated = 0u64;
+        for_each_canonical_assignment(&clos, &flows, |_| enumerated += 1);
+
+        counters::reset_all();
         let (_, lex_stats) = search_lex_max_min(&clos, &flows);
         assert_eq!(counters::SEARCH_RUNS.get(), 1);
         assert_eq!(
@@ -88,8 +95,11 @@ fn search_stats_agree_with_counters() {
             lex_stats.routings_examined
         );
         assert_eq!(counters::SEARCH_IMPROVEMENTS.get(), lex_stats.improvements);
+        assert_eq!(counters::SEARCH_PRUNED.get(), lex_stats.pruned);
         assert!(lex_stats.improvements >= 1);
         assert!(lex_stats.improvements <= lex_stats.routings_examined);
+        // Pruning only ever shrinks the evaluated set.
+        assert!(lex_stats.routings_examined <= enumerated);
 
         counters::reset_all();
         let (_, tput_stats) = search_throughput_max_min(&clos, &flows);
@@ -98,9 +108,22 @@ fn search_stats_agree_with_counters() {
             tput_stats.routings_examined
         );
         assert_eq!(counters::SEARCH_IMPROVEMENTS.get(), tput_stats.improvements);
-        // Both searches share one enumeration, so they examine the same
-        // canonical routings.
-        assert_eq!(tput_stats.routings_examined, lex_stats.routings_examined);
+        assert_eq!(counters::SEARCH_PRUNED.get(), tput_stats.pruned);
+        // Pruning is objective-specific, so the two objectives may examine
+        // different subsets; both are bounded by the full enumeration.
+        assert!(tput_stats.routings_examined <= enumerated);
+
+        // With pruning disabled, the engine evaluates exactly the
+        // canonical enumeration, for either objective.
+        counters::reset_all();
+        let no_prune = SearchConfig {
+            threads: None,
+            no_prune: true,
+        };
+        let (_, exhaustive) = search_throughput_max_min_with(&clos, &flows, no_prune);
+        assert_eq!(exhaustive.routings_examined, enumerated);
+        assert_eq!(exhaustive.pruned, 0);
+        assert_eq!(counters::SEARCH_PRUNED.get(), 0);
     });
 }
 

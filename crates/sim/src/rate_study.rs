@@ -173,6 +173,34 @@ mod tests {
         let _ = summarize(&[]);
     }
 
+    /// Pins the nearest-rank ("from below") convention at the boundary
+    /// sizes: rank `ceil(p·N)` clamped to `[1, N]`, 1-indexed into the
+    /// sorted list.
+    #[test]
+    fn summarize_percentile_boundaries() {
+        // N = 1: every rank clamps to the single element.
+        let one = summarize(&[2.5]);
+        assert_eq!((one.p10, one.p50, one.p99), (2.5, 2.5, 2.5));
+        assert_eq!((one.min, one.max, one.mean), (2.5, 2.5, 2.5));
+
+        // N = 2: p10 -> ceil(0.2) = rank 1; p50 -> ceil(1.0) = rank 1;
+        // p99 -> ceil(1.98) = rank 2. The median is the LOWER of the two.
+        let two = summarize(&[4.0, 1.0]);
+        assert_eq!((two.p10, two.p50, two.p99), (1.0, 1.0, 4.0));
+
+        // N = 4: p10 -> ceil(0.4) = rank 1; p50 -> ceil(2.0) = rank 2;
+        // p99 -> ceil(3.96) = rank 4 (the max, not sorted[2]).
+        let four = summarize(&[0.5, 1.5, 1.0, 1.0]);
+        assert_eq!((four.p10, four.p50, four.p99), (0.5, 1.0, 1.5));
+
+        // N = 100: exact ranks 10, 50, 99 — p99 is sorted[98], i.e. the
+        // second-largest value, NOT the max.
+        let hundred: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        let s = summarize(&hundred);
+        assert_eq!((s.p10, s.p50, s.p99), (10.0, 50.0, 99.0));
+        assert_eq!(s.max, 100.0);
+    }
+
     #[test]
     fn greedy_replicates_stride_exactly() {
         // ToR-aligned traffic: the n flows per ToR pair spread over the n

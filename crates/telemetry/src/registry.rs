@@ -218,10 +218,13 @@ pub mod counters {
     pub static SEARCH_ASSIGNMENTS: Counter = Counter::new("search.assignments");
     /// Times a search improved its incumbent optimum.
     pub static SEARCH_IMPROVEMENTS: Counter = Counter::new("search.improvements");
+    /// Assignment subtrees skipped by branch-and-bound pruning (their
+    /// admissible objective bound could not beat an incumbent).
+    pub static SEARCH_PRUNED: Counter = Counter::new("search.pruned");
 
     /// Every registered counter, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Counter; 15] {
+    pub fn all() -> [&'static Counter; 16] {
         [
             &WATERFILL_CALLS,
             &WATERFILL_ROUNDS,
@@ -238,6 +241,7 @@ pub mod counters {
             &SEARCH_RUNS,
             &SEARCH_ASSIGNMENTS,
             &SEARCH_IMPROVEMENTS,
+            &SEARCH_PRUNED,
         ]
     }
 
