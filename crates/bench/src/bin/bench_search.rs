@@ -20,6 +20,15 @@
 //! 9-flow hot-ToR C_3 collection, and a 9-flow hot-ToR C_4 collection
 //! that doubles as the n = 4 scale evidence for the e-series experiments.
 //!
+//! Beyond the end-to-end searches, the run microbenchmarks the compiled
+//! evaluation pipeline directly (`eval_pipeline` in the report): repeated
+//! `Problem::evaluate` + `Objective::beats` rounds on the hot-ToR C_4
+//! instance through one warmed [`EvalScratch`]. The binary's allocator is
+//! a counting wrapper around the system allocator, and the run **fails**
+//! if the timed steady-state loop performs a single heap allocation —
+//! CI-enforcing the scratch-reuse contract. Each configuration row also
+//! reports `evals_per_sec` (examined routings over wall time).
+//!
 //! Usage:
 //!
 //! ```text
@@ -31,15 +40,50 @@
 //! default `0` records without gating, for single-core or otherwise
 //! wall-clock-hostile environments.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fs;
+use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use clos_core::compiled::EvalScratch;
 use clos_core::objectives::{search_lex_max_min_with, search_throughput_max_min_with, SearchStats};
-use clos_core::search::{search_threads, set_search_threads, SearchConfig};
+use clos_core::search::{
+    search_threads, set_search_threads, LexMaxMin, Objective, Problem, SearchConfig,
+};
 use clos_core::RoutedAllocation;
 use clos_net::{ClosNetwork, Flow};
 use clos_telemetry::json::JsonValue;
+
+/// Number of heap allocations (and growing reallocations) since process
+/// start, maintained by [`CountingAlloc`].
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocations, so the benchmark can
+/// assert the compiled evaluation pipeline's zero-allocation steady state
+/// rather than merely claim it.
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Parsed command-line options.
 struct Options {
@@ -208,6 +252,7 @@ fn measure(
 }
 
 fn config_json(m: &Measured) -> JsonValue {
+    let evals_per_sec = m.stats.routings_examined as f64 / (m.wall_ms / 1e3).max(1e-12);
     JsonValue::Object(vec![
         ("wall_ms".to_string(), JsonValue::from(m.wall_ms)),
         (
@@ -219,7 +264,71 @@ fn config_json(m: &Measured) -> JsonValue {
             "improvements".to_string(),
             JsonValue::from(m.stats.improvements),
         ),
+        ("evals_per_sec".to_string(), JsonValue::from(evals_per_sec)),
     ])
+}
+
+/// Outcome of the compiled-pipeline microbenchmark: best-of-reps wall
+/// time for `evals` evaluate+beats rounds, plus every heap allocation the
+/// timed loops performed (the zero-allocation gate).
+struct EvalBench {
+    evals: u64,
+    wall_ms: f64,
+    allocations: u64,
+}
+
+/// Microbenchmarks the raw evaluation pipeline on the hot-ToR C_4
+/// instance: compile once, warm one [`EvalScratch`] and a fixed lex
+/// incumbent, then time evaluate+beats rounds over rotated assignments.
+/// Steady-state allocations are counted across *all* reps.
+fn eval_pipeline_bench(reps: u32) -> EvalBench {
+    /// Timed passes over the assignment set per rep; with the 4
+    /// assignments below this is 8000 evaluations per rep.
+    const PASSES: u64 = 2000;
+    let instance = INSTANCES
+        .iter()
+        .find(|i| i.name == "hot4")
+        .expect("hot4 is a fixed instance");
+    let (clos, flows) = build(instance);
+    let problem = Problem::new(&clos, &flows);
+    let n = clos.middle_count();
+    // Rotated assignments: deterministic variety touching every
+    // (flow, middle) table row.
+    let assignments: Vec<Vec<usize>> = (0..n)
+        .map(|base| (0..flows.len()).map(|i| (base + i) % n).collect())
+        .collect();
+    let mut scratch = EvalScratch::default();
+    // Materialize the incumbent once (this allocates, as the engine does
+    // on improvements), then warm every scratch buffer.
+    problem.evaluate(&mut scratch, &assignments[0]);
+    let incumbent = LexMaxMin.key(&mut scratch);
+    for a in &assignments {
+        problem.evaluate(&mut scratch, a);
+        black_box(LexMaxMin.beats(&incumbent, &mut scratch));
+    }
+
+    let mut best_ms = f64::INFINITY;
+    let mut allocations = 0;
+    for _ in 0..reps {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            for a in &assignments {
+                problem.evaluate(&mut scratch, a);
+                black_box(LexMaxMin.beats(&incumbent, &mut scratch));
+            }
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        allocations += ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+    }
+    EvalBench {
+        evals: PASSES * assignments.len() as u64,
+        wall_ms: best_ms,
+        allocations,
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -307,11 +416,40 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let eval = eval_pipeline_bench(opts.reps);
+    let eval_rate = eval.evals as f64 / (eval.wall_ms / 1e3).max(1e-12);
+    println!(
+        "eval pipeline (hot4/lex): {} evals in {:.3} ms ({:.0} evals/s), \
+         {} steady-state allocations",
+        eval.evals, eval.wall_ms, eval_rate, eval.allocations
+    );
+    if eval.allocations != 0 {
+        return Err(format!(
+            "compiled evaluation pipeline allocated {} times in the steady \
+             state — the scratch-reuse contract is broken",
+            eval.allocations
+        ));
+    }
+
     let report = JsonValue::Object(vec![
-        ("schema".to_string(), JsonValue::from("bench_search/v1")),
+        ("schema".to_string(), JsonValue::from("bench_search/v2")),
         ("tuned_threads".to_string(), JsonValue::from(tuned_threads)),
         ("reps".to_string(), JsonValue::from(u64::from(opts.reps))),
         ("instances".to_string(), JsonValue::Array(rows)),
+        (
+            "eval_pipeline".to_string(),
+            JsonValue::Object(vec![
+                ("instance".to_string(), JsonValue::from("hot4")),
+                ("objective".to_string(), JsonValue::from("lex")),
+                ("evals".to_string(), JsonValue::from(eval.evals)),
+                ("wall_ms".to_string(), JsonValue::from(eval.wall_ms)),
+                ("evals_per_sec".to_string(), JsonValue::from(eval_rate)),
+                (
+                    "steady_state_allocations".to_string(),
+                    JsonValue::from(eval.allocations),
+                ),
+            ]),
+        ),
     ]);
     fs::write(&opts.out, format!("{report}\n")).map_err(|e| format!("write {}: {e}", opts.out))?;
     println!("report written to {}", opts.out);

@@ -1,0 +1,274 @@
+//! Compiled search instances: dense flow→link incidence tables.
+//!
+//! The branch-and-bound engine evaluates thousands of middle-switch
+//! assignments against one `(Clos, flow collection)` pair. Building a
+//! [`Routing`](clos_net::Routing) of heap-allocated paths per assignment,
+//! then letting the allocator re-derive which links each path crosses, is
+//! pure rediscovery of facts that never change during a search. This
+//! module compiles those facts once:
+//!
+//! * [`CompiledInstance`] — for every `(flow, middle)` pair, the four
+//!   dense finite-link indices of the path `s → I → M → O → t`, plus the
+//!   [`WaterfillInstance`] over exactly the links any assignment can use.
+//!   Applying an assignment is an O(flows) table walk.
+//! * [`EvalScratch`] — the per-worker scratch: the water-filling buffers
+//!   plus reusable sort/cover buffers for objectives. One scratch per
+//!   block worker keeps evaluation allocation-free in the steady state
+//!   without any sharing between threads.
+//!
+//! Construction is timed under the `search.compile` telemetry timer —
+//! the cost is paid once per search instead of once per evaluated
+//! routing.
+//!
+//! Finiteness of Clos links is a construction-time invariant here: every
+//! link of every compiled path must be finite (true of every
+//! [`ClosNetwork`]), checked once in [`CompiledInstance::new`] rather
+//! than re-`expect`ed on each of the thousands of per-leaf allocations.
+
+use clos_fairness::{WaterfillInstance, WaterfillScratch};
+use clos_net::{ClosNetwork, Flow, LinkId};
+use clos_rational::Rational;
+use clos_telemetry::timers;
+
+/// Dense incidence tables for one `(Clos, flow collection)` search
+/// instance, built once and shared read-only by every worker.
+///
+/// # Examples
+///
+/// ```
+/// use clos_core::compiled::{CompiledInstance, EvalScratch};
+/// use clos_net::{ClosNetwork, Flow};
+/// use clos_rational::Rational;
+///
+/// let clos = ClosNetwork::standard(2);
+/// let flows = vec![
+///     Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+///     Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+/// ];
+/// let compiled = CompiledInstance::new(&clos, &flows);
+/// let mut scratch = EvalScratch::default();
+/// // Distinct middles: each flow gets a private fabric path.
+/// compiled.evaluate(&mut scratch, &[0, 1]);
+/// assert_eq!(scratch.rates(), &[Rational::ONE, Rational::ONE]);
+/// // Same middle: the shared uplink halves both (same scratch, no
+/// // reallocation).
+/// compiled.evaluate(&mut scratch, &[0, 0]);
+/// assert_eq!(scratch.rates(), &[Rational::new(1, 2); 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledInstance {
+    middle_count: usize,
+    flow_count: usize,
+    /// Water-filling over exactly the finite links some assignment uses.
+    waterfill: WaterfillInstance<Rational>,
+    /// `quads[i * middle_count + m]`: dense link indices of flow `i`'s
+    /// path via middle `m`, in path order.
+    quads: Vec<[usize; 4]>,
+}
+
+impl CompiledInstance {
+    /// Compiles the incidence tables for `flows` in `clos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow endpoint is not a source/destination of `clos`,
+    /// or if some path link is not finite — impossible for a
+    /// [`ClosNetwork`], whose links all carry the uniform finite
+    /// capacity; checking it here (once) is what lets every later
+    /// [`Self::evaluate`] run unchecked.
+    #[must_use]
+    pub fn new(clos: &ClosNetwork, flows: &[Flow]) -> CompiledInstance {
+        let _span = timers::SEARCH_COMPILE.scope();
+        let n = clos.middle_count();
+        let mut used: Vec<LinkId> = Vec::with_capacity(flows.len() * n * 4);
+        for &f in flows {
+            for m in 0..n {
+                used.extend_from_slice(&clos.links_via(f, m));
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        let waterfill = WaterfillInstance::compile_subset(clos.network(), &used);
+        let mut quads = Vec::with_capacity(flows.len() * n);
+        for &f in flows {
+            for m in 0..n {
+                quads.push(
+                    clos.links_via(f, m)
+                        .map(|l| waterfill.dense_index(l).expect("Clos links are finite")),
+                );
+            }
+        }
+        CompiledInstance {
+            middle_count: n,
+            flow_count: flows.len(),
+            waterfill,
+            quads,
+        }
+    }
+
+    /// Number of middle switches (valid assignment values are `0..n`).
+    #[must_use]
+    pub fn middle_count(&self) -> usize {
+        self.middle_count
+    }
+
+    /// Number of compiled flows (valid assignment length).
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flow_count
+    }
+
+    /// The compiled water-filling instance (for mapping dense link
+    /// indices back to [`LinkId`]s).
+    #[must_use]
+    pub fn waterfill(&self) -> &WaterfillInstance<Rational> {
+        &self.waterfill
+    }
+
+    /// Water-fills the routing selecting `assignment[i]` as flow `i`'s
+    /// middle switch; `assignment` may cover just a prefix of the flow
+    /// collection. Rates (and trace) are readable from `scratch`
+    /// afterwards; no heap allocation once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is longer than the flow collection or
+    /// assigns a middle `>= middle_count()`.
+    pub fn evaluate(&self, scratch: &mut EvalScratch, assignment: &[usize]) {
+        assert!(assignment.len() <= self.flow_count, "assignment too long");
+        let wf = &mut scratch.waterfill;
+        wf.begin();
+        for (i, &m) in assignment.iter().enumerate() {
+            wf.push_flow(&self.quads[i * self.middle_count + m]);
+        }
+        self.waterfill.run(wf);
+    }
+}
+
+/// Per-worker evaluation scratch: water-filling buffers plus reusable
+/// objective buffers, all cleared-not-reallocated between evaluations.
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch {
+    /// The water-filling state of the latest [`CompiledInstance::evaluate`].
+    waterfill: WaterfillScratch<Rational>,
+    /// Reusable buffer for sorted-key comparisons ([`Self::sorted_by`]).
+    sort_buf: Vec<Rational>,
+    /// Reusable fabric-uplink buffer for cover bounds.
+    up: Vec<LinkId>,
+    /// Reusable fabric-downlink buffer for cover bounds.
+    down: Vec<LinkId>,
+}
+
+impl EvalScratch {
+    /// Per-flow rates of the latest evaluation, in flow order.
+    #[must_use]
+    pub fn rates(&self) -> &[Rational] {
+        self.waterfill.rates()
+    }
+
+    /// Fills the internal sort buffer from the latest evaluation's rates
+    /// via `fill`, sorts it ascending, and returns it — the borrow-based
+    /// equivalent of building a
+    /// [`SortedRates`](clos_fairness::SortedRates) key, for hot-path
+    /// comparisons that must not allocate. The slice stays valid until
+    /// the next call on this scratch.
+    pub fn sorted_by(&mut self, fill: impl FnOnce(&[Rational], &mut Vec<Rational>)) -> &[Rational] {
+        self.sort_buf.clear();
+        fill(self.waterfill.rates(), &mut self.sort_buf);
+        self.sort_buf.sort_unstable();
+        &self.sort_buf
+    }
+
+    /// Borrows the two reusable [`LinkId`] buffers (cleared by the
+    /// caller), used by cover bounds to dedup fabric links in place.
+    pub(crate) fn link_buffers(&mut self) -> (&mut Vec<LinkId>, &mut Vec<LinkId>) {
+        (&mut self.up, &mut self.down)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_fairness::max_min_fair;
+    use clos_net::Routing;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn evaluate_matches_routing_based_waterfill() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 1), clos.destination(0, 1)),
+            Flow::new(clos.source(0, 1), clos.destination(1, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(1, 0)),
+            Flow::new(clos.source(0, 0), clos.destination(0, 0)),
+        ];
+        let compiled = CompiledInstance::new(&clos, &flows);
+        let mut scratch = EvalScratch::default();
+        for assignment in [[0, 0, 0, 0], [0, 1, 0, 1], [1, 1, 0, 0], [0, 1, 1, 0]] {
+            compiled.evaluate(&mut scratch, &assignment);
+            let routing = Routing::new(
+                flows
+                    .iter()
+                    .zip(assignment)
+                    .map(|(&f, m)| clos.path_via(f, m))
+                    .collect(),
+            );
+            let fresh = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
+            assert_eq!(scratch.rates(), fresh.rates(), "assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_evaluation_covers_only_assigned_flows() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+        ];
+        let compiled = CompiledInstance::new(&clos, &flows);
+        assert_eq!(compiled.flow_count(), 2);
+        assert_eq!(compiled.middle_count(), 2);
+        let mut scratch = EvalScratch::default();
+        compiled.evaluate(&mut scratch, &[0]);
+        assert_eq!(scratch.rates(), &[Rational::ONE]);
+    }
+
+    #[test]
+    fn sorted_by_reuses_one_buffer() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 1)),
+        ];
+        let compiled = CompiledInstance::new(&clos, &flows);
+        let mut scratch = EvalScratch::default();
+        compiled.evaluate(&mut scratch, &[0, 0]);
+        let doubled: Vec<Rational> = {
+            let s = scratch.sorted_by(|rates, buf| {
+                buf.extend(rates.iter().map(|&x| x + x));
+            });
+            s.to_vec()
+        };
+        assert_eq!(doubled, vec![Rational::ONE, Rational::ONE]);
+        let padded_len = scratch
+            .sorted_by(|rates, buf| {
+                buf.extend_from_slice(rates);
+                buf.resize(5, r(7, 1));
+            })
+            .len();
+        assert_eq!(padded_len, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment too long")]
+    fn overlong_assignment_rejected() {
+        let clos = ClosNetwork::standard(2);
+        let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 0))];
+        let compiled = CompiledInstance::new(&clos, &flows);
+        let mut scratch = EvalScratch::default();
+        compiled.evaluate(&mut scratch, &[0, 0]);
+    }
+}

@@ -20,6 +20,10 @@
 //!   behind [`objectives`] and [`relative`]: combined symmetry reduction,
 //!   admissible per-prefix bounds, and prefix-splitting parallelism with
 //!   byte-identical results for any thread count.
+//! * [`compiled`] — the compiled evaluation pipeline under [`search`]:
+//!   dense flow→link incidence tables built once per instance plus a
+//!   per-worker scratch, so each routing evaluation is an O(flows) table
+//!   walk with zero steady-state heap allocations.
 //! * [`doom_switch`] — Algorithm 1, the Doom-Switch routing that
 //!   approximates a throughput-max-min fair allocation and realizes the
 //!   tight factor-2 gain of Theorem 5.4.
@@ -64,6 +68,7 @@
 //! ```
 
 pub mod audit;
+pub mod compiled;
 pub mod constructions;
 pub mod doom_switch;
 pub mod graphs;

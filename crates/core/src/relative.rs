@@ -18,6 +18,7 @@ use clos_fairness::{max_min_fair, Allocation, SortedRates};
 use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
 use clos_rational::Rational;
 
+use crate::compiled::EvalScratch;
 use crate::macro_switch::macro_max_min;
 use crate::objectives::SearchStats;
 use crate::routers::{GreedyRouter, Router};
@@ -142,18 +143,38 @@ pub fn search_relative_max_min(
     /// space (the lex bound of the absolute objective does not transfer:
     /// dividing by per-flow references is not monotone under the sorted
     /// order), so this search benefits from the engine's symmetry
-    /// reduction and parallelism only.
+    /// reduction, compiled evaluation, and parallelism only.
     struct RelativeObjective<'r> {
         reference: &'r [Rational],
+    }
+    impl RelativeObjective<'_> {
+        fn push_ratios(&self, rates: &[Rational], buf: &mut Vec<Rational>) {
+            debug_assert!(
+                self.reference.iter().all(|m| m.is_positive()),
+                "macro-switch rates are positive"
+            );
+            buf.extend(rates.iter().zip(self.reference).map(|(a, m)| *a / *m));
+        }
     }
     impl Objective for RelativeObjective<'_> {
         type Key = SortedRates<Rational>;
 
-        fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
-            Allocation::from_rates(ratios_for(allocation, self.reference)).sorted()
+        fn key(&self, scratch: &mut EvalScratch) -> Self::Key {
+            let mut ratios = Vec::with_capacity(scratch.rates().len());
+            self.push_ratios(scratch.rates(), &mut ratios);
+            SortedRates::from_unsorted(ratios)
         }
 
-        fn prefix_bound(&self, _problem: &Problem<'_>, _prefix: &[usize]) -> Option<Self::Key> {
+        fn beats(&self, incumbent: &Self::Key, scratch: &mut EvalScratch) -> bool {
+            scratch.sorted_by(|rates, buf| self.push_ratios(rates, buf)) > incumbent.rates()
+        }
+
+        fn prefix_bound(
+            &self,
+            _problem: &Problem<'_>,
+            _prefix: &[usize],
+            _scratch: &mut EvalScratch,
+        ) -> Option<Self::Key> {
             None
         }
     }

@@ -173,21 +173,19 @@ impl Default for LocalSearchRouter {
     }
 }
 
-/// Sorted-descending congestion vector of the fabric links.
-fn congestion_vector(
-    clos: &ClosNetwork,
-    up: &[Vec<Rational>],
-    down: &[Vec<Rational>],
-) -> Vec<Rational> {
-    let mut v = Vec::with_capacity(2 * clos.tor_count() * clos.middle_count());
+/// Fills `out` with the sorted-descending congestion vector of the fabric
+/// links, reusing `out`'s capacity — the local-search and annealing inner
+/// loops recompute this per candidate move, so a fresh `Vec` per call was
+/// the routers' dominant allocation churn.
+fn congestion_vector_into(up: &[Vec<Rational>], down: &[Vec<Rational>], out: &mut Vec<Rational>) {
+    out.clear();
     for row in up {
-        v.extend(row.iter().copied());
+        out.extend(row.iter().copied());
     }
     for row in down {
-        v.extend(row.iter().copied());
+        out.extend(row.iter().copied());
     }
-    v.sort_unstable_by(|a, b| b.cmp(a));
-    v
+    out.sort_unstable_by(|a, b| b.cmp(a));
 }
 
 impl Router for LocalSearchRouter {
@@ -208,6 +206,12 @@ impl Router for LocalSearchRouter {
             down[assignment[i]][clos.dst_tor(f)] += demands[i];
         }
 
+        // One congestion buffer each for the current assignment, the
+        // candidate move, and the best move seen, swapped rather than
+        // reallocated.
+        let mut current = Vec::with_capacity(2 * tors * n);
+        let mut candidate = Vec::with_capacity(2 * tors * n);
+        let mut best_vec = Vec::with_capacity(2 * tors * n);
         for _ in 0..self.max_rounds {
             let mut improved = false;
             for (i, &f) in flows.iter().enumerate() {
@@ -216,7 +220,7 @@ impl Router for LocalSearchRouter {
                 }
                 let src = clos.src_tor(f);
                 let dst = clos.dst_tor(f);
-                let current = congestion_vector(clos, &up, &down);
+                congestion_vector_into(&up, &down, &mut current);
                 let from = assignment[i];
                 let mut best_move = None;
                 for m in 0..n {
@@ -227,20 +231,21 @@ impl Router for LocalSearchRouter {
                     down[from][dst] -= demands[i];
                     up[src][m] += demands[i];
                     down[m][dst] += demands[i];
-                    let candidate = congestion_vector(clos, &up, &down);
-                    let better = match &best_move {
+                    congestion_vector_into(&up, &down, &mut candidate);
+                    let better = match best_move {
                         None => candidate < current,
-                        Some((_, best)) => candidate < *best,
+                        Some(_) => candidate < best_vec,
                     };
                     if better {
-                        best_move = Some((m, candidate));
+                        best_move = Some(m);
+                        std::mem::swap(&mut best_vec, &mut candidate);
                     }
                     up[src][m] -= demands[i];
                     down[m][dst] -= demands[i];
                     up[src][from] += demands[i];
                     down[from][dst] += demands[i];
                 }
-                if let Some((m, _)) = best_move {
+                if let Some(m) = best_move {
                     up[src][from] -= demands[i];
                     down[from][dst] -= demands[i];
                     up[src][m] += demands[i];
@@ -362,12 +367,11 @@ impl Router for AnnealingRouter {
             up[clos.src_tor(f)][assignment[i]] += demands[i];
             down[assignment[i]][clos.dst_tor(f)] += demands[i];
         }
-        let score = |up: &[Vec<Rational>], down: &[Vec<Rational>]| -> Vec<Rational> {
-            congestion_vector(clos, up, down)
-        };
-        let mut current_score = score(&up, &down);
+        let mut current_score = Vec::with_capacity(2 * tors * n);
+        congestion_vector_into(&up, &down, &mut current_score);
         let mut best = assignment.clone();
         let mut best_score = current_score.clone();
+        let mut candidate = Vec::with_capacity(2 * tors * n);
 
         if flows.is_empty() || n < 2 {
             return flows
@@ -389,7 +393,7 @@ impl Router for AnnealingRouter {
             down[from][dst] -= demands[i];
             up[src][to] += demands[i];
             down[to][dst] += demands[i];
-            let candidate = score(&up, &down);
+            congestion_vector_into(&up, &down, &mut candidate);
             // Acceptance: always when improving, with decaying probability
             // otherwise (temperature halves every eighth of the budget).
             let phase = 8 * step / self.iterations.max(1);
@@ -398,10 +402,10 @@ impl Router for AnnealingRouter {
             if accept {
                 assignment[i] = to;
                 if candidate < best_score {
-                    best_score = candidate.clone();
-                    best = assignment.clone();
+                    best_score.clone_from(&candidate);
+                    best.clone_from(&assignment);
                 }
-                current_score = candidate;
+                std::mem::swap(&mut current_score, &mut candidate);
             } else {
                 up[src][to] -= demands[i];
                 down[to][dst] -= demands[i];

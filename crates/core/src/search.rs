@@ -23,6 +23,11 @@
 //! 3. **Prefix-splitting parallelism.** The canonical tree is split into
 //!    blocks at a fixed prefix depth and the blocks are distributed over
 //!    `std::thread::scope` workers.
+//! 4. **Compiled evaluation.** The instance is compiled once
+//!    ([`crate::compiled`]) into dense flow→link incidence tables, and
+//!    each worker evaluates assignments into its own reusable
+//!    [`EvalScratch`] — the steady-state leaf loop performs no heap
+//!    allocations (asserted by `bench_search`'s counting allocator).
 //!
 //! # Determinism
 //!
@@ -47,11 +52,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use clos_fairness::{max_min_fair, Allocation};
-use clos_net::{ClosNetwork, Flow, LinkId, Path, Routing};
+use clos_fairness::{max_min_fair, Allocation, SortedRates};
+use clos_net::{ClosNetwork, Flow, LinkId, Routing};
 use clos_rational::Rational;
 use clos_telemetry::counters;
 
+use crate::compiled::{CompiledInstance, EvalScratch};
 use crate::objectives::SearchStats;
 
 /// Target number of prefix blocks for the parallel decomposition.
@@ -111,12 +117,16 @@ pub struct SearchConfig {
 
 /// Precomputed, read-only view of one search instance, shared by all
 /// workers and handed to [`Objective::prefix_bound`].
+///
+/// Evaluation goes through the [`CompiledInstance`] built at
+/// construction time: applying an assignment is a dense table walk into
+/// a caller-provided [`EvalScratch`], never a fresh `Routing`.
 #[derive(Debug)]
 pub struct Problem<'a> {
     clos: &'a ClosNetwork,
     flows: &'a [Flow],
-    /// `paths[i][m]`: the path of flow `i` via middle `m`.
-    paths: Vec<Vec<Path>>,
+    /// Dense flow→link incidence tables (built under `search.compile`).
+    compiled: CompiledInstance,
     /// Fabric uplink of flow `i` via middle `m` (throughput cover bound).
     uplinks: Vec<Vec<LinkId>>,
     /// Fabric downlink of flow `i` via middle `m`.
@@ -130,13 +140,20 @@ pub struct Problem<'a> {
 }
 
 impl<'a> Problem<'a> {
-    fn new(clos: &'a ClosNetwork, flows: &'a [Flow]) -> Problem<'a> {
+    /// Compiles the search instance for `flows` in `clos` (public so
+    /// custom [`Objective`] implementations can be developed and tested
+    /// against the same view the engine uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow endpoint is not a source/destination of `clos`.
+    #[must_use]
+    pub fn new(clos: &'a ClosNetwork, flows: &'a [Flow]) -> Problem<'a> {
         let n = clos.middle_count();
-        let mut paths = Vec::with_capacity(flows.len());
+        let compiled = CompiledInstance::new(clos, flows);
         let mut uplinks = Vec::with_capacity(flows.len());
         let mut downlinks = Vec::with_capacity(flows.len());
         for &f in flows {
-            paths.push((0..n).map(|m| clos.path_via(f, m)).collect::<Vec<_>>());
             let st = clos.src_tor(f);
             let dt = clos.dst_tor(f);
             uplinks.push((0..n).map(|m| clos.uplink(st, m)).collect::<Vec<_>>());
@@ -159,7 +176,7 @@ impl<'a> Problem<'a> {
         Problem {
             clos,
             flows,
-            paths,
+            compiled,
             uplinks,
             downlinks,
             suffix_src_hosts,
@@ -186,6 +203,19 @@ impl<'a> Problem<'a> {
         self.capacity
     }
 
+    /// Water-fills the routing selecting `assignment[i]` as flow `i`'s
+    /// middle (a prefix of the flow collection is allowed, evaluating the
+    /// prefix flows alone) into `scratch` — the compiled fast path: an
+    /// O(flows) incidence-table walk with no steady-state allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is longer than the flow collection or
+    /// assigns an out-of-range middle.
+    pub fn evaluate(&self, scratch: &mut EvalScratch, assignment: &[usize]) {
+        self.compiled.evaluate(scratch, assignment);
+    }
+
     /// Builds the routing selecting `assignment[i]` as flow `i`'s middle;
     /// `assignment` may cover just a prefix of the flow collection.
     #[must_use]
@@ -194,13 +224,15 @@ impl<'a> Problem<'a> {
             assignment
                 .iter()
                 .enumerate()
-                .map(|(i, &m)| self.paths[i][m].clone())
+                .map(|(i, &m)| self.clos.path_via(self.flows[i], m))
                 .collect(),
         )
     }
 
     /// Max-min fair allocation of the *prefix* flows routed by
-    /// `assignment`, ignoring the unassigned remainder.
+    /// `assignment`, ignoring the unassigned remainder — the allocating
+    /// reference path ([`Self::evaluate`] is the equivalent compiled
+    /// one), kept for bound-admissibility tests and one-shot callers.
     #[must_use]
     pub fn prefix_allocation(&self, assignment: &[usize]) -> Allocation<Rational> {
         let routing = self.partial_routing(assignment);
@@ -221,9 +253,26 @@ impl<'a> Problem<'a> {
     /// host-uplinks, or the downlink-side mirror — bounds the total.
     #[must_use]
     pub fn throughput_cover_bound(&self, prefix: &[usize]) -> Rational {
+        self.throughput_cover_bound_with(&mut EvalScratch::default(), prefix)
+    }
+
+    /// [`Self::throughput_cover_bound`] deduping into the scratch's
+    /// reusable link buffers instead of fresh `Vec`s (the engine's
+    /// prune-path variant).
+    #[must_use]
+    pub fn throughput_cover_bound_with(
+        &self,
+        scratch: &mut EvalScratch,
+        prefix: &[usize],
+    ) -> Rational {
         let k = prefix.len();
-        let mut up: Vec<LinkId> = (0..k).map(|i| self.uplinks[i][prefix[i]]).collect();
-        let mut down: Vec<LinkId> = (0..k).map(|i| self.downlinks[i][prefix[i]]).collect();
+        let (up, down) = scratch.link_buffers();
+        up.clear();
+        down.clear();
+        for (i, &m) in prefix.iter().enumerate() {
+            up.push(self.uplinks[i][m]);
+            down.push(self.downlinks[i][m]);
+        }
         up.sort_unstable();
         up.dedup();
         down.sort_unstable();
@@ -239,21 +288,58 @@ impl<'a> Problem<'a> {
 /// A search objective: a (partially) ordered key computed from the
 /// max-min fair allocation of a routing, plus an optional admissible
 /// bound that enables branch-and-bound pruning.
+///
+/// The engine evaluates routings into an [`EvalScratch`]
+/// ([`Problem::evaluate`]) and consults the objective in two modes:
+/// [`Self::beats`] on the allocation-free hot path (once per leaf), and
+/// [`Self::key`] only when an improvement must be materialized. The two
+/// must agree: `beats(incumbent, scratch)` iff
+/// `key(scratch) > incumbent` under [`PartialOrd`].
 pub trait Objective: Sync {
     /// Comparison key; the search maximizes it. Ties are broken toward
     /// the lexicographically first canonical assignment. (`Sync` because
     /// the seed key is shared with every worker by reference.)
     type Key: PartialOrd + Clone + Send + Sync;
 
-    /// The key of a fully routed allocation.
-    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key;
+    /// Materializes the key of the evaluation held in `scratch`. May
+    /// allocate: the engine calls this only for the seed and on strict
+    /// improvements, never per examined leaf.
+    fn key(&self, scratch: &mut EvalScratch) -> Self::Key;
+
+    /// Whether the evaluation held in `scratch` strictly beats
+    /// `incumbent` — the hot path, called once per examined leaf.
+    /// Implementations borrow scratch buffers (e.g.
+    /// [`EvalScratch::sorted_by`]) instead of allocating.
+    fn beats(&self, incumbent: &Self::Key, scratch: &mut EvalScratch) -> bool;
 
     /// An upper bound on [`Self::key`] over *every* completion of
     /// `prefix` (flows `prefix.len()..` still unassigned), or `None` to
     /// skip pruning at this prefix. Soundness requirement: whenever the
     /// bound compares `<=` to some key `k`, no completion's key exceeds
-    /// `k`.
-    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key>;
+    /// `k`. `scratch` is available for prefix evaluations; its previous
+    /// contents may be clobbered.
+    fn prefix_bound(
+        &self,
+        problem: &Problem<'_>,
+        prefix: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Option<Self::Key>;
+
+    /// Whether *no* completion of `prefix` can strictly beat `incumbent`
+    /// — the pruning predicate the engine actually calls. The default
+    /// materializes [`Self::prefix_bound`]; implementations may override
+    /// it to compare against borrowed scratch buffers instead (it must
+    /// decide exactly as the default does, or pruning statistics change).
+    fn prefix_cannot_beat(
+        &self,
+        problem: &Problem<'_>,
+        prefix: &[usize],
+        incumbent: &Self::Key,
+        scratch: &mut EvalScratch,
+    ) -> bool {
+        self.prefix_bound(problem, prefix, scratch)
+            .is_some_and(|bound| bound_cannot_beat(&bound, incumbent))
+    }
 }
 
 /// Lex-max-min fairness (Definition 2.4): the key is the sorted rate
@@ -271,24 +357,62 @@ pub trait Objective: Sync {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LexMaxMin;
 
-impl Objective for LexMaxMin {
-    type Key = clos_fairness::SortedRates<Rational>;
+/// Shared gate for [`LexMaxMin`]'s bound: a bound costs one
+/// water-filling pass; only spend it where it can pay for a subtree
+/// (>= n^2 leaves) on a meaningful prefix.
+fn lex_bound_worthwhile(k: usize, f: usize) -> bool {
+    k >= 2 && f - k >= 2
+}
 
-    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
-        allocation.sorted()
+impl Objective for LexMaxMin {
+    type Key = SortedRates<Rational>;
+
+    fn key(&self, scratch: &mut EvalScratch) -> Self::Key {
+        SortedRates::from_unsorted(scratch.rates().to_vec())
     }
 
-    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key> {
+    fn beats(&self, incumbent: &Self::Key, scratch: &mut EvalScratch) -> bool {
+        scratch.sorted_by(|rates, buf| buf.extend_from_slice(rates)) > incumbent.rates()
+    }
+
+    fn prefix_bound(
+        &self,
+        problem: &Problem<'_>,
+        prefix: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Option<Self::Key> {
         let k = prefix.len();
         let f = problem.flows().len();
-        // A bound costs one water-filling pass; only spend it where it
-        // can pay for a subtree (>= n^2 leaves) on a meaningful prefix.
-        if k < 2 || f - k < 2 {
+        if !lex_bound_worthwhile(k, f) {
             return None;
         }
-        let mut rates = problem.prefix_allocation(prefix).rates().to_vec();
+        problem.evaluate(scratch, prefix);
+        let mut rates = scratch.rates().to_vec();
         rates.resize(f, problem.capacity());
-        Some(Allocation::from_rates(rates).sorted())
+        Some(SortedRates::from_unsorted(rates))
+    }
+
+    fn prefix_cannot_beat(
+        &self,
+        problem: &Problem<'_>,
+        prefix: &[usize],
+        incumbent: &Self::Key,
+        scratch: &mut EvalScratch,
+    ) -> bool {
+        // Allocation-free mirror of the default: evaluate the prefix,
+        // pad with full capacity in the scratch sort buffer, compare.
+        let k = prefix.len();
+        let f = problem.flows().len();
+        if !lex_bound_worthwhile(k, f) {
+            return false;
+        }
+        problem.evaluate(scratch, prefix);
+        let capacity = problem.capacity();
+        let bound = scratch.sorted_by(|rates, buf| {
+            buf.extend_from_slice(rates);
+            buf.resize(f, capacity);
+        });
+        bound <= incumbent.rates()
     }
 }
 
@@ -301,12 +425,25 @@ pub struct ThroughputMaxMin;
 impl Objective for ThroughputMaxMin {
     type Key = Rational;
 
-    fn key(&self, allocation: &Allocation<Rational>) -> Self::Key {
-        allocation.throughput()
+    fn key(&self, scratch: &mut EvalScratch) -> Self::Key {
+        let mut total = Rational::ZERO;
+        for &r in scratch.rates() {
+            total += r;
+        }
+        total
     }
 
-    fn prefix_bound(&self, problem: &Problem<'_>, prefix: &[usize]) -> Option<Self::Key> {
-        Some(problem.throughput_cover_bound(prefix))
+    fn beats(&self, incumbent: &Self::Key, scratch: &mut EvalScratch) -> bool {
+        self.key(scratch) > *incumbent
+    }
+
+    fn prefix_bound(
+        &self,
+        problem: &Problem<'_>,
+        prefix: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Option<Self::Key> {
+        Some(problem.throughput_cover_bound_with(scratch, prefix))
     }
 }
 
@@ -460,14 +597,6 @@ fn bound_cannot_beat<K: PartialOrd>(bound: &K, incumbent: &K) -> bool {
     )
 }
 
-fn evaluate<O: Objective>(problem: &Problem<'_>, objective: &O, assignment: &[usize]) -> O::Key {
-    counters::SEARCH_ASSIGNMENTS.incr();
-    let routing = problem.partial_routing(assignment);
-    let allocation = max_min_fair::<Rational>(problem.clos().network(), problem.flows(), &routing)
-        .expect("Clos links are finite");
-    objective.key(&allocation)
-}
-
 /// Read-only state shared by every block of one search run.
 struct SearchContext<'a, O: Objective> {
     space: CanonicalSpace,
@@ -479,28 +608,41 @@ struct SearchContext<'a, O: Objective> {
     seed_key: O::Key,
 }
 
-/// The per-block worker: walks one block with block-local pruning.
-struct BlockVisitor<'a, 'p, O: Objective> {
+/// The per-block worker: walks one block with block-local pruning,
+/// evaluating into a per-worker [`EvalScratch`].
+struct BlockVisitor<'a, 'p, 's, O: Objective> {
     ctx: &'a SearchContext<'p, O>,
-    local_key: O::Key,
+    scratch: &'s mut EvalScratch,
     /// The seed leaf lives in the first block; skip its re-evaluation
     /// there (it was examined up front).
     seed_pending: bool,
     outcome: BlockOutcome<O::Key>,
 }
 
-impl<O: Objective> Visitor for BlockVisitor<'_, '_, O> {
+// The block-local incumbent is the best leaf so far, else the shared
+// seed key, borrowed straight out of `outcome.best` (field-disjoint from
+// the scratch). Holding it by reference instead of cloning into a shadow
+// field is what lets improvements store their key exactly once.
+impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
     fn prune(&mut self, prefix: &[usize]) -> bool {
         if self.ctx.config.no_prune {
             return false;
         }
-        match self.ctx.objective.prefix_bound(&self.ctx.problem, prefix) {
-            Some(bound) if bound_cannot_beat(&bound, &self.local_key) => {
-                self.outcome.pruned += 1;
-                counters::SEARCH_PRUNED.incr();
-                true
-            }
-            _ => false,
+        let incumbent = self
+            .outcome
+            .best
+            .as_ref()
+            .map_or(&self.ctx.seed_key, |(_, key)| key);
+        if self
+            .ctx
+            .objective
+            .prefix_cannot_beat(&self.ctx.problem, prefix, incumbent, self.scratch)
+        {
+            self.outcome.pruned += 1;
+            counters::SEARCH_PRUNED.incr();
+            true
+        } else {
+            false
         }
     }
 
@@ -510,11 +652,17 @@ impl<O: Objective> Visitor for BlockVisitor<'_, '_, O> {
             return;
         }
         self.outcome.examined += 1;
-        let key = evaluate(&self.ctx.problem, self.ctx.objective, assignment);
-        if strictly_greater(&key, &self.local_key) {
+        counters::SEARCH_ASSIGNMENTS.incr();
+        self.ctx.problem.evaluate(self.scratch, assignment);
+        let incumbent = self
+            .outcome
+            .best
+            .as_ref()
+            .map_or(&self.ctx.seed_key, |(_, key)| key);
+        if self.ctx.objective.beats(incumbent, self.scratch) {
             self.outcome.improvements += 1;
             counters::SEARCH_IMPROVEMENTS.incr();
-            self.local_key = key.clone();
+            let key = self.ctx.objective.key(self.scratch);
             self.outcome.best = Some((assignment.to_vec(), key));
         }
     }
@@ -524,6 +672,7 @@ fn process_block<O: Objective>(
     ctx: &SearchContext<'_, O>,
     index: usize,
     prefix: &[usize],
+    scratch: &mut EvalScratch,
 ) -> BlockOutcome<O::Key> {
     let flow_count = ctx.problem.flows().len();
     let depth = prefix.len();
@@ -535,7 +684,7 @@ fn process_block<O: Objective>(
     }
     let mut visitor = BlockVisitor {
         ctx,
-        local_key: ctx.seed_key.clone(),
+        scratch,
         seed_pending: index == 0,
         outcome: BlockOutcome {
             index,
@@ -577,7 +726,10 @@ pub fn run_search<O: Objective>(
     // Seed incumbent: the lexicographically first canonical leaf — all
     // zeros, since every position's group and first-use lower bound is 0.
     let seed = vec![0usize; flows.len()];
-    let seed_key = evaluate(&problem, objective, &seed);
+    let mut seed_scratch = EvalScratch::default();
+    counters::SEARCH_ASSIGNMENTS.incr();
+    problem.evaluate(&mut seed_scratch, &seed);
+    let seed_key = objective.key(&mut seed_scratch);
     counters::SEARCH_IMPROVEMENTS.incr();
 
     let ctx = SearchContext {
@@ -591,10 +743,12 @@ pub fn run_search<O: Objective>(
 
     let threads = config.threads.unwrap_or_else(search_threads).max(1);
     let mut outcomes: Vec<BlockOutcome<O::Key>> = if threads == 1 || blocks.len() <= 1 {
+        // Sequential path: the (already warm) seed scratch serves every
+        // block.
         blocks
             .iter()
             .enumerate()
-            .map(|(index, prefix)| process_block(&ctx, index, prefix))
+            .map(|(index, prefix)| process_block(&ctx, index, prefix, &mut seed_scratch))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -603,13 +757,17 @@ pub fn run_search<O: Objective>(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        // One scratch per worker: block outcomes stay a
+                        // pure function of the block, so results and
+                        // stats are byte-identical for any thread count.
+                        let mut scratch = EvalScratch::default();
                         let mut mine = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
                             let Some(prefix) = blocks.get(index) else {
                                 break;
                             };
-                            mine.push(process_block(&ctx, index, prefix));
+                            mine.push(process_block(&ctx, index, prefix, &mut scratch));
                         }
                         mine
                     })
@@ -711,20 +869,52 @@ mod tests {
     }
 
     /// Admissibility of both prefix bounds: no completion's key exceeds
-    /// the bound of any of its prefixes.
+    /// the bound of any of its prefixes. Also pins the compiled pipeline
+    /// to the allocating reference path (`prefix_allocation`) and
+    /// [`Objective::beats`]/[`Objective::prefix_cannot_beat`] to their
+    /// key-materializing definitions.
     fn check_bounds_admissible(coords: &[(usize, usize, usize, usize)]) {
         let clos = ClosNetwork::standard(2);
         let flows = flows_from_coords(&clos, coords);
         let problem = Problem::new(&clos, &flows);
+        let mut scratch = EvalScratch::default();
         for leaf in all_leaves(&clos, &flows) {
             let alloc = problem.prefix_allocation(&leaf);
-            let lex_key = LexMaxMin.key(&alloc);
-            let tput_key = ThroughputMaxMin.key(&alloc);
+            problem.evaluate(&mut scratch, &leaf);
+            // Compiled evaluation == fresh Routing + max_min_fair.
+            assert_eq!(scratch.rates(), alloc.rates(), "compiled pipeline diverged");
+            let lex_key = LexMaxMin.key(&mut scratch);
+            let tput_key = ThroughputMaxMin.key(&mut scratch);
+            assert_eq!(lex_key.rates(), alloc.sorted().rates());
+            assert_eq!(tput_key, alloc.throughput());
+            // beats == strict key comparison against itself (never) and
+            // against a strictly smaller key (always: rates are positive).
+            assert!(!LexMaxMin.beats(&lex_key, &mut scratch));
+            assert!(!ThroughputMaxMin.beats(&tput_key, &mut scratch));
+            let zeros = SortedRates::from_unsorted(vec![Rational::ZERO; flows.len()]);
+            assert!(LexMaxMin.beats(&zeros, &mut scratch));
+            assert!(ThroughputMaxMin.beats(&Rational::ZERO, &mut scratch));
             for k in 0..flows.len() {
-                if let Some(bound) = LexMaxMin.prefix_bound(&problem, &leaf[..k]) {
+                let lex_bound = LexMaxMin.prefix_bound(&problem, &leaf[..k], &mut scratch);
+                if let Some(bound) = lex_bound {
                     assert!(bound >= lex_key, "lex bound below a completion's key");
+                    // The engine's pruning predicate decides exactly as
+                    // materializing the bound would.
+                    assert_eq!(
+                        LexMaxMin.prefix_cannot_beat(&problem, &leaf[..k], &lex_key, &mut scratch),
+                        bound <= lex_key
+                    );
+                } else {
+                    assert!(!LexMaxMin.prefix_cannot_beat(
+                        &problem,
+                        &leaf[..k],
+                        &lex_key,
+                        &mut scratch
+                    ));
                 }
-                if let Some(bound) = ThroughputMaxMin.prefix_bound(&problem, &leaf[..k]) {
+                if let Some(bound) =
+                    ThroughputMaxMin.prefix_bound(&problem, &leaf[..k], &mut scratch)
+                {
                     assert!(
                         bound >= tput_key,
                         "throughput bound below a completion's key"
@@ -741,10 +931,12 @@ mod tests {
         let clos = ClosNetwork::standard(2);
         let flows = flows_from_coords(&clos, coords);
         let problem = Problem::new(&clos, &flows);
+        let mut scratch = EvalScratch::default();
         // Reference: sequential first-wins scan over all leaves.
         let mut expect: Option<(Vec<usize>, Rational)> = None;
         for leaf in all_leaves(&clos, &flows) {
-            let key = ThroughputMaxMin.key(&problem.prefix_allocation(&leaf));
+            problem.evaluate(&mut scratch, &leaf);
+            let key = ThroughputMaxMin.key(&mut scratch);
             if expect.as_ref().is_none_or(|(_, b)| key > *b) {
                 expect = Some((leaf, key));
             }

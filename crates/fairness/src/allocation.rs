@@ -153,6 +153,24 @@ pub struct SortedRates<S> {
 }
 
 impl<S: Scalar> SortedRates<S> {
+    /// Sorts `rates` ascending and wraps them — the same vector
+    /// [`Allocation::sorted`] produces, without materializing an
+    /// [`Allocation`] first (used by objectives that already hold a plain
+    /// rate vector, e.g. one borrowed from an evaluation scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative.
+    #[must_use]
+    pub fn from_unsorted(mut rates: Vec<S>) -> SortedRates<S> {
+        assert!(
+            rates.iter().all(|r| *r >= S::zero()),
+            "allocation rates must be non-negative"
+        );
+        rates.sort_unstable();
+        SortedRates { rates }
+    }
+
     /// Returns the rates from lowest to highest.
     #[must_use]
     pub fn rates(&self) -> &[S] {

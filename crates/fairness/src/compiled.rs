@@ -1,0 +1,550 @@
+//! Compiled water-filling: a per-network instance plus a reusable scratch.
+//!
+//! [`max_min_fair`] rebuilds every table — the dense finite-link index,
+//! the per-link member lists, the frozen/active bookkeeping — from scratch
+//! on each call. That is fine for one-shot allocations, but the exhaustive
+//! routing searches evaluate *thousands* of routings against the same
+//! network, and the rebuild dominates their wall-clock. This module splits
+//! the allocator into the two halves that actually have different
+//! lifetimes:
+//!
+//! * [`WaterfillInstance`] — everything that depends only on the network:
+//!   the dense table of finite links and their capacities. Compiled once.
+//! * [`WaterfillScratch`] — everything that depends on the routing: the
+//!   per-flow link lists, member lists, rates, and frozen/active state,
+//!   all held in flat buffers that are *cleared, never reallocated*
+//!   between runs.
+//!
+//! [`WaterfillInstance::run`] then performs the exact water-filling
+//! iteration of [`max_min_fair_traced`] — same link order, same freezing
+//! order, same arithmetic — with **zero heap allocations** once the
+//! scratch has warmed up to the instance size. The public
+//! [`max_min_fair`]/[`max_min_fair_traced`] functions are thin
+//! compile-then-run wrappers over this module, so results are identical
+//! by construction (and pinned by the `compiled_equivalence` test suite).
+//!
+//! # The scratch-reuse contract
+//!
+//! Between `run`s the scratch may only be refilled via
+//! [`WaterfillScratch::begin`] + [`WaterfillScratch::push_flow`]; both
+//! reuse the buffers' existing capacity. A warm run (the scratch has run
+//! at least once before) is counted in the `waterfill.scratch_reuse`
+//! telemetry counter, and allocates only if the new description is
+//! *larger* than anything the scratch has seen — steady-state loops over
+//! a fixed instance therefore touch the allocator exactly never (asserted
+//! by `bench_search`'s counting allocator).
+//!
+//! [`max_min_fair`]: crate::max_min_fair
+//! [`max_min_fair_traced`]: crate::max_min_fair_traced
+
+use clos_net::{LinkId, Network};
+use clos_rational::Scalar;
+use clos_telemetry::{counters, timers};
+
+/// The network-dependent half of water-filling: the dense table of finite
+/// links (only those can bottleneck a flow), compiled once and shared by
+/// every run against the same network.
+///
+/// # Examples
+///
+/// ```
+/// use clos_fairness::{WaterfillInstance, WaterfillScratch};
+/// use clos_net::{ClosNetwork, Flow};
+/// use clos_rational::Rational;
+///
+/// let clos = ClosNetwork::standard(2);
+/// let flow = Flow::new(clos.source(0, 0), clos.destination(2, 0));
+/// let instance = WaterfillInstance::<Rational>::compile(clos.network());
+/// let mut scratch = WaterfillScratch::new();
+/// scratch.begin();
+/// let links: Vec<usize> = clos
+///     .path_via(flow, 0)
+///     .links()
+///     .iter()
+///     .filter_map(|&l| instance.dense_index(l))
+///     .collect();
+/// scratch.push_flow(&links);
+/// instance.run(&mut scratch);
+/// assert_eq!(scratch.rates(), &[Rational::ONE]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WaterfillInstance<S> {
+    /// Raw link index -> dense finite-link index, if compiled in.
+    dense_of_link: Vec<Option<usize>>,
+    /// Dense index -> original link id.
+    link_ids: Vec<LinkId>,
+    /// Dense index -> capacity.
+    capacities: Vec<S>,
+}
+
+impl<S: Scalar> WaterfillInstance<S> {
+    /// Compiles every finite link of `net`, in network link order.
+    #[must_use]
+    pub fn compile(net: &Network) -> WaterfillInstance<S> {
+        let mut instance = WaterfillInstance {
+            dense_of_link: vec![None; net.link_count()],
+            link_ids: Vec::new(),
+            capacities: Vec::new(),
+        };
+        for link in net.links() {
+            if let Some(cap) = link.capacity().finite() {
+                instance.dense_of_link[link.id().index()] = Some(instance.link_ids.len());
+                instance.link_ids.push(link.id());
+                instance.capacities.push(S::from_rational(cap));
+            }
+        }
+        instance
+    }
+
+    /// Compiles only the given subset of `net`'s links (duplicates and
+    /// infinite links are dropped), still in network link order — so a
+    /// run over the subset freezes flows in exactly the order a full
+    /// compile would, provided every flow's links lie in the subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link id is out of range for `net`.
+    #[must_use]
+    pub fn compile_subset(net: &Network, links: &[LinkId]) -> WaterfillInstance<S> {
+        let mut keep = vec![false; net.link_count()];
+        for &l in links {
+            assert!(l.index() < net.link_count(), "link outside the network");
+            keep[l.index()] = true;
+        }
+        let mut instance = WaterfillInstance {
+            dense_of_link: vec![None; net.link_count()],
+            link_ids: Vec::new(),
+            capacities: Vec::new(),
+        };
+        for link in net.links() {
+            if !keep[link.id().index()] {
+                continue;
+            }
+            if let Some(cap) = link.capacity().finite() {
+                instance.dense_of_link[link.id().index()] = Some(instance.link_ids.len());
+                instance.link_ids.push(link.id());
+                instance.capacities.push(S::from_rational(cap));
+            }
+        }
+        instance
+    }
+
+    /// Returns the dense index of `link`, or `None` if it is infinite,
+    /// outside the compiled subset, or outside the network.
+    #[must_use]
+    pub fn dense_index(&self, link: LinkId) -> Option<usize> {
+        self.dense_of_link.get(link.index()).copied().flatten()
+    }
+
+    /// Returns the original id of the dense link `dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is out of range.
+    #[must_use]
+    pub fn link_id(&self, dense: usize) -> LinkId {
+        self.link_ids[dense]
+    }
+
+    /// Number of compiled (finite) links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.link_ids.len()
+    }
+
+    /// Water-fills the flow collection described in `scratch` (via
+    /// [`WaterfillScratch::begin`]/[`WaterfillScratch::push_flow`]),
+    /// leaving rates, fill levels, and bottlenecks readable from the
+    /// scratch. The iteration is element-for-element identical to
+    /// [`max_min_fair_traced`](crate::max_min_fair_traced), so rates agree
+    /// bit-for-bit in every scalar mode; after one warm-up run per
+    /// instance size it performs no heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some described flow crosses no compiled link — such a
+    /// flow would fill forever. Callers that cannot rule this out belong
+    /// on the [`max_min_fair`](crate::max_min_fair) wrapper, which reports
+    /// [`FairnessError::UnboundedRate`](crate::FairnessError) instead.
+    pub fn run(&self, scratch: &mut WaterfillScratch<S>) {
+        let _span = timers::WATERFILL.scope();
+        counters::WATERFILL_CALLS.incr();
+        if scratch.warm {
+            counters::WATERFILL_SCRATCH_REUSE.incr();
+        } else {
+            scratch.warm = true;
+        }
+        let s = scratch;
+        let flows = s.flow_starts.len() - 1;
+        let links = self.capacities.len();
+
+        // Per-link member lists, rebuilt by counting sort into one flat
+        // buffer: count occurrences, prefix-sum into starts, then fill.
+        s.active_count.clear();
+        s.active_count.resize(links, 0);
+        for &d in &s.flow_links {
+            s.active_count[d] += 1;
+        }
+        s.member_starts.clear();
+        s.member_starts.reserve(links + 1);
+        s.member_starts.push(0);
+        let mut total = 0usize;
+        for &c in &s.active_count {
+            total += c;
+            s.member_starts.push(total);
+        }
+        s.cursor.clear();
+        s.cursor.extend_from_slice(&s.member_starts[..links]);
+        s.members.clear();
+        s.members.resize(total, 0);
+        for i in 0..flows {
+            for k in s.flow_starts[i]..s.flow_starts[i + 1] {
+                let d = s.flow_links[k];
+                s.members[s.cursor[d]] = i;
+                s.cursor[d] += 1;
+            }
+        }
+
+        s.rates.clear();
+        s.rates.resize(flows, S::zero());
+        s.frozen.clear();
+        s.frozen.resize(flows, false);
+        s.frozen_load.clear();
+        s.frozen_load.resize(links, S::zero());
+        s.bottleneck_of.clear();
+        s.bottleneck_of.resize(flows, 0);
+        s.levels.clear();
+        s.levels.reserve(flows);
+        s.newly_frozen.clear();
+        s.newly_frozen.reserve(flows);
+        // A link's saturation level only changes when the round's update
+        // pass touches the link, so levels are cached and recomputed for
+        // stale links only — the cached value is the value a recomputation
+        // would produce (identical inputs), so results stay bit-identical
+        // in every scalar mode while the exact-arithmetic divisions drop
+        // from links-per-round to touched-links-per-round.
+        s.link_level.clear();
+        s.link_level.resize(links, S::zero());
+        s.stale.clear();
+        s.stale.resize(links, true);
+        let mut remaining = flows;
+
+        while remaining > 0 {
+            // Minimum saturation level over links with active flows. Every
+            // unfrozen flow touches a compiled link (the caller contract),
+            // so while `remaining > 0` some link has `active_count > 0`.
+            let mut min_level: Option<S> = None;
+            for d in 0..links {
+                if s.active_count[d] == 0 {
+                    continue;
+                }
+                if s.stale[d] {
+                    s.link_level[d] =
+                        saturation_level(self.capacities[d], s.frozen_load[d], s.active_count[d]);
+                    s.stale[d] = false;
+                }
+                let l = s.link_level[d];
+                min_level = Some(match min_level {
+                    None => l,
+                    Some(m) => S::min(m, l),
+                });
+            }
+            let level =
+                min_level.expect("invariant: unfrozen flows always touch a compiled finite link");
+
+            // Freeze every active flow on every link saturating at `level`.
+            s.newly_frozen.clear();
+            for d in 0..links {
+                if s.active_count[d] == 0 {
+                    continue;
+                }
+                if s.link_level[d] == level {
+                    counters::WATERFILL_SATURATIONS.incr();
+                    for k in s.member_starts[d]..s.member_starts[d + 1] {
+                        let f = s.members[k];
+                        if !s.frozen[f] {
+                            s.frozen[f] = true;
+                            s.rates[f] = level;
+                            s.bottleneck_of[f] = d;
+                            s.newly_frozen.push(f);
+                        }
+                    }
+                }
+            }
+            debug_assert!(!s.newly_frozen.is_empty(), "progress each round");
+            counters::WATERFILL_ROUNDS.incr();
+            s.levels.push(level);
+            for i in 0..s.newly_frozen.len() {
+                let f = s.newly_frozen[i];
+                for k in s.flow_starts[f]..s.flow_starts[f + 1] {
+                    let d = s.flow_links[k];
+                    s.active_count[d] -= 1;
+                    s.frozen_load[d] += level;
+                    s.stale[d] = true;
+                }
+                remaining -= 1;
+            }
+        }
+    }
+}
+
+/// Residual capacity per active flow — the fill level at which the link
+/// saturates if no other link freezes its members first.
+fn saturation_level<S: Scalar>(cap: S, frozen_load: S, active: usize) -> S {
+    let residual = if cap > frozen_load {
+        cap - frozen_load
+    } else {
+        S::zero()
+    };
+    residual / S::from_usize(active)
+}
+
+/// The routing-dependent half of water-filling: every buffer the
+/// iteration needs, reused run to run (see the module docs for the
+/// scratch-reuse contract).
+#[derive(Clone, Debug)]
+pub struct WaterfillScratch<S> {
+    /// Dense link indices of every flow, concatenated (a CSR layout with
+    /// `flow_starts`). Duplicate entries count double, exactly like a
+    /// path crossing the same link twice.
+    flow_links: Vec<usize>,
+    /// `flow_links[flow_starts[i]..flow_starts[i + 1]]` are flow `i`'s.
+    flow_starts: Vec<usize>,
+    /// Member flows of every link, concatenated (CSR with
+    /// `member_starts`); rebuilt each run by counting sort.
+    members: Vec<usize>,
+    /// `members[member_starts[d]..member_starts[d + 1]]` cross link `d`.
+    member_starts: Vec<usize>,
+    /// Per-link fill cursor for the counting sort.
+    cursor: Vec<usize>,
+    /// Per-flow rate (the result).
+    rates: Vec<S>,
+    /// Per-flow frozen flag.
+    frozen: Vec<bool>,
+    /// Flows frozen in the current round, in freezing order.
+    newly_frozen: Vec<usize>,
+    /// Per-link count of unfrozen member flows.
+    active_count: Vec<usize>,
+    /// Per-link load already committed by frozen flows.
+    frozen_load: Vec<S>,
+    /// Cached per-link saturation level (valid where `stale` is false).
+    link_level: Vec<S>,
+    /// Per-link flag: the cached level must be recomputed (set when the
+    /// update pass touches the link).
+    stale: Vec<bool>,
+    /// Fill level of each freezing round (the trace).
+    levels: Vec<S>,
+    /// Per-flow dense index of the link that froze it (the bottleneck).
+    bottleneck_of: Vec<usize>,
+    /// Whether this scratch has completed a run before (telemetry).
+    warm: bool,
+}
+
+impl<S: Scalar> WaterfillScratch<S> {
+    /// Creates an empty, cold scratch.
+    #[must_use]
+    pub fn new() -> WaterfillScratch<S> {
+        WaterfillScratch {
+            flow_links: Vec::new(),
+            flow_starts: vec![0],
+            members: Vec::new(),
+            member_starts: Vec::new(),
+            cursor: Vec::new(),
+            rates: Vec::new(),
+            frozen: Vec::new(),
+            newly_frozen: Vec::new(),
+            active_count: Vec::new(),
+            frozen_load: Vec::new(),
+            link_level: Vec::new(),
+            stale: Vec::new(),
+            levels: Vec::new(),
+            bottleneck_of: Vec::new(),
+            warm: false,
+        }
+    }
+
+    /// Starts describing a new flow collection (clears the previous one,
+    /// keeping every buffer's capacity).
+    pub fn begin(&mut self) {
+        self.flow_links.clear();
+        self.flow_starts.clear();
+        self.flow_starts.push(0);
+    }
+
+    /// Appends the next flow, crossing the given dense link indices (from
+    /// [`WaterfillInstance::dense_index`]; duplicates count double).
+    pub fn push_flow(&mut self, links: &[usize]) {
+        self.flow_links.extend_from_slice(links);
+        self.flow_starts.push(self.flow_links.len());
+    }
+
+    /// Number of flows described since the last [`Self::begin`].
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flow_starts.len() - 1
+    }
+
+    /// Returns `true` if the last described flow crosses no link (its
+    /// rate would be unbounded; see [`WaterfillInstance::run`]'s panic
+    /// contract).
+    #[must_use]
+    pub fn last_flow_is_unbounded(&self) -> bool {
+        let n = self.flow_starts.len();
+        n >= 2 && self.flow_starts[n - 1] == self.flow_starts[n - 2]
+    }
+
+    /// Per-flow rates of the last run, in flow order.
+    #[must_use]
+    pub fn rates(&self) -> &[S] {
+        &self.rates
+    }
+
+    /// Fill levels of the last run, in non-decreasing order.
+    #[must_use]
+    pub fn levels(&self) -> &[S] {
+        &self.levels
+    }
+
+    /// Per-flow dense index of the bottleneck link of the last run (map
+    /// back with [`WaterfillInstance::link_id`]).
+    #[must_use]
+    pub fn bottlenecks(&self) -> &[usize] {
+        &self.bottleneck_of
+    }
+}
+
+impl<S: Scalar> Default for WaterfillScratch<S> {
+    fn default() -> WaterfillScratch<S> {
+        WaterfillScratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
+    use clos_rational::Rational;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// Compiles the instance, pushes each path's finite links, runs.
+    fn run_on(
+        net: &Network,
+        routing: &Routing,
+        scratch: &mut WaterfillScratch<Rational>,
+    ) -> WaterfillInstance<Rational> {
+        let instance = WaterfillInstance::<Rational>::compile(net);
+        scratch.begin();
+        for path in routing.paths() {
+            let links: Vec<usize> = path
+                .links()
+                .iter()
+                .filter_map(|&l| instance.dense_index(l))
+                .collect();
+            scratch.push_flow(&links);
+        }
+        instance.run(scratch);
+        instance
+    }
+
+    #[test]
+    fn matches_the_wrapper_on_a_macro_switch() {
+        let ms = MacroSwitch::standard(2);
+        let flows = [
+            Flow::new(ms.source(0, 0), ms.destination(0, 0)),
+            Flow::new(ms.source(0, 0), ms.destination(0, 1)),
+            Flow::new(ms.source(0, 1), ms.destination(0, 1)),
+        ];
+        let routing = ms.routing(&flows);
+        let mut scratch = WaterfillScratch::new();
+        let instance = run_on(ms.network(), &routing, &mut scratch);
+        let (alloc, trace) =
+            crate::max_min_fair_traced::<Rational>(ms.network(), &flows, &routing).unwrap();
+        assert_eq!(scratch.rates(), alloc.rates());
+        assert_eq!(scratch.levels(), &trace.levels[..]);
+        let bottlenecks: Vec<_> = scratch
+            .bottlenecks()
+            .iter()
+            .map(|&d| instance.link_id(d))
+            .collect();
+        assert_eq!(bottlenecks, trace.bottleneck_of);
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_results() {
+        let clos = ClosNetwork::standard(2);
+        let flows = [
+            Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+            Flow::new(clos.source(0, 1), clos.destination(2, 0)),
+            Flow::new(clos.source(1, 0), clos.destination(2, 1)),
+        ];
+        let mut scratch = WaterfillScratch::new();
+        let mut fresh_rates = Vec::new();
+        // Three different routings through one warm scratch...
+        for m in 0..2 {
+            let routing = Routing::new(vec![
+                clos.path_via(flows[0], m),
+                clos.path_via(flows[1], 1 - m),
+                clos.path_via(flows[2], m),
+            ]);
+            run_on(clos.network(), &routing, &mut scratch);
+            fresh_rates.push((
+                scratch.rates().to_vec(),
+                crate::max_min_fair::<Rational>(clos.network(), &flows, &routing)
+                    .unwrap()
+                    .rates()
+                    .to_vec(),
+            ));
+        }
+        // ...each matching its own fresh-allocation run.
+        for (warm, fresh) in fresh_rates {
+            assert_eq!(warm, fresh);
+        }
+    }
+
+    #[test]
+    fn subset_compile_preserves_network_order() {
+        let ms = MacroSwitch::standard(2);
+        let full = WaterfillInstance::<Rational>::compile(ms.network());
+        // A scrambled, duplicated subset must come out in network order.
+        let subset = vec![
+            full.link_id(3),
+            full.link_id(1),
+            full.link_id(3),
+            full.link_id(5),
+        ];
+        let sub = WaterfillInstance::<Rational>::compile_subset(ms.network(), &subset);
+        assert_eq!(sub.link_count(), 3);
+        assert_eq!(
+            (0..3).map(|d| sub.link_id(d)).collect::<Vec<_>>(),
+            vec![full.link_id(1), full.link_id(3), full.link_id(5)]
+        );
+        assert_eq!(sub.dense_index(full.link_id(3)), Some(1));
+        assert_eq!(sub.dense_index(full.link_id(0)), None);
+    }
+
+    #[test]
+    fn equal_sharing_via_compiled_pipeline() {
+        let ms = MacroSwitch::standard(2);
+        let flows: Vec<Flow> = (0..4)
+            .map(|k| Flow::new(ms.source(0, 0), ms.destination(k % 4, k / 4)))
+            .collect();
+        let routing = ms.routing(&flows);
+        let mut scratch = WaterfillScratch::new();
+        run_on(ms.network(), &routing, &mut scratch);
+        assert!(scratch.rates().iter().all(|&x| x == r(1, 4)));
+        assert_eq!(scratch.flow_count(), 4);
+    }
+
+    #[test]
+    fn unbounded_flow_is_detectable_before_running() {
+        let mut scratch = WaterfillScratch::<Rational>::new();
+        scratch.begin();
+        scratch.push_flow(&[0, 1]);
+        assert!(!scratch.last_flow_is_unbounded());
+        scratch.push_flow(&[]);
+        assert!(scratch.last_flow_is_unbounded());
+    }
+}

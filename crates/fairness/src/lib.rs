@@ -54,12 +54,14 @@
 
 mod allocation;
 mod bottleneck;
+pub mod compiled;
 mod feasibility;
 mod waterfill;
 mod weighted;
 
 pub use crate::allocation::{Allocation, SortedRates};
 pub use crate::bottleneck::{verify_bottleneck_property, BottleneckViolation};
+pub use crate::compiled::{WaterfillInstance, WaterfillScratch};
 pub use crate::feasibility::{is_feasible, link_loads, FeasibilityViolation};
 pub use crate::waterfill::{max_min_fair, max_min_fair_traced, FairnessError, WaterfillTrace};
 pub use crate::weighted::{max_min_fair_weighted, verify_weighted_bottleneck_property};

@@ -1,12 +1,21 @@
 //! The water-filling (progressive-filling) max-min fair allocator.
+//!
+//! Since the compiled-pipeline refactor this module is a thin adapter: it
+//! validates the routing, translates paths into dense finite-link lists,
+//! and delegates the actual iteration to
+//! [`WaterfillInstance::run`](crate::WaterfillInstance::run) (see
+//! [`compiled`](crate::compiled)). Callers that evaluate many routings
+//! against one network should use that compiled API directly and reuse
+//! its scratch; callers that allocate once keep the convenient signature
+//! here.
 
 use std::error::Error;
 use std::fmt;
 
 use clos_net::{Flow, FlowId, Network, Routing};
 use clos_rational::Scalar;
-use clos_telemetry::{counters, timers};
 
+use crate::compiled::{WaterfillInstance, WaterfillScratch};
 use crate::Allocation;
 
 /// The error returned when no max-min fair allocation exists.
@@ -161,104 +170,39 @@ pub fn max_min_fair_traced<S: Scalar>(
         routing.validate(net, flows).is_ok(),
         "invalid routing passed to max_min_fair"
     );
-    let _span = timers::WATERFILL.scope();
-    counters::WATERFILL_CALLS.incr();
 
-    // Only finite links can bottleneck flows; everything below works on
-    // a dense array of just those links, so no per-link `Option<S>` (and
-    // no unwrap of one) is ever needed.
-    let mut dense_of_link: Vec<Option<usize>> = vec![None; net.link_count()];
-    let mut finite_links: Vec<(clos_net::LinkId, S)> = Vec::new();
-    for link in net.links() {
-        if let Some(cap) = link.capacity().finite() {
-            dense_of_link[link.id().index()] = Some(finite_links.len());
-            finite_links.push((link.id(), S::from_rational(cap)));
-        }
-    }
-
-    // Per-flow list of (dense) finite links; per-link member flows.
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); finite_links.len()];
-    let mut finite_links_of_flow: Vec<Vec<usize>> = vec![Vec::new(); flows.len()];
+    // Compile once, describe the routing into a fresh scratch, run once.
+    // Only finite links can bottleneck flows; the instance holds a dense
+    // array of just those, so no per-link `Option<S>` is ever unwrapped.
+    let instance = WaterfillInstance::<S>::compile(net);
+    let mut scratch = WaterfillScratch::new();
+    scratch.begin();
+    let mut buf: Vec<usize> = Vec::new();
     for (i, path) in routing.paths().iter().enumerate() {
+        buf.clear();
         for &e in path.links() {
-            let e = e.index();
-            assert!(e < net.link_count(), "path references foreign link");
-            if let Some(d) = dense_of_link[e] {
-                members[d].push(i);
-                finite_links_of_flow[i].push(d);
+            assert!(e.index() < net.link_count(), "path references foreign link");
+            if let Some(d) = instance.dense_index(e) {
+                buf.push(d);
             }
         }
-    }
-
-    let mut rates = vec![S::zero(); flows.len()];
-    let mut frozen = vec![false; flows.len()];
-    let mut active_count: Vec<usize> = members.iter().map(Vec::len).collect();
-    let mut frozen_load: Vec<S> = vec![S::zero(); finite_links.len()];
-    let mut remaining = flows.len();
-    let mut trace_levels: Vec<S> = Vec::new();
-    let mut bottleneck_of: Vec<clos_net::LinkId> = vec![clos_net::LinkId::new(0); flows.len()];
-
-    // A flow with no finite link would fill forever.
-    for (i, links) in finite_links_of_flow.iter().enumerate() {
-        if links.is_empty() {
+        // A flow with no finite link would fill forever.
+        if buf.is_empty() {
             return Err(FairnessError::UnboundedRate(FlowId::from(i)));
         }
+        scratch.push_flow(&buf);
     }
+    instance.run(&mut scratch);
 
-    let saturation_level = |d: usize, active: usize, frozen_load: &[S]| -> S {
-        let cap = finite_links[d].1;
-        let residual = if cap > frozen_load[d] {
-            cap - frozen_load[d]
-        } else {
-            S::zero()
-        };
-        residual / S::from_usize(active)
-    };
-
-    while remaining > 0 {
-        // Find the minimum saturation level over links with active flows.
-        // Every unfrozen flow touches a finite link (checked above), so
-        // while `remaining > 0` some link has `active_count > 0`.
-        let level = (0..finite_links.len())
-            .filter(|&d| active_count[d] > 0)
-            .map(|d| saturation_level(d, active_count[d], &frozen_load))
-            .reduce(S::min)
-            .expect("invariant: unfrozen flows always touch a finite link");
-
-        // Freeze every active flow on every link saturating at `level`.
-        let mut newly_frozen = Vec::new();
-        for d in 0..finite_links.len() {
-            if active_count[d] == 0 {
-                continue;
-            }
-            if saturation_level(d, active_count[d], &frozen_load) == level {
-                counters::WATERFILL_SATURATIONS.incr();
-                for &f in &members[d] {
-                    if !frozen[f] {
-                        frozen[f] = true;
-                        rates[f] = level;
-                        bottleneck_of[f] = finite_links[d].0;
-                        newly_frozen.push(f);
-                    }
-                }
-            }
-        }
-        debug_assert!(!newly_frozen.is_empty(), "progress each round");
-        counters::WATERFILL_ROUNDS.incr();
-        trace_levels.push(level);
-        for &f in &newly_frozen {
-            for &d in &finite_links_of_flow[f] {
-                active_count[d] -= 1;
-                frozen_load[d] += level;
-            }
-            remaining -= 1;
-        }
-    }
-
+    let bottleneck_of = scratch
+        .bottlenecks()
+        .iter()
+        .map(|&d| instance.link_id(d))
+        .collect();
     Ok((
-        Allocation::from_rates(rates),
+        Allocation::from_rates(scratch.rates().to_vec()),
         WaterfillTrace {
-            levels: trace_levels,
+            levels: scratch.levels().to_vec(),
             bottleneck_of,
         },
     ))

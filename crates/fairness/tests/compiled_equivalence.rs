@@ -1,0 +1,170 @@
+//! Equivalence of the compiled evaluation pipeline and the allocating
+//! wrapper.
+//!
+//! The branch-and-bound engine evaluates routings through a
+//! [`WaterfillInstance`] compiled once plus a [`WaterfillScratch`] reused
+//! across evaluations; `max_min_fair_traced` compiles afresh per call.
+//! These tests pin the refactoring contract: for any instance and any
+//! assignment sequence, the compiled-scratch path produces *exactly* the
+//! same rates, water-filling levels, and bottleneck links as a fresh
+//! allocating call — in exact `Rational` arithmetic and in `TotalF64`,
+//! where "equal" means bit-equal, not approximately equal.
+
+use clos_fairness::{max_min_fair_traced, WaterfillInstance, WaterfillScratch};
+use clos_net::{ClosNetwork, Flow, LinkId, Routing};
+use clos_rational::{Rational, Scalar, TotalF64};
+use proptest::prelude::*;
+
+/// Builds the flow collection and per-flow middle routing from raw
+/// coordinate tuples.
+fn build(
+    clos: &ClosNetwork,
+    raw_flows: &[(usize, usize, usize, usize)],
+    middles: &[usize],
+) -> (Vec<Flow>, Routing) {
+    let flows: Vec<Flow> = raw_flows
+        .iter()
+        .map(|&(si, sj, ti, tj)| Flow::new(clos.source(si, sj), clos.destination(ti, tj)))
+        .collect();
+    let routing: Routing = flows
+        .iter()
+        .zip(middles)
+        .map(|(&f, &m)| clos.path_via(f, m))
+        .collect();
+    (flows, routing)
+}
+
+/// Runs every assignment through ONE compiled instance and ONE scratch
+/// (reused, never reallocated) and asserts rates, trace levels, and
+/// bottleneck links are exactly those of a fresh `max_min_fair_traced`
+/// call per assignment.
+fn assert_compiled_matches_fresh<S: Scalar>(
+    clos: &ClosNetwork,
+    raw_flows: &[(usize, usize, usize, usize)],
+    assignments: &[Vec<usize>],
+) {
+    let instance = WaterfillInstance::<S>::compile(clos.network());
+    let mut scratch = WaterfillScratch::new();
+    let mut dense: Vec<usize> = Vec::new();
+    for middles in assignments {
+        let (flows, routing) = build(clos, raw_flows, middles);
+        let (fresh, trace) = max_min_fair_traced::<S>(clos.network(), &flows, &routing).unwrap();
+
+        scratch.begin();
+        for path in routing.paths() {
+            dense.clear();
+            dense.extend(path.links().iter().filter_map(|&l| instance.dense_index(l)));
+            assert!(!dense.is_empty(), "Clos paths always cross finite links");
+            scratch.push_flow(&dense);
+        }
+        instance.run(&mut scratch);
+
+        assert_eq!(scratch.rates(), fresh.rates(), "rates diverged");
+        assert_eq!(scratch.levels(), trace.levels.as_slice(), "levels diverged");
+        let bottlenecks: Vec<LinkId> = scratch
+            .bottlenecks()
+            .iter()
+            .map(|&d| instance.link_id(d))
+            .collect();
+        assert_eq!(bottlenecks, trace.bottleneck_of, "bottlenecks diverged");
+    }
+}
+
+/// All `n^flows` assignments of `flows` flows to `n` middles.
+fn all_assignments(n: usize, flows: usize) -> Vec<Vec<usize>> {
+    let total = n.pow(flows as u32);
+    (0..total)
+        .map(|mut code| {
+            (0..flows)
+                .map(|_| {
+                    let m = code % n;
+                    code /= n;
+                    m
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Exhaustive deterministic check on a hot-ToR C_2 instance: all 16
+/// assignments through one reused scratch, in both scalar modes.
+#[test]
+fn exhaustive_c2_hot_tor_both_scalars() {
+    let clos = ClosNetwork::standard(2);
+    // Two flows off ToR 0 (shared uplinks), one intra-ToR, one crossing.
+    let raw = [(0, 0, 2, 0), (0, 1, 2, 1), (1, 0, 1, 1), (3, 0, 0, 0)];
+    let assignments = all_assignments(2, raw.len());
+    assert_eq!(assignments.len(), 16);
+    assert_compiled_matches_fresh::<Rational>(&clos, &raw, &assignments);
+    assert_compiled_matches_fresh::<TotalF64>(&clos, &raw, &assignments);
+}
+
+/// Duplicate flows (identical endpoints) share links with themselves;
+/// the member lists then contain repeated dense indices, which the
+/// counting-sort layout must preserve exactly.
+#[test]
+fn duplicate_flows_c3_both_scalars() {
+    let clos = ClosNetwork::standard(3);
+    let raw = [(0, 0, 3, 0), (0, 0, 3, 0), (0, 0, 3, 0), (1, 1, 4, 1)];
+    let assignments = vec![
+        vec![0, 0, 0, 0],
+        vec![0, 1, 2, 0],
+        vec![2, 2, 1, 1],
+        vec![1, 1, 1, 2],
+    ];
+    assert_compiled_matches_fresh::<Rational>(&clos, &raw, &assignments);
+    assert_compiled_matches_fresh::<TotalF64>(&clos, &raw, &assignments);
+}
+
+/// A random flow collection on `C_n` plus a batch of random assignments
+/// for it, encoded as index tuples so proptest can shrink them.
+fn flows_and_assignments(
+    n: usize,
+    max_flows: usize,
+    batch: usize,
+) -> impl Strategy<Value = (Vec<(usize, usize, usize, usize)>, Vec<Vec<usize>>)> {
+    let tor = 2 * n;
+    let host = n;
+    let flow = (0..tor, 0..host, 0..tor, 0..host);
+    prop::collection::vec(flow, 1..=max_flows).prop_flat_map(move |flows| {
+        let len = flows.len();
+        (
+            Just(flows),
+            prop::collection::vec(prop::collection::vec(0..n, len..=len), 1..=batch),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Exact `Rational` equivalence on random C_2 instances, with the
+    /// scratch carried across a whole batch of assignments.
+    #[test]
+    fn compiled_equals_fresh_rational_c2(
+        (raw, assignments) in flows_and_assignments(2, 10, 6),
+    ) {
+        let clos = ClosNetwork::standard(2);
+        assert_compiled_matches_fresh::<Rational>(&clos, &raw, &assignments);
+    }
+
+    /// Same on the larger C_3 fabric.
+    #[test]
+    fn compiled_equals_fresh_rational_c3(
+        (raw, assignments) in flows_and_assignments(3, 12, 4),
+    ) {
+        let clos = ClosNetwork::standard(3);
+        assert_compiled_matches_fresh::<Rational>(&clos, &raw, &assignments);
+    }
+
+    /// Bit-exact `TotalF64` equivalence: the compiled pipeline performs
+    /// the same floating-point operations in the same order as the
+    /// wrapper, so even rounding is identical.
+    #[test]
+    fn compiled_equals_fresh_total_f64(
+        (raw, assignments) in flows_and_assignments(3, 10, 6),
+    ) {
+        let clos = ClosNetwork::standard(3);
+        assert_compiled_matches_fresh::<TotalF64>(&clos, &raw, &assignments);
+    }
+}

@@ -41,3 +41,19 @@ pub fn touch() {
     counters::GOOD.incr();
     counters::MISSING.incr();
 }
+
+/// Registered statics of the compiled evaluation pipeline — the
+/// production `waterfill.scratch_reuse` / `search.compile` names must
+/// pass the scheme, uniqueness, and snapshot-key collision checks.
+pub mod pipeline {
+    use super::{Counter, Timer};
+    /// Warm-scratch reuse counter.
+    pub static SCRATCH_REUSE: Counter = Counter::new("waterfill.scratch_reuse");
+    /// Instance compilation timer.
+    pub static SEARCH_COMPILE: Timer = Timer::new("search.compile");
+}
+
+/// Instrumentation site referencing a pipeline static registered above.
+pub fn touch_pipeline() {
+    counters::SCRATCH_REUSE.incr();
+}

@@ -413,6 +413,20 @@ impl ClosNetwork {
     /// source/destination of this network.
     #[must_use]
     pub fn path_via(&self, flow: Flow, middle: usize) -> Path {
+        Path::new(self.links_via(flow, middle).to_vec())
+    }
+
+    /// Returns the four link ids of `flow`'s path through middle switch
+    /// `middle` (`s → I → M → O → t`) without allocating — the raw
+    /// material compiled into dense incidence tables by the evaluation
+    /// pipeline (`clos-core`'s `CompiledInstance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `middle` is out of range or the flow endpoints are not a
+    /// source/destination of this network.
+    #[must_use]
+    pub fn links_via(&self, flow: Flow, middle: usize) -> [LinkId; 4] {
         assert!(
             middle < self.params.middle_switches,
             "middle switch {middle} out of range (have {})",
@@ -420,12 +434,12 @@ impl ClosNetwork {
         );
         let (si, sj) = self.source_coords(flow.src());
         let (ti, tj) = self.destination_coords(flow.dst());
-        Path::new(vec![
+        [
             self.host_uplinks[si][sj],
             self.uplinks[si][middle],
             self.downlinks[middle][ti],
             self.host_downlinks[ti][tj],
-        ])
+        ]
     }
 
     /// Returns all `middle_count()` paths for `flow`, indexed by middle

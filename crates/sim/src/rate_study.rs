@@ -1,7 +1,7 @@
 //! Per-flow rate ratios: Clos network versus macro-switch (§6).
 
 use clos_core::routers::Router;
-use clos_fairness::max_min_fair;
+use clos_fairness::{WaterfillInstance, WaterfillScratch};
 use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
 use clos_rational::TotalF64;
 
@@ -115,18 +115,22 @@ pub fn rate_ratio_study(
 ) -> RateStudy {
     assert!(!flows.is_empty(), "rate study needs at least one flow");
     let routing = router.route(clos, ms, flows);
-    let clos_alloc =
-        max_min_fair::<TotalF64>(clos.network(), flows, &routing).expect("Clos links are finite");
+    // Both water-fillings go through the compiled pipeline with one shared
+    // scratch: the scratch is instance-independent, so the macro-switch run
+    // reuses the buffers the Clos run warmed up.
+    let mut scratch = WaterfillScratch::new();
+    let clos_instance = WaterfillInstance::<TotalF64>::compile(clos.network());
+    run_waterfill(&clos_instance, &routing, &mut scratch);
+    let clos_rates = scratch.rates().to_vec();
 
     let ms_flows = ms.translate_flows(clos, flows);
     let ms_routing = ms.routing(&ms_flows);
-    let ms_alloc = max_min_fair::<TotalF64>(ms.network(), &ms_flows, &ms_routing)
-        .expect("macro-switch host links are finite");
+    let ms_instance = WaterfillInstance::<TotalF64>::compile(ms.network());
+    run_waterfill(&ms_instance, &ms_routing, &mut scratch);
 
-    let ratios: Vec<f64> = clos_alloc
-        .rates()
+    let ratios: Vec<f64> = clos_rates
         .iter()
-        .zip(ms_alloc.rates())
+        .zip(scratch.rates())
         .map(|(c, m)| {
             debug_assert!(m.get() > 0.0, "max-min rates are strictly positive");
             c.get() / m.get()
@@ -138,6 +142,25 @@ pub fn rate_ratio_study(
         ratios,
         summary,
     }
+}
+
+/// Loads `routing` into `scratch` (dense link indices of `instance`) and
+/// water-fills it. Every path here crosses at least one finite link (host
+/// links are finite in both models), so rates are always bounded.
+fn run_waterfill(
+    instance: &WaterfillInstance<TotalF64>,
+    routing: &Routing,
+    scratch: &mut WaterfillScratch<TotalF64>,
+) {
+    scratch.begin();
+    let mut buf: Vec<usize> = Vec::new();
+    for path in routing.paths() {
+        buf.clear();
+        buf.extend(path.links().iter().filter_map(|&l| instance.dense_index(l)));
+        assert!(!buf.is_empty(), "flow path must cross a finite link");
+        scratch.push_flow(&buf);
+    }
+    instance.run(scratch);
 }
 
 #[cfg(test)]

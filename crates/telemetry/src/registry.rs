@@ -221,10 +221,13 @@ pub mod counters {
     /// Assignment subtrees skipped by branch-and-bound pruning (their
     /// admissible objective bound could not beat an incumbent).
     pub static SEARCH_PRUNED: Counter = Counter::new("search.pruned");
+    /// Water-filling runs served by an already-warm scratch buffer (no
+    /// fresh allocations; see `clos-fairness`'s compiled pipeline).
+    pub static WATERFILL_SCRATCH_REUSE: Counter = Counter::new("waterfill.scratch_reuse");
 
     /// Every registered counter, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Counter; 16] {
+    pub fn all() -> [&'static Counter; 17] {
         [
             &WATERFILL_CALLS,
             &WATERFILL_ROUNDS,
@@ -242,6 +245,7 @@ pub mod counters {
             &SEARCH_ASSIGNMENTS,
             &SEARCH_IMPROVEMENTS,
             &SEARCH_PRUNED,
+            &WATERFILL_SCRATCH_REUSE,
         ]
     }
 
@@ -263,11 +267,14 @@ pub mod timers {
     pub static SIMPLEX: Timer = Timer::new("simplex");
     /// Wall time inside exhaustive routing-objective searches.
     pub static SEARCH: Timer = Timer::new("search");
+    /// Wall time compiling a search instance (dense incidence tables),
+    /// paid once per search rather than once per evaluated routing.
+    pub static SEARCH_COMPILE: Timer = Timer::new("search.compile");
 
     /// Every registered timer, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Timer; 3] {
-        [&WATERFILL, &SIMPLEX, &SEARCH]
+    pub fn all() -> [&'static Timer; 4] {
+        [&WATERFILL, &SIMPLEX, &SEARCH, &SEARCH_COMPILE]
     }
 
     /// Resets every registered timer.
