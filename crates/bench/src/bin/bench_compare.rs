@@ -1,0 +1,581 @@
+//! `bench_compare` — diff a fresh `BENCH_search.json` against a
+//! checked-in baseline and fail on regression.
+//!
+//! The perf observatory's gate: `bench_search` writes a report, this
+//! binary diffs it against the versioned baseline under
+//! `benches/baselines/` and exits nonzero when the comparison finds a
+//! regression. Metrics split into two classes:
+//!
+//! * **exact** — engine counts that are deterministic for any thread
+//!   count (`routings_examined`, `pruned`, `improvements`, the
+//!   `--profile` histograms and provenance counters, the eval-pipeline
+//!   `evals` and `steady_state_allocations`). Any difference is a
+//!   behavioural change, not noise, and fails the comparison outright.
+//! * **noisy** — wall-clock-derived numbers (`wall_ms`,
+//!   `evals_per_sec`, the speedup ratios). These regress only beyond
+//!   `--tolerance` (default 0.15, i.e. 15%), and `--skip-wall` drops
+//!   them entirely for cross-machine comparisons where the baseline's
+//!   absolute timings are meaningless.
+//!
+//! A row present in the baseline but missing from the current report is
+//! a coverage regression and fails; extra current rows are reported and
+//! allowed (they become exact metrics once the baseline is refreshed).
+//! Noisy metrics that *improve* beyond tolerance are flagged as
+//! `improved` without failing — refresh the baseline to lock them in.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare --baseline PATH --current PATH [--tolerance X] [--skip-wall]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use clos_telemetry::json::JsonValue;
+
+/// Parsed command-line options.
+struct Options {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+    skip_wall: bool,
+}
+
+const USAGE: &str = "usage: bench_compare --baseline PATH --current PATH [--tolerance X] \
+[--skip-wall]
+  --baseline PATH   checked-in reference report (benches/baselines/...)
+  --current PATH    freshly generated report to vet
+  --tolerance X     allowed fractional slowdown on noisy metrics (default 0.15)
+  --skip-wall       ignore wall-clock-derived metrics entirely (cross-machine CI)";
+
+fn parse_args() -> Result<Options, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.15;
+    let mut skip_wall = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                tolerance = v.parse().map_err(|_| format!("bad --tolerance {v}"))?;
+                if !(0.0..=10.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 10]".to_string());
+                }
+            }
+            "--skip-wall" => skip_wall = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.ok_or(format!("--baseline is required\n{USAGE}"))?,
+        current: current.ok_or(format!("--current is required\n{USAGE}"))?,
+        tolerance,
+        skip_wall,
+    })
+}
+
+/// Verdict for one compared metric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Verdict {
+    /// Within tolerance (noisy) or equal (exact).
+    Ok,
+    /// Noisy metric improved beyond tolerance; informational only.
+    Improved,
+    /// Noisy metric regressed beyond tolerance — fails the run.
+    Regression,
+    /// Exact metric differs — fails the run.
+    Mismatch,
+    /// Skipped (`--skip-wall`), or absent from one side.
+    Skipped,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regression => "REGRESSION",
+            Verdict::Mismatch => "EXACT-MISMATCH",
+            Verdict::Skipped => "skipped",
+        }
+    }
+
+    fn fails(self) -> bool {
+        matches!(self, Verdict::Regression | Verdict::Mismatch)
+    }
+}
+
+/// One row of the printed delta table.
+struct Delta {
+    metric: String,
+    baseline: String,
+    current: String,
+    delta: String,
+    verdict: Verdict,
+}
+
+/// The comparison engine: accumulates per-metric deltas plus the overall
+/// failure flag. Separated from I/O so the logic is unit-testable on
+/// synthetic documents.
+struct Comparison {
+    tolerance: f64,
+    skip_wall: bool,
+    deltas: Vec<Delta>,
+    notes: Vec<String>,
+}
+
+/// Coerces a JSON scalar to `f64` for noisy-metric arithmetic.
+fn as_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Int(n) => Some(*n as f64),
+        JsonValue::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn fmt_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Float(x) => format!("{x:.3}"),
+        other => other.to_string(),
+    }
+}
+
+impl Comparison {
+    fn new(tolerance: f64, skip_wall: bool) -> Comparison {
+        Comparison {
+            tolerance,
+            skip_wall,
+            deltas: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, metric: &str, baseline: String, current: String, verdict: Verdict) {
+        self.deltas.push(Delta {
+            metric: metric.to_string(),
+            baseline,
+            current,
+            delta: String::new(),
+            verdict,
+        });
+    }
+
+    /// Compares an exact metric: any difference is a mismatch. Absent on
+    /// both sides is fine (e.g. `--profile` off in both runs); absent on
+    /// exactly one side is a mismatch — the reports disagree on shape.
+    fn exact(&mut self, metric: &str, base: Option<&JsonValue>, curr: Option<&JsonValue>) {
+        match (base, curr) {
+            (None, None) => {}
+            (Some(b), Some(c)) => {
+                let verdict = if b == c {
+                    Verdict::Ok
+                } else {
+                    Verdict::Mismatch
+                };
+                self.push(metric, fmt_value(b), fmt_value(c), verdict);
+            }
+            (b, c) => {
+                let show =
+                    |v: Option<&JsonValue>| v.map_or_else(|| "absent".to_string(), fmt_value);
+                self.push(metric, show(b), show(c), Verdict::Mismatch);
+            }
+        }
+    }
+
+    /// Compares a noisy metric. `higher_is_better` flips the direction:
+    /// `wall_ms` regresses upward, `evals_per_sec` regresses downward.
+    fn noisy(
+        &mut self,
+        metric: &str,
+        base: Option<&JsonValue>,
+        curr: Option<&JsonValue>,
+        higher_is_better: bool,
+    ) {
+        let (Some(b), Some(c)) = (base.and_then(as_f64), curr.and_then(as_f64)) else {
+            // A noisy metric missing from either side is not a
+            // behavioural signal; note it and move on.
+            if base.is_some() || curr.is_some() {
+                self.push(metric, "?".to_string(), "?".to_string(), Verdict::Skipped);
+            }
+            return;
+        };
+        if self.skip_wall {
+            self.push(
+                metric,
+                format!("{b:.3}"),
+                format!("{c:.3}"),
+                Verdict::Skipped,
+            );
+            return;
+        }
+        // Relative change in the "bigger is worse" orientation.
+        let worsening = if higher_is_better {
+            (b - c) / b.abs().max(1e-12)
+        } else {
+            (c - b) / b.abs().max(1e-12)
+        };
+        let verdict = if worsening > self.tolerance {
+            Verdict::Regression
+        } else if worsening < -self.tolerance {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        };
+        let signed = (c - b) / b.abs().max(1e-12) * 100.0;
+        self.deltas.push(Delta {
+            metric: metric.to_string(),
+            baseline: format!("{b:.3}"),
+            current: format!("{c:.3}"),
+            delta: format!("{signed:+.1}%"),
+            verdict,
+        });
+    }
+
+    /// Compares one configuration object (`baseline` / `prune` /
+    /// `tuned`) of one instance row.
+    fn config(&mut self, prefix: &str, base: &JsonValue, curr: &JsonValue) {
+        for key in ["routings_examined", "pruned", "improvements"] {
+            self.exact(&format!("{prefix}.{key}"), base.get(key), curr.get(key));
+        }
+        self.noisy(
+            &format!("{prefix}.wall_ms"),
+            base.get("wall_ms"),
+            curr.get("wall_ms"),
+            false,
+        );
+        self.noisy(
+            &format!("{prefix}.evals_per_sec"),
+            base.get("evals_per_sec"),
+            curr.get("evals_per_sec"),
+            true,
+        );
+        // Profile counters are exact engine counts; compare whenever
+        // both runs recorded them. `sampled_branches` depends on the
+        // `trace_sample` knob, not engine behaviour, so it is exempt.
+        if let (Some(bp), Some(cp)) = (base.get("profile"), curr.get("profile")) {
+            for key in [
+                "depth_nodes",
+                "depth_pruned",
+                "depth_improvements",
+                "symmetry_skipped",
+                "bound_pruned",
+                "root_pruned",
+                "blocks_exhausted",
+            ] {
+                self.exact(&format!("{prefix}.profile.{key}"), bp.get(key), cp.get(key));
+            }
+        } else if base.get("profile").is_some() != curr.get("profile").is_some() {
+            self.notes.push(format!(
+                "{prefix}: profile present in only one report — run both with --profile \
+                 to gate the histograms"
+            ));
+        }
+    }
+
+    /// Compares two whole reports.
+    fn documents(&mut self, base: &JsonValue, curr: &JsonValue) {
+        match (base.get("schema"), curr.get("schema")) {
+            (Some(b), Some(c)) if b != c => {
+                self.notes.push(format!(
+                    "schema differs: baseline {b}, current {c} — comparing shared metrics"
+                ));
+            }
+            (Some(_), Some(_)) => {}
+            _ => self.push(
+                "schema",
+                "present".to_string(),
+                "present".to_string(),
+                Verdict::Mismatch,
+            ),
+        }
+
+        let empty = Vec::new();
+        let rows = |doc: &JsonValue| -> Vec<JsonValue> {
+            match doc.get("instances") {
+                Some(JsonValue::Array(items)) => items.clone(),
+                _ => empty.clone(),
+            }
+        };
+        let key = |row: &JsonValue| -> String {
+            format!(
+                "{}/{}",
+                row.get("instance")
+                    .and_then(|v| as_str(v))
+                    .unwrap_or_default(),
+                row.get("objective")
+                    .and_then(|v| as_str(v))
+                    .unwrap_or_default()
+            )
+        };
+        let base_rows = rows(base);
+        let curr_rows = rows(curr);
+        for brow in &base_rows {
+            let k = key(brow);
+            let Some(crow) = curr_rows.iter().find(|r| key(r) == k) else {
+                self.push(
+                    &k,
+                    "present".to_string(),
+                    "missing".to_string(),
+                    Verdict::Mismatch,
+                );
+                continue;
+            };
+            self.exact(&format!("{k}.flows"), brow.get("flows"), crow.get("flows"));
+            for config in ["baseline", "prune", "tuned"] {
+                if let (Some(bc), Some(cc)) = (brow.get(config), crow.get(config)) {
+                    self.config(&format!("{k}.{config}"), bc, cc);
+                } else {
+                    self.push(
+                        &format!("{k}.{config}"),
+                        "?".to_string(),
+                        "?".to_string(),
+                        Verdict::Mismatch,
+                    );
+                }
+            }
+            for ratio in ["speedup_prune", "speedup_total"] {
+                self.noisy(
+                    &format!("{k}.{ratio}"),
+                    brow.get(ratio),
+                    crow.get(ratio),
+                    true,
+                );
+            }
+        }
+        for crow in &curr_rows {
+            let k = key(crow);
+            if !base_rows.iter().any(|r| key(r) == k) {
+                self.notes.push(format!(
+                    "current report adds row {k} not in the baseline — refresh the \
+                     baseline to gate it"
+                ));
+            }
+        }
+
+        match (base.get("eval_pipeline"), curr.get("eval_pipeline")) {
+            (Some(be), Some(ce)) => {
+                self.exact("eval_pipeline.evals", be.get("evals"), ce.get("evals"));
+                self.exact(
+                    "eval_pipeline.steady_state_allocations",
+                    be.get("steady_state_allocations"),
+                    ce.get("steady_state_allocations"),
+                );
+                self.noisy(
+                    "eval_pipeline.wall_ms",
+                    be.get("wall_ms"),
+                    ce.get("wall_ms"),
+                    false,
+                );
+                self.noisy(
+                    "eval_pipeline.evals_per_sec",
+                    be.get("evals_per_sec"),
+                    ce.get("evals_per_sec"),
+                    true,
+                );
+            }
+            (None, None) => {}
+            _ => self.push(
+                "eval_pipeline",
+                "?".to_string(),
+                "?".to_string(),
+                Verdict::Mismatch,
+            ),
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.deltas.iter().any(|d| d.verdict.fails())
+    }
+}
+
+fn as_str(v: &JsonValue) -> Option<String> {
+    match v {
+        JsonValue::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn print_table(cmp: &Comparison) {
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}  {}",
+        "metric", "baseline", "current", "delta", "verdict"
+    );
+    for d in &cmp.deltas {
+        println!(
+            "{:<44} {:>14} {:>14} {:>8}  {}",
+            d.metric,
+            d.baseline,
+            d.current,
+            d.delta,
+            d.verdict.label()
+        );
+    }
+    for note in &cmp.notes {
+        println!("note: {note}");
+    }
+    let failures = cmp.deltas.iter().filter(|d| d.verdict.fails()).count();
+    let skipped = cmp
+        .deltas
+        .iter()
+        .filter(|d| d.verdict == Verdict::Skipped)
+        .count();
+    println!(
+        "{} metrics compared, {} failing, {} skipped",
+        cmp.deltas.len(),
+        failures,
+        skipped
+    );
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let base = load(&opts.baseline)?;
+    let curr = load(&opts.current)?;
+    let mut cmp = Comparison::new(opts.tolerance, opts.skip_wall);
+    cmp.documents(&base, &curr);
+    print_table(&cmp);
+    Ok(!cmp.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench_compare: regression detected");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench_compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal synthetic report with one row and an eval pipeline.
+    fn report(examined: u64, wall_ms: f64, rate: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema":"bench_search/v3","tuned_threads":4,"reps":3,
+                "instances":[{{"instance":"hot3","objective":"lex","n":3,"flows":9,
+                  "baseline":{{"wall_ms":{wall_ms},"routings_examined":{examined},
+                    "pruned":0,"improvements":3,"evals_per_sec":{rate}}},
+                  "prune":{{"wall_ms":{wall_ms},"routings_examined":{examined},
+                    "pruned":5,"improvements":3,"evals_per_sec":{rate}}},
+                  "tuned":{{"wall_ms":{wall_ms},"routings_examined":{examined},
+                    "pruned":5,"improvements":3,"evals_per_sec":{rate}}},
+                  "speedup_prune":2.0,"speedup_total":3.0,
+                  "results_identical":true}}],
+                "eval_pipeline":{{"instance":"hot4","objective":"lex","evals":8000,
+                  "wall_ms":{wall_ms},"evals_per_sec":{rate},
+                  "steady_state_allocations":0}}}}"#
+        ))
+        .expect("synthetic report parses")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let doc = report(100, 10.0, 1000.0);
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&doc, &doc);
+        assert!(!cmp.failed());
+        assert!(cmp.deltas.iter().all(|d| d.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn small_noise_within_tolerance_passes() {
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&report(100, 10.0, 1000.0), &report(100, 11.0, 950.0));
+        assert!(!cmp.failed());
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_fails() {
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&report(100, 10.0, 1000.0), &report(100, 12.5, 800.0));
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Regression && d.metric.ends_with("wall_ms")));
+    }
+
+    #[test]
+    fn skip_wall_ignores_any_slowdown() {
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(&report(100, 10.0, 1000.0), &report(100, 100.0, 100.0));
+        assert!(!cmp.failed());
+    }
+
+    #[test]
+    fn exact_count_drift_fails_even_with_skip_wall() {
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(&report(100, 10.0, 1000.0), &report(101, 10.0, 1000.0));
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Mismatch && d.metric.ends_with("routings_examined")));
+    }
+
+    #[test]
+    fn large_improvement_is_reported_not_failed() {
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&report(100, 10.0, 1000.0), &report(100, 5.0, 2000.0));
+        assert!(!cmp.failed());
+        assert!(cmp.deltas.iter().any(|d| d.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn missing_row_is_a_coverage_mismatch() {
+        let base = report(100, 10.0, 1000.0);
+        let mut curr = report(100, 10.0, 1000.0);
+        if let JsonValue::Object(entries) = &mut curr {
+            for (k, v) in entries.iter_mut() {
+                if k == "instances" {
+                    *v = JsonValue::Array(Vec::new());
+                }
+            }
+        }
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&base, &curr);
+        assert!(cmp.failed());
+    }
+
+    #[test]
+    fn profile_histograms_gate_exactly_when_both_present() {
+        let with_profile = |nodes: &str| {
+            JsonValue::parse(&format!(
+                r#"{{"wall_ms":1.0,"routings_examined":10,"pruned":2,
+                    "improvements":1,"evals_per_sec":100.0,
+                    "profile":{{"depth_nodes":{nodes},"depth_pruned":[0,2],
+                      "depth_improvements":[1,0],"symmetry_skipped":4,
+                      "bound_pruned":2,"root_pruned":0,"blocks_exhausted":1,
+                      "sampled_branches":0}}}}"#
+            ))
+            .expect("synthetic config parses")
+        };
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.config("row.tuned", &with_profile("[1,3]"), &with_profile("[1,3]"));
+        assert!(!cmp.failed());
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.config("row.tuned", &with_profile("[1,3]"), &with_profile("[1,4]"));
+        assert!(cmp.failed());
+    }
+}

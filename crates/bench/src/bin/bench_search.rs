@@ -33,12 +33,20 @@
 //!
 //! ```text
 //! bench_search [--out PATH] [--threads N] [--min-speedup X] [--reps R]
+//!              [--profile]
 //! ```
 //!
 //! `--min-speedup X` makes the run fail unless the best total speedup
 //! (baseline / tuned) over all instance/objective rows reaches `X`; the
 //! default `0` records without gating, for single-core or otherwise
 //! wall-clock-hostile environments.
+//!
+//! `--profile` attaches the engine's [`SearchProfile`] to every
+//! configuration row: per-depth node/prune/improvement histograms and
+//! prune-provenance counters (symmetry-canonical rejection vs. admissible
+//! prefix bound vs. block exhaustion). The histograms are exact engine
+//! counts, deterministic for any thread count, so they double as exact
+//! regression metrics for `bench_compare`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fs;
@@ -48,7 +56,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use clos_core::compiled::EvalScratch;
-use clos_core::objectives::{search_lex_max_min_with, search_throughput_max_min_with, SearchStats};
+use clos_core::objectives::{
+    search_lex_max_min_with, search_throughput_max_min_with, SearchProfile, SearchStats,
+};
 use clos_core::search::{
     search_threads, set_search_threads, LexMaxMin, Objective, Problem, SearchConfig,
 };
@@ -91,13 +101,17 @@ struct Options {
     threads: Option<usize>,
     min_speedup: f64,
     reps: u32,
+    profile: bool,
 }
 
-const USAGE: &str = "usage: bench_search [--out PATH] [--threads N] [--min-speedup X] [--reps R]
+const USAGE: &str = "usage: bench_search [--out PATH] [--threads N] [--min-speedup X] [--reps R] \
+[--profile]
   --out PATH        output JSON path (default BENCH_search.json)
   --threads N       thread count for the tuned configuration (default: auto)
   --min-speedup X   fail unless some row speeds up by at least X (default 0)
-  --reps R          timing repetitions per configuration, best-of (default 3)";
+  --reps R          timing repetitions per configuration, best-of (default 3)
+  --profile         attach per-depth search-tree histograms and
+                    prune-provenance counters to every configuration row";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -105,6 +119,7 @@ fn parse_args() -> Result<Options, String> {
         threads: None,
         min_speedup: 0.0,
         reps: 3,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,6 +146,7 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.reps = r;
             }
+            "--profile" => opts.profile = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -251,9 +267,9 @@ fn measure(
     }
 }
 
-fn config_json(m: &Measured) -> JsonValue {
+fn config_json(m: &Measured, with_profile: bool) -> JsonValue {
     let evals_per_sec = m.stats.routings_examined as f64 / (m.wall_ms / 1e3).max(1e-12);
-    JsonValue::Object(vec![
+    let mut fields = vec![
         ("wall_ms".to_string(), JsonValue::from(m.wall_ms)),
         (
             "routings_examined".to_string(),
@@ -265,6 +281,41 @@ fn config_json(m: &Measured) -> JsonValue {
             JsonValue::from(m.stats.improvements),
         ),
         ("evals_per_sec".to_string(), JsonValue::from(evals_per_sec)),
+    ];
+    if with_profile {
+        fields.push(("profile".to_string(), profile_json(&m.stats.profile)));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Serializes a [`SearchProfile`] as a JSON object: the three per-depth
+/// histograms plus the prune-provenance counters. Sampled branch traces
+/// are summarized by count only — they are a debugging aid, not a
+/// regression metric.
+fn profile_json(p: &SearchProfile) -> JsonValue {
+    let histogram =
+        |values: &[u64]| JsonValue::Array(values.iter().map(|&v| JsonValue::from(v)).collect());
+    JsonValue::Object(vec![
+        ("depth_nodes".to_string(), histogram(&p.depth_nodes)),
+        ("depth_pruned".to_string(), histogram(&p.depth_pruned)),
+        (
+            "depth_improvements".to_string(),
+            histogram(&p.depth_improvements),
+        ),
+        (
+            "symmetry_skipped".to_string(),
+            JsonValue::from(p.symmetry_skipped),
+        ),
+        ("bound_pruned".to_string(), JsonValue::from(p.bound_pruned)),
+        ("root_pruned".to_string(), JsonValue::from(p.root_pruned)),
+        (
+            "blocks_exhausted".to_string(),
+            JsonValue::from(p.blocks_exhausted),
+        ),
+        (
+            "sampled_branches".to_string(),
+            JsonValue::from(p.sampled.len()),
+        ),
     ])
 }
 
@@ -341,14 +392,17 @@ fn run() -> Result<(), String> {
     let baseline_cfg = SearchConfig {
         threads: Some(1),
         no_prune: true,
+        trace_sample: None,
     };
     let prune_cfg = SearchConfig {
         threads: Some(1),
         no_prune: false,
+        trace_sample: None,
     };
     let tuned_cfg = SearchConfig {
         threads: None,
         no_prune: false,
+        trace_sample: None,
     };
 
     let mut rows = Vec::new();
@@ -400,15 +454,28 @@ fn run() -> Result<(), String> {
                 speedup_prune,
                 speedup_total
             );
+            if opts.profile {
+                let p = &tuned.stats.profile;
+                println!(
+                    "  tuned profile: nodes/depth {:?}, pruned/depth {:?}, \
+                     symmetry_skipped {}, bound {}, root {}, exhausted {}",
+                    p.depth_nodes,
+                    p.depth_pruned,
+                    p.symmetry_skipped,
+                    p.bound_pruned,
+                    p.root_pruned,
+                    p.blocks_exhausted
+                );
+            }
 
             rows.push(JsonValue::Object(vec![
                 ("instance".to_string(), JsonValue::from(instance.name)),
                 ("objective".to_string(), JsonValue::from(*objective)),
                 ("n".to_string(), JsonValue::from(instance.n)),
                 ("flows".to_string(), JsonValue::from(flows.len())),
-                ("baseline".to_string(), config_json(&baseline)),
-                ("prune".to_string(), config_json(&prune)),
-                ("tuned".to_string(), config_json(&tuned)),
+                ("baseline".to_string(), config_json(&baseline, opts.profile)),
+                ("prune".to_string(), config_json(&prune, opts.profile)),
+                ("tuned".to_string(), config_json(&tuned, opts.profile)),
                 ("speedup_prune".to_string(), JsonValue::from(speedup_prune)),
                 ("speedup_total".to_string(), JsonValue::from(speedup_total)),
                 ("results_identical".to_string(), JsonValue::from(true)),
@@ -432,7 +499,7 @@ fn run() -> Result<(), String> {
     }
 
     let report = JsonValue::Object(vec![
-        ("schema".to_string(), JsonValue::from("bench_search/v2")),
+        ("schema".to_string(), JsonValue::from("bench_search/v3")),
         ("tuned_threads".to_string(), JsonValue::from(tuned_threads)),
         ("reps".to_string(), JsonValue::from(u64::from(opts.reps))),
         ("instances".to_string(), JsonValue::Array(rows)),

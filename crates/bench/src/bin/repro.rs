@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--experiment e1|e2|...|e12|all] [--quick] [--json <path>]
-//!       [--telemetry] [--threads <n>] [--stable]
+//!       [--telemetry] [--threads <n>] [--stable] [--trace <path>]
 //! ```
 //!
 //! `--quick` shrinks sweep sizes so the full run finishes in seconds
@@ -22,6 +22,14 @@
 //! `--stable` strips the nondeterministic fields from the JSON report
 //! (wall-clock milliseconds and `*.nanos` timer deltas) so two runs of the
 //! same build produce byte-identical files.
+//!
+//! `--trace <path>` enables hierarchical span tracing and writes the
+//! aggregated span tree as a Chrome trace-event JSON file (load it at
+//! `chrome://tracing` or in Perfetto). Each experiment gets a top-level
+//! span named by its id; the search engine, instance compilation, and
+//! water-filling nest underneath. With `--stable`, span widths are
+//! occurrence counts instead of nanoseconds, so the trace file is
+//! byte-identical for any `--threads` value.
 //!
 //! The process exits nonzero if any experiment's audit detects a bound
 //! violation (e.g. `T > T^MT` or `T^MT > 2·T^MmF_MS`).
@@ -44,6 +52,7 @@ struct Options {
     telemetry: bool,
     threads: Option<usize>,
     stable: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -53,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
     let mut telemetry = false;
     let mut threads = None;
     let mut stable = false;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,9 +92,15 @@ fn parse_args() -> Result<Options, String> {
                 threads = Some(n);
             }
             "--stable" => stable = true,
+            "--trace" => {
+                trace = Some(std::path::PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--trace needs a path".to_string())?,
+                ));
+            }
             "--help" | "-h" => return Err(
                 "usage: repro [--experiment e1..e12|all] [--quick] [--json <path>] [--telemetry] \
-                 [--threads <n>] [--stable]"
+                 [--threads <n>] [--stable] [--trace <path>]"
                     .to_string(),
             ),
             other => return Err(format!("unknown argument: {other}")),
@@ -97,6 +113,7 @@ fn parse_args() -> Result<Options, String> {
         telemetry,
         threads,
         stable,
+        trace,
     })
 }
 
@@ -371,13 +388,23 @@ const EXPERIMENTS: [(&str, &str, Runner); 12] = [
 
 /// Runs one experiment with timing and counter attribution, returning its
 /// completed record.
-fn run_instrumented(id: &str, title: &str, runner: Runner, opts: &Options) -> ExperimentRecord {
+fn run_instrumented(
+    id: &'static str,
+    title: &str,
+    runner: Runner,
+    opts: &Options,
+) -> ExperimentRecord {
     heading(&id.to_uppercase(), title);
     let mut rec = ExperimentRecord::new(id, title);
     rec.quick = opts.quick;
     let before = Snapshot::take();
     let start = Instant::now();
-    runner(opts.quick, &mut rec);
+    {
+        // One top-level span per experiment (ids are 'static, making
+        // them usable as span names); engine spans nest underneath.
+        let _span = clos_telemetry::span(id);
+        runner(opts.quick, &mut rec);
+    }
     // --stable: zero the wall clock and drop timer nanoseconds so the
     // JSON report is byte-identical across runs and thread counts (the
     // remaining counters, including search.* statistics, are
@@ -420,6 +447,9 @@ fn main() -> ExitCode {
     };
     if opts.telemetry || opts.json.is_some() {
         clos_telemetry::set_enabled(true);
+    }
+    if opts.trace.is_some() {
+        clos_telemetry::set_tracing(true);
     }
     if let Some(threads) = opts.threads {
         clos_core::search::set_search_threads(threads);
@@ -466,6 +496,24 @@ fn main() -> ExitCode {
         println!(
             "\nwrote {} JSON-Lines record(s) to {}",
             records.len(),
+            path.display()
+        );
+    }
+
+    if let Some(path) = &opts.trace {
+        clos_telemetry::set_tracing(false);
+        let trace = clos_telemetry::take_trace();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_trace(opts.stable)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} span trace to {}",
+            if opts.stable {
+                "stable (count-weighted)"
+            } else {
+                "wall-clock"
+            },
             path.display()
         );
     }

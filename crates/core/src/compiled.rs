@@ -78,7 +78,8 @@ impl CompiledInstance {
     /// [`Self::evaluate`] run unchecked.
     #[must_use]
     pub fn new(clos: &ClosNetwork, flows: &[Flow]) -> CompiledInstance {
-        let _span = timers::SEARCH_COMPILE.scope();
+        let _timer = timers::SEARCH_COMPILE.scope();
+        let _span = clos_telemetry::span("search.compile");
         let n = clos.middle_count();
         let mut used: Vec<LinkId> = Vec::with_capacity(flows.len() * n * 4);
         for &f in flows {

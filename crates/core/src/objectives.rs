@@ -50,10 +50,10 @@ use crate::RoutedAllocation;
 
 /// Statistics from an exhaustive routing search.
 ///
-/// All three fields are deterministic: for a given instance and objective
-/// they are identical whatever the thread count (see
-/// [`search`](crate::search)).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Every field (including the whole [`profile`](Self::profile)) is
+/// deterministic: for a given instance and objective it is identical
+/// whatever the thread count (see [`search`](crate::search)).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SearchStats {
     /// Number of (canonical) routings whose allocation was evaluated.
     /// With pruning, this is at most the canonical enumeration size.
@@ -64,6 +64,111 @@ pub struct SearchStats {
     /// Number of assignment subtrees skipped because their admissible
     /// objective bound could not beat an incumbent.
     pub pruned: u64,
+    /// Per-depth histograms, prune provenance, and sampled branches.
+    pub profile: SearchProfile,
+}
+
+/// Where the search tree's work went: per-depth histograms and
+/// prune-provenance counters, plus an optional sampled branch trace.
+///
+/// Every counter is accumulated per block and merged by summation in
+/// block order, so the whole profile — like [`SearchStats`] — is
+/// byte-identical for any thread count. Depth-indexed vectors have
+/// length `flows + 1` (index = prefix length); positions shallower than
+/// the block-decomposition depth stay zero because the engine walks
+/// inside blocks only.
+///
+/// The three prune provenances are disjoint:
+///
+/// * [`symmetry_skipped`](Self::symmetry_skipped) — branches never
+///   generated because the combined symmetry reduction admits fewer than
+///   `n` middle choices at a node;
+/// * [`bound_pruned`](Self::bound_pruned) /
+///   [`root_pruned`](Self::root_pruned) — subtrees generated but cut by
+///   the admissible prefix bound (inside a block vs. a whole block at
+///   its root; the two sum to [`SearchStats::pruned`]);
+/// * [`blocks_exhausted`](Self::blocks_exhausted) — blocks walked to
+///   exhaustion, the only way leaves are reached.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SearchProfile {
+    /// `depth_nodes[d]`: interior prefixes of length `d` expanded (their
+    /// admissible middle choices enumerated).
+    pub depth_nodes: Vec<u64>,
+    /// `depth_pruned[d]`: subtrees cut by the prefix bound at a prefix
+    /// of length `d` (block-root prunes included at the block depth).
+    pub depth_pruned: Vec<u64>,
+    /// `depth_improvements[d]`: incumbent improvements whose assignment
+    /// first diverges from the previous incumbent at position `d` (the
+    /// initial seed incumbent is counted at depth 0).
+    pub depth_improvements: Vec<u64>,
+    /// Middle choices rejected by canonicality (group-sortedness or
+    /// first-use labeling) across all expanded nodes: at a node with
+    /// `a` admissible of `n` middles, `n - a` branches are skipped.
+    pub symmetry_skipped: u64,
+    /// Subtrees cut by the prefix bound strictly inside a block.
+    pub bound_pruned: u64,
+    /// Whole blocks cut by the prefix bound at their root prefix.
+    pub root_pruned: u64,
+    /// Blocks walked to exhaustion (not root-pruned).
+    pub blocks_exhausted: u64,
+    /// Deterministically sampled leaves (see
+    /// [`SearchConfig::trace_sample`]), in lexicographic order, capped at
+    /// [`SearchProfile::MAX_SAMPLED`].
+    pub sampled: Vec<SampledBranch>,
+}
+
+impl SearchProfile {
+    /// Global cap on [`sampled`](Self::sampled) after merging, so the
+    /// trace stays bounded on huge searches.
+    pub const MAX_SAMPLED: usize = 64;
+
+    /// An empty profile with depth vectors sized for `flows` flows.
+    #[must_use]
+    pub fn for_depth(flows: usize) -> SearchProfile {
+        SearchProfile {
+            depth_nodes: vec![0; flows + 1],
+            depth_pruned: vec![0; flows + 1],
+            depth_improvements: vec![0; flows + 1],
+            ..SearchProfile::default()
+        }
+    }
+
+    /// Folds another block's profile into this one (elementwise sums;
+    /// samples are appended and truncated to
+    /// [`MAX_SAMPLED`](Self::MAX_SAMPLED)). Call in block order to keep
+    /// the retained sample prefix deterministic.
+    pub fn merge(&mut self, other: &SearchProfile) {
+        fn add_into(acc: &mut Vec<u64>, other: &[u64]) {
+            if acc.len() < other.len() {
+                acc.resize(other.len(), 0);
+            }
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a += b;
+            }
+        }
+        add_into(&mut self.depth_nodes, &other.depth_nodes);
+        add_into(&mut self.depth_pruned, &other.depth_pruned);
+        add_into(&mut self.depth_improvements, &other.depth_improvements);
+        self.symmetry_skipped += other.symmetry_skipped;
+        self.bound_pruned += other.bound_pruned;
+        self.root_pruned += other.root_pruned;
+        self.blocks_exhausted += other.blocks_exhausted;
+        let room = SearchProfile::MAX_SAMPLED.saturating_sub(self.sampled.len());
+        self.sampled
+            .extend(other.sampled.iter().take(room).cloned());
+    }
+}
+
+/// One deterministically sampled leaf of the search tree (the sampled
+/// branch-trace mode, [`SearchConfig::trace_sample`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SampledBranch {
+    /// Index of the prefix block the leaf belongs to.
+    pub block: usize,
+    /// The complete canonical middle-switch assignment.
+    pub assignment: Vec<usize>,
+    /// Whether this leaf improved its block-local incumbent.
+    pub improved: bool,
 }
 
 /// Invokes `visit` with every canonical middle-switch assignment for
@@ -428,6 +533,7 @@ mod tests {
             let config = SearchConfig {
                 threads: Some(threads),
                 no_prune: false,
+                trace_sample: None,
             };
             let (best, _) = search_lex_max_min_with(&clos, &flows, config);
             let m = clos.middle_of_path(best.routing.path(clos_net::FlowId::new(0)));

@@ -58,7 +58,7 @@ use clos_rational::Rational;
 use clos_telemetry::counters;
 
 use crate::compiled::{CompiledInstance, EvalScratch};
-use crate::objectives::SearchStats;
+use crate::objectives::{SampledBranch, SearchProfile, SearchStats};
 
 /// Target number of prefix blocks for the parallel decomposition.
 ///
@@ -71,6 +71,11 @@ pub const BLOCK_TARGET: usize = 64;
 
 /// Upper cap on the auto-detected thread count.
 const MAX_AUTO_THREADS: usize = 8;
+
+/// Per-block cap on sampled branches ([`SearchConfig::trace_sample`]);
+/// with [`BLOCK_TARGET`] blocks the global
+/// [`SearchProfile::MAX_SAMPLED`] cap usually binds first.
+const MAX_SAMPLED_PER_BLOCK: usize = 4;
 
 /// Requested worker count: 0 means "auto" (env var, then hardware).
 static SEARCH_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -113,6 +118,13 @@ pub struct SearchConfig {
     /// then visits every canonical assignment). Used by benchmarks to
     /// measure the pruning contribution; results are identical either way.
     pub no_prune: bool,
+    /// Sampled branch-trace mode: `Some(k)` records every `k`-th
+    /// examined leaf of each block (first leaf included) into
+    /// [`SearchProfile::sampled`], capped per block and globally.
+    /// Sampling is keyed to the block-local examination index, so the
+    /// recorded sample is identical for any thread count. `None` (the
+    /// default) records nothing.
+    pub trace_sample: Option<u64>,
 }
 
 /// Precomputed, read-only view of one search instance, shared by all
@@ -494,6 +506,13 @@ pub(crate) trait Visitor {
         false
     }
 
+    /// Called when the walker starts enumerating values at `position`
+    /// (i.e. expands the prefix of that length), with the number of
+    /// middle choices the canonical space admits there. The default
+    /// ignores it; the engine's visitor derives its per-depth node
+    /// histogram and symmetry-skip counter from this hook.
+    fn enter(&mut self, _position: usize, _admitted: usize) {}
+
     /// Called once per surviving complete assignment.
     fn leaf(&mut self, assignment: &[usize]);
 }
@@ -518,6 +537,7 @@ pub(crate) fn walk_completions(
     }
     let mut i = start;
     assignment[i] = space.lower(assignment, i);
+    visitor.enter(i, space.upper(fresh[i]).saturating_sub(assignment[i]));
     loop {
         if assignment[i] < space.upper(fresh[i]) {
             fresh[i + 1] = fresh[i].max(assignment[i] + 1);
@@ -526,6 +546,7 @@ pub(crate) fn walk_completions(
             } else if !visitor.prune(&assignment[..=i]) {
                 i += 1;
                 assignment[i] = space.lower(assignment, i);
+                visitor.enter(i, space.upper(fresh[i]).saturating_sub(assignment[i]));
                 continue;
             }
             assignment[i] += 1;
@@ -582,6 +603,9 @@ struct BlockOutcome<K> {
     examined: u64,
     improvements: u64,
     pruned: u64,
+    /// Per-depth histograms, prune provenance, and sampled leaves of
+    /// this block alone.
+    profile: SearchProfile,
 }
 
 fn strictly_greater<K: PartialOrd>(a: &K, b: &K) -> bool {
@@ -639,11 +663,19 @@ impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
             .prefix_cannot_beat(&self.ctx.problem, prefix, incumbent, self.scratch)
         {
             self.outcome.pruned += 1;
+            self.outcome.profile.bound_pruned += 1;
+            self.outcome.profile.depth_pruned[prefix.len()] += 1;
             counters::SEARCH_PRUNED.incr();
             true
         } else {
             false
         }
+    }
+
+    fn enter(&mut self, position: usize, admitted: usize) {
+        self.outcome.profile.depth_nodes[position] += 1;
+        let n = self.ctx.space.n;
+        self.outcome.profile.symmetry_skipped += (n.saturating_sub(admitted)) as u64;
     }
 
     fn leaf(&mut self, assignment: &[usize]) {
@@ -653,17 +685,43 @@ impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
         }
         self.outcome.examined += 1;
         counters::SEARCH_ASSIGNMENTS.incr();
+        let sampled = self.ctx.config.trace_sample.is_some_and(|k| {
+            (self.outcome.examined - 1) % k.max(1) == 0
+                && self.outcome.profile.sampled.len() < MAX_SAMPLED_PER_BLOCK
+        });
         self.ctx.problem.evaluate(self.scratch, assignment);
         let incumbent = self
             .outcome
             .best
             .as_ref()
             .map_or(&self.ctx.seed_key, |(_, key)| key);
-        if self.ctx.objective.beats(incumbent, self.scratch) {
+        let improved = self.ctx.objective.beats(incumbent, self.scratch);
+        if improved {
             self.outcome.improvements += 1;
             counters::SEARCH_IMPROVEMENTS.incr();
+            // Histogram the improvement at the first position where the
+            // new incumbent diverges from the one it replaces — a pure
+            // function of the block, not of scheduling.
+            let previous = self
+                .outcome
+                .best
+                .as_ref()
+                .map_or(&self.ctx.seed[..], |(a, _)| &a[..]);
+            let divergence = assignment
+                .iter()
+                .zip(previous)
+                .position(|(a, b)| a != b)
+                .unwrap_or(assignment.len());
+            self.outcome.profile.depth_improvements[divergence] += 1;
             let key = self.ctx.objective.key(self.scratch);
             self.outcome.best = Some((assignment.to_vec(), key));
+        }
+        if sampled {
+            self.outcome.profile.sampled.push(SampledBranch {
+                block: self.outcome.index,
+                assignment: assignment.to_vec(),
+                improved,
+            });
         }
     }
 }
@@ -674,6 +732,7 @@ fn process_block<O: Objective>(
     prefix: &[usize],
     scratch: &mut EvalScratch,
 ) -> BlockOutcome<O::Key> {
+    let _span = clos_telemetry::span_root("search.block");
     let flow_count = ctx.problem.flows().len();
     let depth = prefix.len();
     let mut assignment = vec![0usize; flow_count];
@@ -692,13 +751,19 @@ fn process_block<O: Objective>(
             examined: 0,
             improvements: 0,
             pruned: 0,
+            profile: SearchProfile::for_depth(flow_count),
         },
     };
     // The walker only bounds prefixes strictly deeper than the block
     // root; bound the root itself first.
     if depth > 0 && depth < flow_count && visitor.prune(&assignment[..depth]) {
+        // Reclassify the prune just recorded: the whole block died at
+        // its root, the bound never cut inside the walk.
+        visitor.outcome.profile.bound_pruned -= 1;
+        visitor.outcome.profile.root_pruned += 1;
         return visitor.outcome;
     }
+    visitor.outcome.profile.blocks_exhausted += 1;
     walk_completions(&ctx.space, &mut assignment, &mut fresh, depth, &mut visitor);
     visitor.outcome
 }
@@ -716,7 +781,8 @@ pub fn run_search<O: Objective>(
     objective: &O,
     config: SearchConfig,
 ) -> (Vec<usize>, SearchStats) {
-    let _span = clos_telemetry::timers::SEARCH.scope();
+    let _timer = clos_telemetry::timers::SEARCH.scope();
+    let _span = clos_telemetry::span("search");
     counters::SEARCH_RUNS.incr();
 
     let problem = Problem::new(clos, flows);
@@ -728,7 +794,10 @@ pub fn run_search<O: Objective>(
     let seed = vec![0usize; flows.len()];
     let mut seed_scratch = EvalScratch::default();
     counters::SEARCH_ASSIGNMENTS.incr();
-    problem.evaluate(&mut seed_scratch, &seed);
+    {
+        let _seed_span = clos_telemetry::span("search.seed");
+        problem.evaluate(&mut seed_scratch, &seed);
+    }
     let seed_key = objective.key(&mut seed_scratch);
     counters::SEARCH_IMPROVEMENTS.incr();
 
@@ -784,10 +853,15 @@ pub fn run_search<O: Objective>(
     // earliest block (hence the lexicographically earliest leaf) wins
     // ties.
     outcomes.sort_by_key(|o| o.index);
+    // The seed's up-front examination/improvement is histogrammed at
+    // depth 0, keeping `sum(depth_improvements) == improvements`.
+    let mut seed_profile = SearchProfile::for_depth(flows.len());
+    seed_profile.depth_improvements[0] = 1;
     let mut stats = SearchStats {
         routings_examined: 1,
         improvements: 1,
         pruned: 0,
+        profile: seed_profile,
     };
     let mut best_assignment = ctx.seed;
     let mut best_key = ctx.seed_key;
@@ -795,6 +869,7 @@ pub fn run_search<O: Objective>(
         stats.routings_examined += outcome.examined;
         stats.improvements += outcome.improvements;
         stats.pruned += outcome.pruned;
+        stats.profile.merge(&outcome.profile);
         if let Some((assignment, key)) = outcome.best {
             if strictly_greater(&key, &best_key) {
                 best_key = key;
@@ -964,6 +1039,7 @@ mod tests {
             SearchConfig {
                 threads: Some(1),
                 no_prune: false,
+                trace_sample: None,
             },
         );
         for threads in [2, 5, 16] {
@@ -974,6 +1050,7 @@ mod tests {
                 SearchConfig {
                     threads: Some(threads),
                     no_prune: false,
+                    trace_sample: None,
                 },
             );
             assert_eq!(one, multi, "threads={threads}");

@@ -167,7 +167,8 @@ impl<S: Scalar> WaterfillInstance<S> {
     /// on the [`max_min_fair`](crate::max_min_fair) wrapper, which reports
     /// [`FairnessError::UnboundedRate`](crate::FairnessError) instead.
     pub fn run(&self, scratch: &mut WaterfillScratch<S>) {
-        let _span = timers::WATERFILL.scope();
+        let _timer = timers::WATERFILL.scope();
+        let _span = clos_telemetry::span("waterfill");
         counters::WATERFILL_CALLS.incr();
         if scratch.warm {
             counters::WATERFILL_SCRATCH_REUSE.incr();

@@ -12,7 +12,13 @@
 //!   collides with a timer's derived snapshot keys (`<timer>.nanos`,
 //!   `<timer>.spans`);
 //! * every `counters::NAME` / `timers::NAME` instrumentation site refers
-//!   to a static that exists in the registry.
+//!   to a static that exists in the registry;
+//! * every `span("…")` / `span_root("…")` tracing site uses a
+//!   well-formed name under the same scheme — span names become Chrome
+//!   trace-event and folded-stack frame labels, where a malformed name
+//!   corrupts the flamegraph grammar. Unlike counters, duplicates are
+//!   expected: re-instrumenting the same logical phase at several sites
+//!   is how the aggregated tree merges them.
 
 use std::collections::BTreeMap;
 
@@ -85,6 +91,25 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                 {
                     if let Some(name_tok) = toks.get(i + 1) {
                         statics.push(name_tok.text.clone());
+                    }
+                }
+                // Span site: (span|span_root) ( "name" — same naming
+                // scheme as counters/timers, but duplicates are fine.
+                if (t.is_ident("span") || t.is_ident("span_root"))
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Str)
+                {
+                    let name = toks[i + 2].text.trim_matches('"').to_string();
+                    if !well_formed(&name) {
+                        out.push(Diagnostic::new(
+                            Rule::L5Telemetry,
+                            &file.rel_path,
+                            toks[i + 2].line,
+                            format!(
+                                "span name {name:?} violates the registry scheme \
+                                 (lowercase dot.separated snake_case)"
+                            ),
+                        ));
                     }
                 }
                 // Usage: (counters|timers) :: SCREAMING_IDENT

@@ -57,3 +57,17 @@ pub mod pipeline {
 pub fn touch_pipeline() {
     counters::SCRATCH_REUSE.incr();
 }
+
+/// Span stand-in (hierarchical tracing entry point).
+pub fn span(_name: &str) {}
+/// Root-span stand-in.
+pub fn span_root(_name: &str) {}
+
+/// Span sites: names share the registry scheme; the duplicate of the
+/// first name is deliberate and must NOT fire (re-instrumenting one
+/// logical phase at several sites is how span trees merge).
+pub fn traced() {
+    span("search.block");
+    span("search.block");
+    span_root("Bad Span");
+}

@@ -317,7 +317,8 @@ impl Solver {
     }
 
     fn solve(mut self) -> LpOutcome {
-        let _span = timers::SIMPLEX.scope();
+        let _timer = timers::SIMPLEX.scope();
+        let _span = clos_telemetry::span("simplex");
         counters::SIMPLEX_SOLVES.incr();
         // Phase 1: drive the artificial variables to zero. The w-row is
         // the sum of all rows with an artificial basic variable.

@@ -57,8 +57,12 @@
 pub mod json;
 mod registry;
 mod report;
+pub mod span;
 
 pub use crate::registry::{
     counters, enabled, set_enabled, timers, Counter, Snapshot, Timer, TimerGuard,
 };
 pub use crate::report::{AuditVerdict, ExperimentRecord, JsonLinesWriter};
+pub use crate::span::{
+    reset_tracing, set_tracing, span, span_root, take_trace, tracing_enabled, SpanGuard, SpanTree,
+};

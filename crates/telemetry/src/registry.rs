@@ -288,6 +288,8 @@ pub mod timers {
 /// A point-in-time capture of every registered counter and timer.
 ///
 /// Timers appear as two entries each: `<name>.nanos` and `<name>.spans`.
+/// Entries are sorted by name, so snapshot and delta output is stable
+/// across runs regardless of registration order.
 ///
 /// # Examples
 ///
@@ -318,6 +320,10 @@ impl Snapshot {
             entries.push((format!("{}.nanos", t.name()), t.total_nanos()));
             entries.push((format!("{}.spans", t.name()), t.spans()));
         }
+        // Report order must not depend on registration order: sort by
+        // name so snapshots (and the deltas derived from them) are
+        // deterministic across runs and refactors of the registries.
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
         Snapshot { entries }
     }
 
@@ -429,11 +435,12 @@ mod tests {
         let after = Snapshot::take();
         set_enabled(false);
         let delta = after.delta_since(&before);
+        // Deltas come out name-sorted (snapshot entries are sorted).
         assert_eq!(
             delta,
             vec![
-                ("waterfill.rounds".to_string(), 2),
                 ("simplex.pivots".to_string(), 1),
+                ("waterfill.rounds".to_string(), 2),
             ]
         );
         assert_eq!(after.get("waterfill.rounds"), Some(2));
