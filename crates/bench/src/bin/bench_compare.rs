@@ -1,10 +1,13 @@
-//! `bench_compare` — diff a fresh `BENCH_search.json` against a
-//! checked-in baseline and fail on regression.
+//! `bench_compare` — diff fresh bench reports against checked-in
+//! baselines and fail on regression.
 //!
-//! The perf observatory's gate: `bench_search` writes a report, this
-//! binary diffs it against the versioned baseline under
-//! `benches/baselines/` and exits nonzero when the comparison finds a
-//! regression. Metrics split into two classes:
+//! The perf observatory's gate: `bench_search` and `bench_churn` write
+//! reports, this binary diffs them against the versioned baselines
+//! under `benches/baselines/` and exits nonzero when any comparison
+//! finds a regression. The schema key of each document pair selects
+//! the comparison: `bench_search/*` reports compare instance/objective
+//! rows and the eval pipeline, `bench_churn/*` reports compare
+//! scenario/policy/batch rows. Metrics split into two classes:
 //!
 //! * **exact** — engine counts that are deterministic for any thread
 //!   count (`routings_examined`, `pruned`, `improvements`, the
@@ -26,8 +29,14 @@
 //! Usage:
 //!
 //! ```text
-//! bench_compare --baseline PATH --current PATH [--tolerance X] [--skip-wall]
+//! bench_compare --baseline PATH --current PATH [--baseline PATH --current PATH ...]
+//!               [--tolerance X] [--skip-wall]
 //! ```
+//!
+//! `--baseline`/`--current` repeat to vet several reports in one
+//! invocation (e.g. `BENCH_search.json` and `BENCH_churn.json`); the
+//! i-th baseline pairs with the i-th current report and the run fails
+//! if any pair regresses.
 
 use std::fs;
 use std::process::ExitCode;
@@ -36,30 +45,31 @@ use clos_telemetry::json::JsonValue;
 
 /// Parsed command-line options.
 struct Options {
-    baseline: String,
-    current: String,
+    /// Paired in order: `baselines[i]` is compared with `currents[i]`.
+    baselines: Vec<String>,
+    currents: Vec<String>,
     tolerance: f64,
     skip_wall: bool,
 }
 
-const USAGE: &str = "usage: bench_compare --baseline PATH --current PATH [--tolerance X] \
-[--skip-wall]
-  --baseline PATH   checked-in reference report (benches/baselines/...)
-  --current PATH    freshly generated report to vet
+const USAGE: &str = "usage: bench_compare --baseline PATH --current PATH \
+[--baseline PATH --current PATH ...] [--tolerance X] [--skip-wall]
+  --baseline PATH   checked-in reference report (benches/baselines/...); repeatable
+  --current PATH    freshly generated report to vet; pairs with the matching --baseline
   --tolerance X     allowed fractional slowdown on noisy metrics (default 0.15)
   --skip-wall       ignore wall-clock-derived metrics entirely (cross-machine CI)";
 
 fn parse_args() -> Result<Options, String> {
-    let mut baseline = None;
-    let mut current = None;
+    let mut baselines = Vec::new();
+    let mut currents = Vec::new();
     let mut tolerance = 0.15;
     let mut skip_wall = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
-            "--baseline" => baseline = Some(value("--baseline")?),
-            "--current" => current = Some(value("--current")?),
+            "--baseline" => baselines.push(value("--baseline")?),
+            "--current" => currents.push(value("--current")?),
             "--tolerance" => {
                 let v = value("--tolerance")?;
                 tolerance = v.parse().map_err(|_| format!("bad --tolerance {v}"))?;
@@ -75,9 +85,19 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
+    if baselines.is_empty() {
+        return Err(format!("--baseline is required\n{USAGE}"));
+    }
+    if baselines.len() != currents.len() {
+        return Err(format!(
+            "{} --baseline flags but {} --current flags — they pair in order\n{USAGE}",
+            baselines.len(),
+            currents.len()
+        ));
+    }
     Ok(Options {
-        baseline: baseline.ok_or(format!("--baseline is required\n{USAGE}"))?,
-        current: current.ok_or(format!("--current is required\n{USAGE}"))?,
+        baselines,
+        currents,
         tolerance,
         skip_wall,
     })
@@ -281,7 +301,9 @@ impl Comparison {
         }
     }
 
-    /// Compares two whole reports.
+    /// Compares two whole reports, dispatching on the schema family:
+    /// `bench_churn/*` documents compare scenario rows, everything else
+    /// takes the `bench_search` instance-row path.
     fn documents(&mut self, base: &JsonValue, curr: &JsonValue) {
         match (base.get("schema"), curr.get("schema")) {
             (Some(b), Some(c)) if b != c => {
@@ -296,6 +318,14 @@ impl Comparison {
                 "present".to_string(),
                 Verdict::Mismatch,
             ),
+        }
+        let churn = base
+            .get("schema")
+            .and_then(as_str)
+            .is_some_and(|s| s.starts_with("bench_churn/"));
+        if churn {
+            self.churn_documents(base, curr);
+            return;
         }
 
         let empty = Vec::new();
@@ -392,6 +422,75 @@ impl Comparison {
         }
     }
 
+    /// Compares two `bench_churn/*` reports: scenario rows keyed by
+    /// scenario/policy/batch, engine counters and the rate checksum
+    /// exact, wall-derived throughput noisy.
+    fn churn_documents(&mut self, base: &JsonValue, curr: &JsonValue) {
+        let rows = |doc: &JsonValue| -> Vec<JsonValue> {
+            match doc.get("scenarios") {
+                Some(JsonValue::Array(items)) => items.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let key = |row: &JsonValue| -> String {
+            format!(
+                "{}/{}/b{}",
+                row.get("scenario").and_then(as_str).unwrap_or_default(),
+                row.get("policy").and_then(as_str).unwrap_or_default(),
+                row.get("batch").map(fmt_value).unwrap_or_default()
+            )
+        };
+        let base_rows = rows(base);
+        let curr_rows = rows(curr);
+        for brow in &base_rows {
+            let k = key(brow);
+            let Some(crow) = curr_rows.iter().find(|r| key(r) == k) else {
+                self.push(
+                    &k,
+                    "present".to_string(),
+                    "missing".to_string(),
+                    Verdict::Mismatch,
+                );
+                continue;
+            };
+            for metric in [
+                "n",
+                "events",
+                "arrivals",
+                "departures",
+                "epochs",
+                "peak_concurrent",
+                "final_live",
+                "recomputed_flows",
+                "reused_flows",
+                "rate_checksum",
+            ] {
+                self.exact(&format!("{k}.{metric}"), brow.get(metric), crow.get(metric));
+            }
+            self.noisy(
+                &format!("{k}.wall_ms"),
+                brow.get("wall_ms"),
+                crow.get("wall_ms"),
+                false,
+            );
+            self.noisy(
+                &format!("{k}.events_per_sec"),
+                brow.get("events_per_sec"),
+                crow.get("events_per_sec"),
+                true,
+            );
+        }
+        for crow in &curr_rows {
+            let k = key(crow);
+            if !base_rows.iter().any(|r| key(r) == k) {
+                self.notes.push(format!(
+                    "current report adds scenario {k} not in the baseline — refresh the \
+                     baseline to gate it"
+                ));
+            }
+        }
+    }
+
     fn failed(&self) -> bool {
         self.deltas.iter().any(|d| d.verdict.fails())
     }
@@ -443,12 +542,17 @@ fn load(path: &str) -> Result<JsonValue, String> {
 
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
-    let base = load(&opts.baseline)?;
-    let curr = load(&opts.current)?;
-    let mut cmp = Comparison::new(opts.tolerance, opts.skip_wall);
-    cmp.documents(&base, &curr);
-    print_table(&cmp);
-    Ok(!cmp.failed())
+    let mut ok = true;
+    for (baseline, current) in opts.baselines.iter().zip(&opts.currents) {
+        let base = load(baseline)?;
+        let curr = load(current)?;
+        let mut cmp = Comparison::new(opts.tolerance, opts.skip_wall);
+        cmp.documents(&base, &curr);
+        println!("== {baseline} vs {current}");
+        print_table(&cmp);
+        ok &= !cmp.failed();
+    }
+    Ok(ok)
 }
 
 fn main() -> ExitCode {
@@ -549,6 +653,76 @@ mod tests {
         if let JsonValue::Object(entries) = &mut curr {
             for (k, v) in entries.iter_mut() {
                 if k == "instances" {
+                    *v = JsonValue::Array(Vec::new());
+                }
+            }
+        }
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&base, &curr);
+        assert!(cmp.failed());
+    }
+
+    /// A minimal synthetic churn report with one scenario row.
+    fn churn_report(checksum: &str, wall_ms: f64, rate: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema":"bench_churn/v1","seed":42,"stable":false,
+                "scenarios":[{{"scenario":"c4","n":4,"policy":"greedy","batch":2048,
+                  "events":400000,"arrivals":255863,"departures":144137,"epochs":196,
+                  "peak_concurrent":111731,"final_live":111726,
+                  "recomputed_flows":15368018,"reused_flows":0,
+                  "rate_checksum":"{checksum}","wall_ms":{wall_ms},
+                  "events_per_sec":{rate}}}]}}"#
+        ))
+        .expect("synthetic churn report parses")
+    }
+
+    #[test]
+    fn identical_churn_reports_pass() {
+        let doc = churn_report("63c29866f6b133bc", 2200.0, 180000.0);
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&doc, &doc);
+        assert!(!cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.metric.contains("c4/greedy/b2048")));
+    }
+
+    #[test]
+    fn churn_checksum_drift_fails_even_with_skip_wall() {
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(
+            &churn_report("63c29866f6b133bc", 2200.0, 180000.0),
+            &churn_report("0000000000000000", 2200.0, 180000.0),
+        );
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Mismatch && d.metric.ends_with("rate_checksum")));
+    }
+
+    #[test]
+    fn churn_throughput_regression_fails() {
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(
+            &churn_report("63c29866f6b133bc", 2200.0, 180000.0),
+            &churn_report("63c29866f6b133bc", 4400.0, 90000.0),
+        );
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Regression && d.metric.ends_with("events_per_sec")));
+    }
+
+    #[test]
+    fn churn_missing_scenario_is_a_coverage_mismatch() {
+        let base = churn_report("63c29866f6b133bc", 2200.0, 180000.0);
+        let mut curr = churn_report("63c29866f6b133bc", 2200.0, 180000.0);
+        if let JsonValue::Object(entries) = &mut curr {
+            for (k, v) in entries.iter_mut() {
+                if k == "scenarios" {
                     *v = JsonValue::Array(Vec::new());
                 }
             }

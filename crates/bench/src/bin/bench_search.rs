@@ -48,11 +48,9 @@
 //! counts, deterministic for any thread count, so they double as exact
 //! regression metrics for `bench_compare`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::fs;
 use std::hint::black_box;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use clos_core::compiled::EvalScratch;
@@ -66,34 +64,11 @@ use clos_core::RoutedAllocation;
 use clos_net::{ClosNetwork, Flow};
 use clos_telemetry::json::JsonValue;
 
-/// Number of heap allocations (and growing reallocations) since process
-/// start, maintained by [`CountingAlloc`].
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-/// System allocator wrapper that counts allocations, so the benchmark can
-/// assert the compiled evaluation pipeline's zero-allocation steady state
-/// rather than merely claim it.
-struct CountingAlloc;
-
-// SAFETY: delegates directly to `System`; the counter is a side effect.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
+// The counting allocator lives in `vendor/counting-alloc`: implementing
+// `GlobalAlloc` is inherently unsafe and the workspace lint contract
+// forbids unsafe code in first-party crates.
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 /// Parsed command-line options.
 struct Options {
@@ -361,7 +336,7 @@ fn eval_pipeline_bench(reps: u32) -> EvalBench {
     let mut best_ms = f64::INFINITY;
     let mut allocations = 0;
     for _ in 0..reps {
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let before = counting_alloc::allocation_count();
         let start = Instant::now();
         for _ in 0..PASSES {
             for a in &assignments {
@@ -370,7 +345,7 @@ fn eval_pipeline_bench(reps: u32) -> EvalBench {
             }
         }
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        allocations += ALLOCATIONS.load(Ordering::Relaxed) - before;
+        allocations += counting_alloc::allocation_count() - before;
         if ms < best_ms {
             best_ms = ms;
         }

@@ -1,7 +1,7 @@
 //! Regenerates every experiment table of the reproduction.
 //!
 //! ```text
-//! repro [--experiment e1|e2|...|e12|all] [--quick] [--json <path>]
+//! repro [--experiment e1|e2|...|e13|all] [--quick] [--json <path>]
 //!       [--telemetry] [--threads <n>] [--stable] [--trace <path>]
 //! ```
 //!
@@ -39,9 +39,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use clos_bench::experiments::{
-    e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e1_example_2_3,
-    e2_price_of_fairness, e3_replication, e4_starvation, e5_doom_switch, e6_rate_study, e7_fct,
-    e8_exactness, e9_relative_fairness,
+    e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e13_churn,
+    e1_example_2_3, e2_price_of_fairness, e3_replication, e4_starvation, e5_doom_switch,
+    e6_rate_study, e7_fct, e8_exactness, e9_relative_fairness,
 };
 use clos_telemetry::{ExperimentRecord, JsonLinesWriter, Snapshot};
 
@@ -99,7 +99,7 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--help" | "-h" => return Err(
-                "usage: repro [--experiment e1..e12|all] [--quick] [--json <path>] [--telemetry] \
+                "usage: repro [--experiment e1..e13|all] [--quick] [--json <path>] [--telemetry] \
                  [--threads <n>] [--stable] [--trace <path>]"
                     .to_string(),
             ),
@@ -321,9 +321,29 @@ fn run_e12(quick: bool, rec: &mut ExperimentRecord) {
     apply_verdicts(rec, e12_weighted_fairness::verdicts(&rows));
 }
 
+fn run_e13(quick: bool, rec: &mut ExperimentRecord) {
+    let (ns, events): (Vec<usize>, usize) = if quick {
+        (vec![2, 3], 5_000)
+    } else {
+        (vec![3, 4], 40_000)
+    };
+    rec.param("ns", format!("{ns:?}"));
+    rec.param("events", events);
+    let rows = e13_churn::run(&ns, events);
+    println!("{}", e13_churn::render(&rows));
+    println!("Open-loop churn over the compiled waterfill: every event is applied");
+    println!("under full-recompute oracle verification, recompute batching is");
+    println!("invisible in the flushed allocation, and no live flow is starved to");
+    println!("zero by churn alone (the starvation factor stays finite).");
+    let last = rows.last().expect("nonempty sweep");
+    rec.result("peak_live_max_n", last.peak_live);
+    rec.result("final_checksum_max_n", last.checksum.clone());
+    apply_verdicts(rec, e13_churn::verdicts(&rows));
+}
+
 type Runner = fn(bool, &mut ExperimentRecord);
 
-const EXPERIMENTS: [(&str, &str, Runner); 12] = [
+const EXPERIMENTS: [(&str, &str, Runner); 13] = [
     (
         "e1",
         "Figure 1 / Example 2.3 — allocations depend on routing",
@@ -383,6 +403,11 @@ const EXPERIMENTS: [(&str, &str, Runner); 12] = [
         "e12",
         "ablation — weighted (macro-rate-proportional) congestion control",
         run_e12,
+    ),
+    (
+        "e13",
+        "flow churn — incremental max-min allocation under arrivals/departures",
+        run_e13,
     ),
 ];
 
@@ -463,7 +488,7 @@ fn main() -> ExitCode {
             .filter(|(id, _, _)| *id == opts.experiment)
             .collect();
         if found.is_empty() {
-            eprintln!("unknown experiment {}; use e1..e12 or all", opts.experiment);
+            eprintln!("unknown experiment {}; use e1..e13 or all", opts.experiment);
             return ExitCode::FAILURE;
         }
         found

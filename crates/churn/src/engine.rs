@@ -1,0 +1,765 @@
+//! The incremental churn engine.
+//!
+//! [`ChurnEngine`] maintains the max-min fair allocation of a Clos
+//! network under online flow churn. Each [`FlowEvent`] routes (on
+//! arrival, via an [`OnlinePolicy`]) or removes one flow and marks the
+//! four fabric links the flow crosses *dirty*; after a configurable
+//! batch of events an *epoch* recomputes rates — but only for the
+//! *dirty region*, the connected component(s) of the flow↔link
+//! incidence graph reachable from a dirty link. Flows outside the
+//! region kept their membership lists and link loads unchanged, so
+//! their rates are provably unaffected and are reused verbatim.
+//!
+//! # Bit-identical incrementality
+//!
+//! Water-filling decomposes over connected components: rounds in one
+//! component never influence another (the fill level of a link depends
+//! only on its own members and frozen load). The epoch recompute runs
+//! [`WaterfillInstance::compile_subset`] over the region's links —
+//! which preserves network link order, hence freezing order and
+//! bottleneck scan order — so the recomputed rates and bottlenecks are
+//! **bit-identical** (in both exact-rational and `TotalF64` modes) to
+//! a fresh full run over the live set, and the engine's
+//! [`levels`](ChurnEngine::levels) equal the fresh run's up to the
+//! sorted-dedup normalization described on that method. The `verify` flag of [`ChurnConfig`] asserts
+//! exactly that against a full-recompute oracle after every epoch, and
+//! the `incremental_oracle` proptest suite pins it over random traces.
+//!
+//! Because routing, slot assignment, and link bookkeeping all happen at
+//! *apply* time (they are pure functions of the event prefix), the
+//! engine's state after `apply`ing a prefix and [`flush`]ing is
+//! independent of the batch size — two engines fed the same trace with
+//! different batches agree byte-for-byte at every common flushed
+//! checkpoint (CI byte-diffs published epochs at two batch sizes).
+//!
+//! [`flush`]: ChurnEngine::flush
+
+use clos_fairness::{WaterfillInstance, WaterfillScratch};
+use clos_net::{ClosNetwork, Flow, LinkId};
+use clos_rational::{Rational, Scalar};
+use clos_telemetry::{counters, timers};
+
+use crate::event::{FlowEvent, FlowKey};
+use crate::policy::OnlinePolicy;
+
+/// Sentinel in the key→slot table: the key has no live flow.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Engine configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnConfig {
+    /// Events buffered between recompute epochs; must be at least 1.
+    /// Larger batches amortize region recomputation over more events at
+    /// the cost of staler published rates.
+    pub batch: usize,
+    /// When set, every epoch is checked against a full-recompute oracle
+    /// (rates, bottlenecks, and levels must match bit for bit). Orders
+    /// of magnitude slower; meant for tests and debugging.
+    pub verify: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            batch: 1024,
+            verify: false,
+        }
+    }
+}
+
+/// Cumulative engine statistics (mirrors the `churn.*` telemetry
+/// counters, but always on and per-engine).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RecomputeStats {
+    /// Recompute epochs run.
+    pub epochs: u64,
+    /// Dirty links across all epochs (before closure).
+    pub dirty_links: u64,
+    /// Live flows recomputed by epochs (inside dirty regions).
+    pub recomputed_flows: u64,
+    /// Live flows whose cached rates epochs reused.
+    pub reused_flows: u64,
+    /// Events applied.
+    pub events: u64,
+    /// Arrivals applied.
+    pub arrivals: u64,
+    /// Departures applied.
+    pub departures: u64,
+    /// Maximum concurrent live flows observed.
+    pub peak_live: u64,
+}
+
+/// One flow's pod/ToR-sharded bookkeeping (slots are reused through a
+/// free list after the flow departs).
+#[derive(Clone, Debug)]
+struct Slot<S> {
+    key: FlowKey,
+    flow: Flow,
+    /// Source-side ToR index (pod shard of the up-count matrix).
+    src_tor: u32,
+    /// Destination-side ToR index (pod shard of the down-count matrix).
+    dst_tor: u32,
+    /// Chosen middle switch.
+    middle: u32,
+    /// The four crossed links, as full-instance dense indices.
+    links: [u32; 4],
+    /// This slot's position inside each link's member list.
+    pos: [u32; 4],
+    /// Cached max-min rate as of the last epoch covering this flow.
+    rate: S,
+    /// Bottleneck link (full-instance dense index) as of that epoch.
+    bottleneck: u32,
+    live: bool,
+}
+
+/// Event-driven incremental max-min allocation over a Clos network
+/// (see the module docs for the algorithm and its guarantees).
+///
+/// # Examples
+///
+/// ```
+/// use clos_churn::{ChurnConfig, ChurnEngine, FlowEvent, OnlinePolicy};
+/// use clos_net::{ClosNetwork, Flow};
+/// use clos_rational::Rational;
+///
+/// let clos = ClosNetwork::standard(2);
+/// let flow = Flow::new(clos.source(0, 0), clos.destination(2, 0));
+/// let mut engine = ChurnEngine::<Rational>::new(
+///     clos,
+///     OnlinePolicy::greedy(),
+///     ChurnConfig::default(),
+/// );
+/// engine.apply(FlowEvent::Arrive { key: 0, flow });
+/// engine.flush();
+/// assert_eq!(engine.rate(0), Some(Rational::ONE));
+/// engine.apply(FlowEvent::Depart { key: 0 });
+/// engine.flush();
+/// assert_eq!(engine.live(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChurnEngine<S> {
+    clos: ClosNetwork,
+    instance: WaterfillInstance<S>,
+    policy: OnlinePolicy,
+    cfg: ChurnConfig,
+    capacity: Rational,
+    middles: usize,
+
+    slots: Vec<Slot<S>>,
+    free: Vec<u32>,
+    /// Key → slot index (keys are dense, see [`FlowKey`]); `NO_SLOT`
+    /// marks keys that never arrived or already departed.
+    slot_of_key: Vec<u32>,
+    /// Per dense link: member slot indices (order maintained by
+    /// swap-remove, deterministic in the event prefix).
+    members: Vec<Vec<u32>>,
+    /// Live-flow count per uplink, `up[src_tor * middles + m]`.
+    up: Vec<u32>,
+    /// Live-flow count per downlink, `down[dst_tor * middles + m]`.
+    down: Vec<u32>,
+    live: usize,
+
+    dirty: Vec<bool>,
+    dirty_list: Vec<usize>,
+    pending: usize,
+
+    scratch: WaterfillScratch<S>,
+    oracle_scratch: WaterfillScratch<S>,
+
+    // Epoch work buffers, reused across epochs.
+    slot_mark: Vec<bool>,
+    affected: Vec<u32>,
+    link_stack: Vec<usize>,
+    region: Vec<LinkId>,
+
+    stats: RecomputeStats,
+}
+
+impl<S: Scalar> ChurnEngine<S> {
+    /// Builds an engine over `clos` with the given routing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.batch` is zero.
+    #[must_use]
+    pub fn new(clos: ClosNetwork, policy: OnlinePolicy, cfg: ChurnConfig) -> ChurnEngine<S> {
+        assert!(cfg.batch >= 1, "batch size must be at least 1");
+        let instance = WaterfillInstance::<S>::compile(clos.network());
+        let links = instance.link_count();
+        let shard = clos.tor_count() * clos.middle_count();
+        ChurnEngine {
+            capacity: clos.params().link_capacity,
+            middles: clos.middle_count(),
+            instance,
+            policy,
+            cfg,
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of_key: Vec::new(),
+            members: vec![Vec::new(); links],
+            up: vec![0; shard],
+            down: vec![0; shard],
+            live: 0,
+            dirty: vec![false; links],
+            dirty_list: Vec::new(),
+            pending: 0,
+            scratch: WaterfillScratch::new(),
+            oracle_scratch: WaterfillScratch::new(),
+            slot_mark: Vec::new(),
+            affected: Vec::new(),
+            link_stack: Vec::new(),
+            region: Vec::new(),
+            stats: RecomputeStats::default(),
+            clos,
+        }
+    }
+
+    /// Applies one flow event, auto-flushing once the configured batch
+    /// fills up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate arrival for a key or a departure for a key
+    /// with no live flow — churn traces are well-formed by construction
+    /// and a violation means the caller lost track of its keys.
+    pub fn apply(&mut self, event: FlowEvent) {
+        counters::CHURN_EVENTS.incr();
+        self.stats.events += 1;
+        match event {
+            FlowEvent::Arrive { key, flow } => self.arrive(key, flow),
+            FlowEvent::Depart { key } => self.depart(key),
+        }
+        self.pending += 1;
+        if self.pending >= self.cfg.batch {
+            self.flush();
+        }
+    }
+
+    fn arrive(&mut self, key: FlowKey, flow: Flow) {
+        counters::CHURN_ARRIVALS.incr();
+        self.stats.arrivals += 1;
+        let src = self.clos.src_tor(flow);
+        let dst = self.clos.dst_tor(flow);
+        let n = self.middles;
+        let middle = self.policy.pick_middle(
+            &self.up[src * n..(src + 1) * n],
+            &self.down[dst * n..(dst + 1) * n],
+            self.capacity,
+        );
+        self.up[src * n + middle] += 1;
+        self.down[dst * n + middle] += 1;
+
+        let links = self.clos.links_via(flow, middle).map(|l| {
+            let Some(d) = self.instance.dense_index(l) else {
+                unreachable!("Clos links are finite")
+            };
+            d as u32
+        });
+
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(Slot {
+                    key: 0,
+                    flow,
+                    src_tor: 0,
+                    dst_tor: 0,
+                    middle: 0,
+                    links: [0; 4],
+                    pos: [0; 4],
+                    rate: S::zero(),
+                    bottleneck: 0,
+                    live: false,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+
+        let ki = key as usize;
+        if self.slot_of_key.len() <= ki {
+            self.slot_of_key.resize(ki + 1, NO_SLOT);
+        }
+        assert!(
+            self.slot_of_key[ki] == NO_SLOT,
+            "duplicate arrival for key {key}"
+        );
+        self.slot_of_key[ki] = slot;
+
+        let mut pos = [0u32; 4];
+        for (i, &d) in links.iter().enumerate() {
+            let list = &mut self.members[d as usize];
+            pos[i] = list.len() as u32;
+            list.push(slot);
+            self.mark_dirty(d as usize);
+        }
+
+        self.slots[slot as usize] = Slot {
+            key,
+            flow,
+            src_tor: src as u32,
+            dst_tor: dst as u32,
+            middle: middle as u32,
+            links,
+            pos,
+            rate: S::zero(),
+            bottleneck: links[0],
+            live: true,
+        };
+        self.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live as u64);
+    }
+
+    fn depart(&mut self, key: FlowKey) {
+        counters::CHURN_DEPARTURES.incr();
+        self.stats.departures += 1;
+        let ki = key as usize;
+        let slot = match self.slot_of_key.get(ki) {
+            Some(&s) if s != NO_SLOT => s,
+            _ => panic!("departure for key {key} with no live flow"),
+        };
+        self.slot_of_key[ki] = NO_SLOT;
+
+        let links = self.slots[slot as usize].links;
+        let pos = self.slots[slot as usize].pos;
+        for i in 0..4 {
+            let d = links[i] as usize;
+            let p = pos[i] as usize;
+            let list = &mut self.members[d];
+            let Some(last) = list.pop() else {
+                unreachable!("member list of a live flow's link cannot be empty")
+            };
+            if p < list.len() {
+                // Swap-remove: the tail slot moves into `p`; fix its
+                // recorded position for this link (a slot's four links
+                // are on four distinct layers, so `d` appears once).
+                list[p] = last;
+                let moved = &mut self.slots[last as usize];
+                for j in 0..4 {
+                    if moved.links[j] as usize == d {
+                        moved.pos[j] = p as u32;
+                    }
+                }
+            } else {
+                debug_assert_eq!(last, slot, "position table out of sync");
+            }
+            self.mark_dirty(d);
+        }
+
+        let s = &mut self.slots[slot as usize];
+        s.live = false;
+        let n = self.middles;
+        let (src, dst, m) = (s.src_tor as usize, s.dst_tor as usize, s.middle as usize);
+        self.up[src * n + m] -= 1;
+        self.down[dst * n + m] -= 1;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    fn mark_dirty(&mut self, dense: usize) {
+        if !self.dirty[dense] {
+            self.dirty[dense] = true;
+            self.dirty_list.push(dense);
+        }
+    }
+
+    /// Runs a recompute epoch over the accumulated dirty region (a
+    /// no-op when no links are dirty) and resets the batch window.
+    ///
+    /// Rates published by [`rate`](Self::rate)/[`checksum`] are exact
+    /// as of the last flush; callers comparing engines across batch
+    /// sizes must flush both at the common checkpoint first.
+    ///
+    /// [`checksum`]: Self::checksum
+    pub fn flush(&mut self) {
+        self.pending = 0;
+        if self.dirty_list.is_empty() {
+            return;
+        }
+        let _timer = timers::CHURN_EPOCH.scope();
+        let _span = clos_telemetry::span("churn.epoch");
+        counters::CHURN_EPOCHS.incr();
+        counters::CHURN_DIRTY_LINKS.add(self.dirty_list.len() as u64);
+        self.stats.epochs += 1;
+        self.stats.dirty_links += self.dirty_list.len() as u64;
+
+        // Close the dirty links under flow↔link incidence: every flow on
+        // a region link joins the region along with all four of its
+        // links, so the region covers whole connected components and a
+        // subset run over it is exact (see the module docs).
+        self.slot_mark.resize(self.slots.len(), false);
+        self.affected.clear();
+        self.link_stack.clear();
+        self.link_stack.extend_from_slice(&self.dirty_list);
+        while let Some(d) = self.link_stack.pop() {
+            for idx in 0..self.members[d].len() {
+                let slot = self.members[d][idx];
+                if self.slot_mark[slot as usize] {
+                    continue;
+                }
+                self.slot_mark[slot as usize] = true;
+                self.affected.push(slot);
+                for &l in &self.slots[slot as usize].links {
+                    let l = l as usize;
+                    if !self.dirty[l] {
+                        self.dirty[l] = true;
+                        self.link_stack.push(l);
+                    }
+                }
+            }
+        }
+        // Region links in dense (= network) order, for the subset
+        // compile; `dirty` currently marks exactly the region.
+        self.region.clear();
+        for d in 0..self.instance.link_count() {
+            if self.dirty[d] {
+                self.region.push(self.instance.link_id(d));
+                self.dirty[d] = false;
+            }
+        }
+        self.dirty_list.clear();
+        // Recompute affected flows in ascending slot order — the same
+        // relative order a full run over all live slots would use.
+        self.affected.sort_unstable();
+
+        let sub = WaterfillInstance::<S>::compile_subset(self.clos.network(), &self.region);
+        self.scratch.begin();
+        for idx in 0..self.affected.len() {
+            let slot = self.affected[idx] as usize;
+            self.slot_mark[slot] = false;
+            let links = self.slots[slot].links.map(|d| {
+                let Some(sd) = sub.dense_index(self.instance.link_id(d as usize)) else {
+                    unreachable!("region is closed under incidence")
+                };
+                sd
+            });
+            self.scratch.push_flow(&links);
+        }
+        sub.run(&mut self.scratch);
+
+        let rates = self.scratch.rates();
+        let bottlenecks = self.scratch.bottlenecks();
+        for (i, &slot) in self.affected.iter().enumerate() {
+            let s = &mut self.slots[slot as usize];
+            s.rate = rates[i];
+            let Some(full) = self.instance.dense_index(sub.link_id(bottlenecks[i])) else {
+                unreachable!("subset links come from the full instance")
+            };
+            s.bottleneck = full as u32;
+        }
+        let recomputed = self.affected.len() as u64;
+        let reused = self.live as u64 - recomputed;
+        counters::CHURN_RECOMPUTED_FLOWS.add(recomputed);
+        counters::CHURN_REUSED_FLOWS.add(reused);
+        self.stats.recomputed_flows += recomputed;
+        self.stats.reused_flows += reused;
+
+        if self.cfg.verify {
+            self.check_against_oracle();
+        }
+    }
+
+    /// Full-recompute oracle check (the `verify` flag): a fresh run
+    /// over every live flow must agree bit for bit.
+    fn check_against_oracle(&mut self) {
+        self.oracle_scratch.begin();
+        for slot in &self.slots {
+            if slot.live {
+                self.oracle_scratch
+                    .push_flow(&slot.links.map(|d| d as usize));
+            }
+        }
+        self.instance.run(&mut self.oracle_scratch);
+        let rates = self.oracle_scratch.rates();
+        let bottlenecks = self.oracle_scratch.bottlenecks();
+        let mut i = 0;
+        for slot in &self.slots {
+            if !slot.live {
+                continue;
+            }
+            assert!(
+                slot.rate == rates[i],
+                "incremental rate diverged from the oracle for key {}",
+                slot.key
+            );
+            assert!(
+                slot.bottleneck as usize == bottlenecks[i],
+                "incremental bottleneck diverged from the oracle for key {}",
+                slot.key
+            );
+            i += 1;
+        }
+        // Raw round levels can contain floating-point duplicates (see
+        // `levels`); normalize both sides to the sorted deduplicated
+        // sequence, which is exact in every scalar mode.
+        let mut oracle_levels = self.oracle_scratch.levels().to_vec();
+        oracle_levels.sort_unstable();
+        oracle_levels.dedup();
+        assert!(
+            self.levels() == oracle_levels,
+            "incremental levels diverged from the oracle"
+        );
+    }
+
+    /// Number of live flows.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Events applied since the last flush.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The engine's topology.
+    #[must_use]
+    pub fn clos(&self) -> &ClosNetwork {
+        &self.clos
+    }
+
+    /// The routing policy's short name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> RecomputeStats {
+        self.stats
+    }
+
+    /// The rate of the live flow with `key` as of the last flush, or
+    /// `None` if no live flow has that key.
+    #[must_use]
+    pub fn rate(&self, key: FlowKey) -> Option<S> {
+        let slot = *self.slot_of_key.get(key as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        Some(self.slots[slot as usize].rate)
+    }
+
+    /// The endpoints of the live flow with `key`, or `None` if no live
+    /// flow has that key.
+    #[must_use]
+    pub fn flow(&self, key: FlowKey) -> Option<Flow> {
+        let slot = *self.slot_of_key.get(key as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        Some(self.slots[slot as usize].flow)
+    }
+
+    /// The middle switch the live flow with `key` was placed on, or
+    /// `None` if no live flow has that key. Placement is final for the
+    /// flow's lifetime (unsplittable flows are never moved).
+    #[must_use]
+    pub fn middle(&self, key: FlowKey) -> Option<usize> {
+        let slot = *self.slot_of_key.get(key as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        Some(self.slots[slot as usize].middle as usize)
+    }
+
+    /// The bottleneck link of the live flow with `key` as of the last
+    /// flush.
+    #[must_use]
+    pub fn bottleneck(&self, key: FlowKey) -> Option<LinkId> {
+        let slot = *self.slot_of_key.get(key as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        Some(
+            self.instance
+                .link_id(self.slots[slot as usize].bottleneck as usize),
+        )
+    }
+
+    /// Iterates over `(key, rate)` of every live flow in slot order (a
+    /// deterministic function of the event prefix, independent of the
+    /// batch size).
+    pub fn live_flows(&self) -> impl Iterator<Item = (FlowKey, S)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| (s.key, s.rate))
+    }
+
+    /// The global fill levels as of the last flush: the sorted,
+    /// deduplicated live rates. Every round level freezes at least one
+    /// flow at that rate and every rate is its freezing round's level,
+    /// so this equals the sorted deduplication of a fresh full run's
+    /// `levels()` in every scalar mode — and the raw sequence itself
+    /// under exact rationals, where round levels strictly increase.
+    /// (Under `TotalF64`, rounding can make a recomputed link level
+    /// land exactly back on the previous round's level, so a fresh
+    /// run's raw sequence may contain duplicates.)
+    #[must_use]
+    pub fn levels(&self) -> Vec<S> {
+        let mut levels: Vec<S> = self
+            .slots
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.rate)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+
+    /// FNV-1a digest of the live allocation (keys and rate bits in slot
+    /// order, plus the live count) as of the last flush. Engines fed
+    /// the same trace agree at every common flushed checkpoint
+    /// regardless of batch size; CI byte-diffs these across batches.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for slot in &self.slots {
+            if slot.live {
+                fold(slot.key);
+                fold(slot.rate.to_f64().to_bits());
+            }
+        }
+        fold(self.live as u64);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_rational::TotalF64;
+
+    fn engine(n: usize, batch: usize, verify: bool) -> ChurnEngine<Rational> {
+        ChurnEngine::new(
+            ClosNetwork::standard(n),
+            OnlinePolicy::greedy(),
+            ChurnConfig { batch, verify },
+        )
+    }
+
+    #[test]
+    fn single_flow_gets_full_rate_and_departs_cleanly() {
+        let mut e = engine(2, 1, true);
+        let flow = Flow::new(e.clos().source(0, 0), e.clos().destination(2, 0));
+        e.apply(FlowEvent::Arrive { key: 0, flow });
+        assert_eq!(e.rate(0), Some(Rational::ONE));
+        assert_eq!(e.flow(0), Some(flow));
+        assert!(e.bottleneck(0).is_some());
+        assert_eq!(e.levels(), vec![Rational::ONE]);
+        e.apply(FlowEvent::Depart { key: 0 });
+        assert_eq!(e.live(), 0);
+        assert_eq!(e.rate(0), None);
+        assert_eq!(e.levels(), vec![]);
+        assert_eq!(e.stats().epochs, 2);
+    }
+
+    #[test]
+    fn batching_defers_recompute_until_flush() {
+        let mut e = engine(2, 100, false);
+        let clos = e.clos().clone();
+        for k in 0..4 {
+            let flow = Flow::new(
+                clos.source(k % 2, (k / 2) % 2),
+                clos.destination(2 + k % 2, 0),
+            );
+            e.apply(FlowEvent::Arrive {
+                key: k as u64,
+                flow,
+            });
+        }
+        assert_eq!(e.stats().epochs, 0);
+        assert_eq!(e.pending(), 4);
+        e.flush();
+        assert_eq!(e.stats().epochs, 1);
+        assert_eq!(e.pending(), 0);
+        assert!(e.live_flows().all(|(_, r)| r.is_positive()));
+    }
+
+    #[test]
+    fn untouched_components_are_reused_not_recomputed() {
+        // ToR pair (0 -> 2) and ToR pair (1 -> 3) never share fabric
+        // links under greedy with one flow each per middle.
+        let mut e = engine(2, 1, true);
+        let clos = e.clos().clone();
+        e.apply(FlowEvent::Arrive {
+            key: 0,
+            flow: Flow::new(clos.source(0, 0), clos.destination(2, 0)),
+        });
+        e.apply(FlowEvent::Arrive {
+            key: 1,
+            flow: Flow::new(clos.source(1, 0), clos.destination(3, 0)),
+        });
+        // The second epoch recomputed only flow 1's component.
+        assert_eq!(e.stats().recomputed_flows, 2);
+        assert_eq!(e.stats().reused_flows, 1);
+    }
+
+    #[test]
+    fn checksum_is_batch_independent_at_common_checkpoints() {
+        let clos = ClosNetwork::standard(2);
+        let trace: Vec<FlowEvent> = {
+            let cfg = crate::trace::TraceConfig {
+                arrival_rate_per_sec: 1_000_000,
+                lifetime: crate::trace::SizeDist::Exponential { mean_ns: 20_000 },
+                pattern: crate::trace::Pattern::Uniform,
+                events: 200,
+                seed: 11,
+            };
+            crate::trace::TraceGenerator::new(&clos, &cfg)
+                .map(|t| t.event)
+                .collect()
+        };
+        let mut small = ChurnEngine::<TotalF64>::new(
+            clos.clone(),
+            OnlinePolicy::first_fit(),
+            ChurnConfig {
+                batch: 3,
+                verify: false,
+            },
+        );
+        let mut large = ChurnEngine::<TotalF64>::new(
+            clos,
+            OnlinePolicy::first_fit(),
+            ChurnConfig {
+                batch: 64,
+                verify: false,
+            },
+        );
+        for (i, &ev) in trace.iter().enumerate() {
+            small.apply(ev);
+            large.apply(ev);
+            if (i + 1) % 50 == 0 {
+                small.flush();
+                large.flush();
+                assert_eq!(small.checksum(), large.checksum());
+                assert_eq!(small.levels(), large.levels());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate arrival")]
+    fn duplicate_arrival_panics() {
+        let mut e = engine(2, 100, false);
+        let flow = Flow::new(e.clos().source(0, 0), e.clos().destination(2, 0));
+        e.apply(FlowEvent::Arrive { key: 0, flow });
+        e.apply(FlowEvent::Arrive { key: 0, flow });
+    }
+
+    #[test]
+    #[should_panic(expected = "no live flow")]
+    fn unknown_departure_panics() {
+        let mut e = engine(2, 100, false);
+        e.apply(FlowEvent::Depart { key: 5 });
+    }
+}

@@ -1,0 +1,81 @@
+//! Flow events: the vocabulary of the churn engine.
+//!
+//! A churn trace is a sequence of [`TimedEvent`]s; each wraps a
+//! [`FlowEvent`] — a flow arriving (with its endpoints) or departing
+//! (by key). Keys are assigned by the trace layer in arrival order and
+//! identify a flow across its whole lifetime, so a `Depart` needs no
+//! endpoint information.
+
+use clos_net::Flow;
+
+/// Identifies one flow across its lifetime in a churn trace.
+///
+/// The trace generators assign keys densely in arrival order (the first
+/// arrival gets key 0); the engine exploits that density with an
+/// index-keyed lookup table, so externally produced traces should keep
+/// keys small and never reuse a key for a second arrival.
+pub type FlowKey = u64;
+
+/// One flow arriving or departing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowEvent {
+    /// A new flow enters the network and must be routed and allocated.
+    Arrive {
+        /// The key identifying this flow until it departs.
+        key: FlowKey,
+        /// The flow's source and destination servers.
+        flow: Flow,
+    },
+    /// The flow identified by `key` leaves the network.
+    Depart {
+        /// The key of a previously arrived, still-live flow.
+        key: FlowKey,
+    },
+}
+
+impl FlowEvent {
+    /// Returns the key of the flow this event concerns.
+    #[must_use]
+    pub fn key(&self) -> FlowKey {
+        match *self {
+            FlowEvent::Arrive { key, .. } | FlowEvent::Depart { key } => key,
+        }
+    }
+
+    /// Returns `true` for an arrival.
+    #[must_use]
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, FlowEvent::Arrive { .. })
+    }
+}
+
+/// A flow event stamped with its occurrence time.
+///
+/// Times are nanoseconds on the trace's simulated clock, strictly
+/// monotone within a generated trace (ties are broken by the generator
+/// spacing events at least one nanosecond apart).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimedEvent {
+    /// Simulated occurrence time in nanoseconds.
+    pub time_ns: u64,
+    /// The event itself.
+    pub event: FlowEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clos_net::ClosNetwork;
+
+    #[test]
+    fn event_accessors() {
+        let clos = ClosNetwork::standard(2);
+        let f = Flow::new(clos.source(0, 0), clos.destination(1, 1));
+        let a = FlowEvent::Arrive { key: 7, flow: f };
+        let d = FlowEvent::Depart { key: 7 };
+        assert_eq!(a.key(), 7);
+        assert_eq!(d.key(), 7);
+        assert!(a.is_arrival());
+        assert!(!d.is_arrival());
+    }
+}

@@ -1,0 +1,37 @@
+//! `clos-churn`: event-driven incremental max-min allocation.
+//!
+//! The rest of this workspace evaluates *static* instances: a flow
+//! collection is routed once and water-filled once. Real data centers
+//! see the instance only as a fixed point of constant churn — flows
+//! arrive, live, and depart by the hundreds of thousands per second,
+//! and congestion control continuously re-converges around them. This
+//! crate makes that regime first-class:
+//!
+//! * [`trace`] — seeded open-loop event generators: Poisson arrivals
+//!   with exponential or empirical lifetimes, endpoints drawn uniformly
+//!   or by replaying any `clos-workloads` pattern, emitted as
+//!   deterministic [`TimedEvent`] streams.
+//! * [`policy`] — per-event online routing ([`OnlinePolicy`]): ECMP,
+//!   greedy, and first-fit mirrors of the `clos-core` batch routers
+//!   over persistent live-flow counts, never disturbing placed flows.
+//! * [`engine`] — the [`ChurnEngine`]: pod/ToR-sharded flow state with
+//!   event batching, where each recompute epoch re-runs water-filling
+//!   only over the *dirty region* (the components touched since the
+//!   last epoch) and provably reproduces a full recompute bit for bit
+//!   — checkable online via [`ChurnConfig::verify`]'s full-recompute
+//!   oracle.
+//!
+//! Sustained throughput at C₃/C₄ scales with 10⁵–10⁶ concurrent flows
+//! is tracked by the `bench_churn` binary in `clos-bench` (versioned
+//! `BENCH_churn.json`, gated in CI); experiment `e13` reports epoch
+//! latency and starvation under churn.
+
+pub mod engine;
+pub mod event;
+pub mod policy;
+pub mod trace;
+
+pub use engine::{ChurnConfig, ChurnEngine, RecomputeStats};
+pub use event::{FlowEvent, FlowKey, TimedEvent};
+pub use policy::OnlinePolicy;
+pub use trace::{Pattern, SizeDist, TraceConfig, TraceGenerator};

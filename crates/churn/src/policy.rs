@@ -1,0 +1,182 @@
+//! Per-event online routing policies.
+//!
+//! The batch routers in `clos-core` rebuild their congestion state from
+//! the full flow collection on every call, so they cannot be invoked
+//! per event (each call would see an empty fabric and pick middle 0).
+//! [`OnlinePolicy`] mirrors their per-flow decision rules over the
+//! engine's *persistent* live-flow counts instead, with unit demands as
+//! the congestion proxy (under churn the offered flows have no demand —
+//! max-min rates are outputs, so the live-flow count per fabric link is
+//! the natural online load signal):
+//!
+//! * [`OnlinePolicy::Ecmp`] — a uniformly random middle switch per
+//!   arrival. Draws from the same `StdRng` stream as
+//!   `clos_core::routers::EcmpRouter`, so with equal seeds an
+//!   arrival-only trace reproduces ECMP's choices byte for byte (a
+//!   churn test pins this).
+//! * Greedy (cf. `GreedyRouter`) — the middle minimizing the path's
+//!   post-placement congestion, ties to the lowest index.
+//! * First fit (cf. `FirstFitRouter`) — the first middle whose uplink
+//!   and downlink both still have room for one more unit-demand flow,
+//!   falling back to the least congested middle.
+//!
+//! Placed flows are never moved: a policy decision is final until the
+//! flow departs, which is exactly the unsplittable-flow constraint the
+//! paper's impossibility results are about.
+
+use clos_rational::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An online middle-switch selection policy (see module docs).
+#[derive(Clone, Debug)]
+pub enum OnlinePolicy {
+    /// ECMP: every arrival hashes to a uniformly random middle switch.
+    Ecmp {
+        /// The deterministic random stream behind the hash.
+        rng: StdRng,
+    },
+    /// Greedy congestion-aware placement over live-flow counts.
+    Greedy,
+    /// Global first fit over live-flow counts with a least-congested
+    /// fallback.
+    FirstFit,
+}
+
+impl OnlinePolicy {
+    /// Creates the ECMP policy with a deterministic seed.
+    #[must_use]
+    pub fn ecmp(seed: u64) -> OnlinePolicy {
+        OnlinePolicy::Ecmp {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates the greedy policy.
+    #[must_use]
+    pub fn greedy() -> OnlinePolicy {
+        OnlinePolicy::Greedy
+    }
+
+    /// Creates the first-fit policy.
+    #[must_use]
+    pub fn first_fit() -> OnlinePolicy {
+        OnlinePolicy::FirstFit
+    }
+
+    /// Parses a policy name as used on bench command lines
+    /// (`"ecmp"`, `"greedy"`, `"first-fit"`); `seed` feeds ECMP.
+    #[must_use]
+    pub fn from_name(name: &str, seed: u64) -> Option<OnlinePolicy> {
+        match name {
+            "ecmp" => Some(OnlinePolicy::ecmp(seed)),
+            "greedy" => Some(OnlinePolicy::greedy()),
+            "first-fit" => Some(OnlinePolicy::first_fit()),
+            _ => None,
+        }
+    }
+
+    /// Returns the policy's short name, matching the corresponding
+    /// `clos-core` router's `name()`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnlinePolicy::Ecmp { .. } => "ecmp",
+            OnlinePolicy::Greedy => "greedy",
+            OnlinePolicy::FirstFit => "first-fit",
+        }
+    }
+
+    /// Picks the middle switch for one arriving flow.
+    ///
+    /// `up` holds the live-flow count of each uplink out of the flow's
+    /// source ToR (indexed by middle), `down` likewise for the
+    /// downlinks into its destination ToR; `capacity` is the fabric
+    /// link capacity consulted by first fit. Both slices have one entry
+    /// per middle switch and must be non-empty.
+    pub(crate) fn pick_middle(&mut self, up: &[u32], down: &[u32], capacity: Rational) -> usize {
+        let n = up.len();
+        debug_assert_eq!(n, down.len());
+        match self {
+            OnlinePolicy::Ecmp { rng } => rng.gen_range(0..n),
+            OnlinePolicy::Greedy => {
+                let best = (0..n).min_by_key(|&m| {
+                    // Path congestion after placing one unit-demand flow.
+                    let c = (up[m] + 1).max(down[m] + 1);
+                    (c, m)
+                });
+                let Some(best) = best else {
+                    unreachable!("middle count is positive")
+                };
+                best
+            }
+            OnlinePolicy::FirstFit => {
+                let fits = (0..n).find(|&m| {
+                    Rational::from_integer(i128::from(up[m]) + 1) <= capacity
+                        && Rational::from_integer(i128::from(down[m]) + 1) <= capacity
+                });
+                match fits {
+                    Some(m) => m,
+                    None => {
+                        // No middle fits: fall back to least congestion,
+                        // as FirstFitRouter does.
+                        let least = (0..n).min_by_key(|&m| (up[m].max(down[m]), m));
+                        let Some(least) = least else {
+                            unreachable!("middle count is positive")
+                        };
+                        least
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for name in ["ecmp", "greedy", "first-fit"] {
+            let p = OnlinePolicy::from_name(name, 1);
+            assert_eq!(p.map(|p| p.name()), Some(name));
+        }
+        assert!(OnlinePolicy::from_name("annealing", 1).is_none());
+    }
+
+    #[test]
+    fn greedy_balances_and_breaks_ties_low() {
+        let mut p = OnlinePolicy::greedy();
+        let cap = Rational::ONE;
+        // All empty: lowest index wins.
+        assert_eq!(p.pick_middle(&[0, 0, 0], &[0, 0, 0], cap), 0);
+        // Middle 0 loaded on the uplink: spill to 1.
+        assert_eq!(p.pick_middle(&[2, 0, 0], &[0, 0, 0], cap), 1);
+        // Downlink congestion counts too.
+        assert_eq!(p.pick_middle(&[1, 1, 1], &[3, 3, 0], cap), 2);
+    }
+
+    #[test]
+    fn first_fit_takes_first_fitting_then_falls_back() {
+        let mut p = OnlinePolicy::first_fit();
+        let cap = Rational::from_integer(2);
+        // Middle 0 is full on the uplink (2 live flows), 1 fits.
+        assert_eq!(p.pick_middle(&[2, 1, 0], &[0, 0, 0], cap), 1);
+        // Nothing fits: least-congested fallback, ties to lowest index.
+        assert_eq!(p.pick_middle(&[3, 2, 2], &[2, 4, 2], cap), 2);
+    }
+
+    #[test]
+    fn ecmp_is_seed_deterministic() {
+        let cap = Rational::ONE;
+        let mut a = OnlinePolicy::ecmp(9);
+        let mut b = OnlinePolicy::ecmp(9);
+        for _ in 0..64 {
+            assert_eq!(
+                a.pick_middle(&[0; 4], &[0; 4], cap),
+                b.pick_middle(&[0; 4], &[0; 4], cap)
+            );
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Seeded open-loop trace generators.
+//!
+//! A [`TraceGenerator`] turns a [`TraceConfig`] into a deterministic
+//! stream of [`TimedEvent`]s: flows arrive as a Poisson process at a
+//! configured rate, live for a sampled lifetime, and depart. Endpoints
+//! come from a [`Pattern`] — uniformly random server pairs, or a replay
+//! of any `clos-workloads` pattern cycled as an arrival schedule.
+//!
+//! The stream is open-loop (arrivals do not react to network state) and
+//! fully determined by the seed, so two generators with equal configs
+//! emit byte-identical traces — the property the cross-batch
+//! determinism checks in CI rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use clos_net::{ClosNetwork, Flow, NodeId};
+use clos_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{FlowEvent, FlowKey, TimedEvent};
+
+/// Flow lifetime distribution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SizeDist {
+    /// Exponentially distributed lifetimes with the given mean.
+    Exponential {
+        /// Mean lifetime in nanoseconds.
+        mean_ns: u64,
+    },
+    /// Lifetimes drawn uniformly from an empirical table.
+    Empirical {
+        /// The observed lifetimes to resample from; must be non-empty.
+        lifetimes_ns: Vec<u64>,
+    },
+}
+
+/// Where arriving flows get their endpoints.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Pattern {
+    /// Independent uniformly random source and destination servers.
+    Uniform,
+    /// Cycle through the flows of a `clos-workloads` pattern, turning a
+    /// static workload into an arrival schedule.
+    Replay(Workload),
+}
+
+/// Configuration of one open-loop churn trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceConfig {
+    /// Poisson arrival rate in flows per simulated second; must be
+    /// positive.
+    pub arrival_rate_per_sec: u64,
+    /// Flow lifetime distribution. Together with the arrival rate this
+    /// sets the steady-state concurrency: by Little's law the expected
+    /// number of live flows is `rate × mean lifetime`.
+    pub lifetime: SizeDist,
+    /// Endpoint pattern for arriving flows.
+    pub pattern: Pattern,
+    /// Total number of events (arrivals plus departures) to emit.
+    pub events: usize,
+    /// Seed determining the whole trace.
+    pub seed: u64,
+}
+
+/// A deterministic iterator over the events of one churn trace.
+///
+/// Events come out in nondecreasing time order with keys assigned
+/// densely in arrival order. The stream ends after exactly
+/// [`TraceConfig::events`] events; flows still live at that point
+/// simply never see their departure emitted, which leaves the engine
+/// with a realistic standing population.
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    rng: SmallRng,
+    interarrival_mean_ns: f64,
+    lifetime: SizeDist,
+    sources: Vec<NodeId>,
+    destinations: Vec<NodeId>,
+    replay: Vec<Flow>,
+    replay_pos: usize,
+    departures: BinaryHeap<Reverse<(u64, FlowKey)>>,
+    next_arrival_ns: u64,
+    next_key: FlowKey,
+    emitted: usize,
+    budget: usize,
+}
+
+impl TraceGenerator {
+    /// Builds the generator for `config` over `clos`.
+    ///
+    /// The topology is only consulted here (to enumerate servers or
+    /// expand the replayed workload); the generator owns everything it
+    /// needs afterwards.
+    #[must_use]
+    pub fn new(clos: &ClosNetwork, config: &TraceConfig) -> TraceGenerator {
+        assert!(
+            config.arrival_rate_per_sec > 0,
+            "arrival rate must be positive"
+        );
+        if let SizeDist::Empirical { lifetimes_ns } = &config.lifetime {
+            assert!(
+                !lifetimes_ns.is_empty(),
+                "empirical lifetime table is empty"
+            );
+        }
+        let mut sources = Vec::new();
+        let mut destinations = Vec::new();
+        let mut replay = Vec::new();
+        match config.pattern {
+            Pattern::Uniform => {
+                for tor in 0..clos.tor_count() {
+                    for host in 0..clos.hosts_per_tor() {
+                        sources.push(clos.source(tor, host));
+                        destinations.push(clos.destination(tor, host));
+                    }
+                }
+            }
+            Pattern::Replay(workload) => {
+                replay = workload.generate(clos, config.seed);
+                assert!(!replay.is_empty(), "replayed workload generated no flows");
+            }
+        }
+        TraceGenerator {
+            rng: SmallRng::seed_from_u64(config.seed),
+            interarrival_mean_ns: 1e9 / config.arrival_rate_per_sec as f64,
+            lifetime: config.lifetime.clone(),
+            sources,
+            destinations,
+            replay,
+            replay_pos: 0,
+            departures: BinaryHeap::new(),
+            next_arrival_ns: 0,
+            next_key: 0,
+            emitted: 0,
+            budget: config.events,
+        }
+    }
+
+    /// Returns the number of flows that have arrived so far.
+    #[must_use]
+    pub fn arrivals(&self) -> u64 {
+        self.next_key
+    }
+
+    fn sample_exponential(&mut self, mean: f64) -> u64 {
+        // Inversion sampling; `1 - u` keeps the argument of `ln`
+        // positive since `u` is in `[0, 1)`.
+        let u: f64 = self.rng.gen();
+        let sample = -(1.0 - u).ln() * mean;
+        (sample as u64).max(1)
+    }
+
+    fn sample_lifetime(&mut self) -> u64 {
+        match &self.lifetime {
+            SizeDist::Exponential { mean_ns } => {
+                let mean = *mean_ns as f64;
+                self.sample_exponential(mean)
+            }
+            SizeDist::Empirical { lifetimes_ns } => {
+                let i = self.rng.gen_range(0..lifetimes_ns.len());
+                lifetimes_ns[i].max(1)
+            }
+        }
+    }
+
+    fn next_flow(&mut self) -> Flow {
+        if self.replay.is_empty() {
+            let s = self.sources[self.rng.gen_range(0..self.sources.len())];
+            let d = self.destinations[self.rng.gen_range(0..self.destinations.len())];
+            Flow::new(s, d)
+        } else {
+            let f = self.replay[self.replay_pos];
+            self.replay_pos = (self.replay_pos + 1) % self.replay.len();
+            f
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TimedEvent;
+
+    fn next(&mut self) -> Option<TimedEvent> {
+        if self.emitted == self.budget {
+            return None;
+        }
+        self.emitted += 1;
+        if let Some(&Reverse((time_ns, key))) = self.departures.peek() {
+            if time_ns <= self.next_arrival_ns {
+                self.departures.pop();
+                return Some(TimedEvent {
+                    time_ns,
+                    event: FlowEvent::Depart { key },
+                });
+            }
+        }
+        let time_ns = self.next_arrival_ns;
+        let key = self.next_key;
+        self.next_key += 1;
+        let flow = self.next_flow();
+        let life = self.sample_lifetime();
+        self.departures.push(Reverse((time_ns + life, key)));
+        let gap = self.interarrival_mean_ns;
+        self.next_arrival_ns = time_ns + self.sample_exponential(gap);
+        Some(TimedEvent {
+            time_ns,
+            event: FlowEvent::Arrive { key, flow },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn config(pattern: Pattern, events: usize, seed: u64) -> TraceConfig {
+        TraceConfig {
+            arrival_rate_per_sec: 1_000_000,
+            lifetime: SizeDist::Exponential { mean_ns: 50_000 },
+            pattern,
+            events,
+            seed,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_time_ordered() {
+        let clos = ClosNetwork::standard(3);
+        let cfg = config(Pattern::Uniform, 500, 42);
+        let a: Vec<TimedEvent> = TraceGenerator::new(&clos, &cfg).collect();
+        let b: Vec<TimedEvent> = TraceGenerator::new(&clos, &cfg).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for w in a.windows(2) {
+            assert!(w[0].time_ns <= w[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn departures_follow_matching_arrivals() {
+        let clos = ClosNetwork::standard(2);
+        let cfg = config(Pattern::Uniform, 400, 7);
+        let mut live = BTreeSet::new();
+        let mut next_key = 0;
+        for ev in TraceGenerator::new(&clos, &cfg) {
+            match ev.event {
+                FlowEvent::Arrive { key, .. } => {
+                    assert_eq!(key, next_key, "keys are dense in arrival order");
+                    next_key += 1;
+                    assert!(live.insert(key));
+                }
+                FlowEvent::Depart { key } => {
+                    assert!(live.remove(&key), "departure without live arrival");
+                }
+            }
+        }
+        assert!(next_key > 0);
+    }
+
+    #[test]
+    fn replay_cycles_workload_flows() {
+        let clos = ClosNetwork::standard(2);
+        let workload = Workload::Permutation;
+        let expected = workload.generate(&clos, 9);
+        let cfg = config(Pattern::Replay(workload), 300, 9);
+        let mut seen = Vec::new();
+        for ev in TraceGenerator::new(&clos, &cfg) {
+            if let FlowEvent::Arrive { flow, .. } = ev.event {
+                seen.push(flow);
+            }
+        }
+        assert!(
+            seen.len() > expected.len(),
+            "trace should wrap the workload"
+        );
+        for (i, flow) in seen.iter().enumerate() {
+            assert_eq!(*flow, expected[i % expected.len()]);
+        }
+    }
+
+    #[test]
+    fn empirical_lifetimes_resample_table() {
+        let clos = ClosNetwork::standard(2);
+        let cfg = TraceConfig {
+            arrival_rate_per_sec: 500_000,
+            lifetime: SizeDist::Empirical {
+                lifetimes_ns: vec![10_000, 20_000, 40_000],
+            },
+            pattern: Pattern::Uniform,
+            events: 200,
+            seed: 3,
+        };
+        let events: Vec<TimedEvent> = TraceGenerator::new(&clos, &cfg).collect();
+        assert_eq!(events.len(), 200);
+        assert!(events.iter().any(|e| !e.event.is_arrival()));
+    }
+}

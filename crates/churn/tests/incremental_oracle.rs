@@ -1,0 +1,164 @@
+//! Property tests: the incremental engine is bit-identical to a fresh
+//! full water-filling run over random event traces, in both scalar
+//! modes, at every batch size.
+
+use clos_churn::{
+    ChurnConfig, ChurnEngine, OnlinePolicy, Pattern, SizeDist, TraceConfig, TraceGenerator,
+};
+use clos_fairness::{WaterfillInstance, WaterfillScratch};
+use clos_net::ClosNetwork;
+use clos_rational::{Rational, Scalar, TotalF64};
+use proptest::prelude::*;
+
+/// Recomputes the live allocation from scratch — fresh instance, fresh
+/// scratch, every live flow pushed in the engine's slot order — and
+/// asserts the engine's cached rates, bottlenecks, and levels match bit
+/// for bit.
+fn assert_matches_fresh_run<S: Scalar + std::fmt::Debug>(engine: &ChurnEngine<S>) {
+    let clos = engine.clos();
+    let instance = WaterfillInstance::<S>::compile(clos.network());
+    let mut scratch = WaterfillScratch::new();
+    scratch.begin();
+    let live: Vec<(u64, S)> = engine.live_flows().collect();
+    for &(key, _) in &live {
+        let flow = engine.flow(key).expect("live flow has endpoints");
+        let middle = engine.middle(key).expect("live flow has a placement");
+        let links: Vec<usize> = clos
+            .links_via(flow, middle)
+            .iter()
+            .filter_map(|&l| instance.dense_index(l))
+            .collect();
+        assert_eq!(links.len(), 4, "every Clos link is finite");
+        scratch.push_flow(&links);
+    }
+    instance.run(&mut scratch);
+    for (i, &(key, rate)) in live.iter().enumerate() {
+        assert_eq!(rate, scratch.rates()[i], "rate of key {key} diverged");
+        assert_eq!(
+            engine.bottleneck(key),
+            Some(instance.link_id(scratch.bottlenecks()[i])),
+            "bottleneck of key {key} diverged"
+        );
+    }
+    // A fresh run's raw level sequence can contain floating-point
+    // duplicate rounds (see `ChurnEngine::levels`); the sorted
+    // deduplicated sequences must agree bit for bit in every mode.
+    let mut fresh_levels = scratch.levels().to_vec();
+    fresh_levels.sort_unstable();
+    fresh_levels.dedup();
+    assert_eq!(engine.levels(), fresh_levels, "levels diverged");
+}
+
+fn policy(choice: u8, seed: u64) -> OnlinePolicy {
+    match choice % 3 {
+        0 => OnlinePolicy::ecmp(seed),
+        1 => OnlinePolicy::greedy(),
+        _ => OnlinePolicy::first_fit(),
+    }
+}
+
+fn trace(n: usize, events: usize, seed: u64) -> (ClosNetwork, TraceConfig) {
+    let clos = ClosNetwork::standard(n);
+    let cfg = TraceConfig {
+        arrival_rate_per_sec: 1_000_000,
+        lifetime: SizeDist::Exponential { mean_ns: 30_000 },
+        pattern: Pattern::Uniform,
+        events,
+        seed,
+    };
+    (clos, cfg)
+}
+
+fn run_trace<S: Scalar + std::fmt::Debug>(
+    n: usize,
+    events: usize,
+    seed: u64,
+    batch: usize,
+    choice: u8,
+    verify: bool,
+) -> ChurnEngine<S> {
+    let (clos, cfg) = trace(n, events, seed);
+    let mut engine = ChurnEngine::<S>::new(
+        clos.clone(),
+        policy(choice, seed),
+        ChurnConfig { batch, verify },
+    );
+    for ev in TraceGenerator::new(&clos, &cfg) {
+        engine.apply(ev.event);
+    }
+    engine.flush();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact rationals: incremental == fresh full run, and the engine's
+    /// own full-recompute oracle (`verify`) agrees at every epoch.
+    #[test]
+    fn incremental_matches_oracle_rational(
+        n in 1usize..4,
+        events in 1usize..400,
+        seed in 0u64..1_000_000,
+        batch in 1usize..64,
+        choice in 0u8..3,
+    ) {
+        let engine = run_trace::<Rational>(n, events, seed, batch, choice, true);
+        assert_matches_fresh_run(&engine);
+        prop_assert_eq!(engine.stats().events, events as u64);
+    }
+
+    /// Floating point (`TotalF64`): the same guarantee, bit for bit.
+    #[test]
+    fn incremental_matches_oracle_total_f64(
+        n in 1usize..4,
+        events in 1usize..400,
+        seed in 0u64..1_000_000,
+        batch in 1usize..64,
+        choice in 0u8..3,
+    ) {
+        let engine = run_trace::<TotalF64>(n, events, seed, batch, choice, true);
+        assert_matches_fresh_run(&engine);
+    }
+
+    /// Two engines fed the same trace with different batch sizes agree
+    /// byte for byte (rates, levels, checksum) at every common flushed
+    /// checkpoint.
+    #[test]
+    fn batch_size_does_not_change_results(
+        n in 1usize..4,
+        events in 1usize..300,
+        seed in 0u64..1_000_000,
+        batch_a in 1usize..16,
+        batch_b in 16usize..256,
+        choice in 0u8..3,
+    ) {
+        let (clos, cfg) = trace(n, events, seed);
+        let mut a = ChurnEngine::<TotalF64>::new(
+            clos.clone(),
+            policy(choice, seed),
+            ChurnConfig { batch: batch_a, verify: false },
+        );
+        let mut b = ChurnEngine::<TotalF64>::new(
+            clos.clone(),
+            policy(choice, seed),
+            ChurnConfig { batch: batch_b, verify: false },
+        );
+        for (i, ev) in TraceGenerator::new(&clos, &cfg).enumerate() {
+            a.apply(ev.event);
+            b.apply(ev.event);
+            if (i + 1) % 25 == 0 {
+                a.flush();
+                b.flush();
+                prop_assert_eq!(a.checksum(), b.checksum());
+            }
+        }
+        a.flush();
+        b.flush();
+        prop_assert_eq!(a.checksum(), b.checksum());
+        prop_assert_eq!(a.levels(), b.levels());
+        let rates_a: Vec<(u64, TotalF64)> = a.live_flows().collect();
+        let rates_b: Vec<(u64, TotalF64)> = b.live_flows().collect();
+        prop_assert_eq!(rates_a, rates_b);
+    }
+}

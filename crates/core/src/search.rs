@@ -1021,6 +1021,7 @@ mod tests {
             let config = SearchConfig {
                 threads: Some(threads),
                 no_prune,
+                trace_sample: None,
             };
             let (got, _) = run_search(&clos, &flows, &ThroughputMaxMin, config);
             assert_eq!(got, expect_leaf, "threads={threads} no_prune={no_prune}");

@@ -152,6 +152,24 @@ impl<S: Scalar> WaterfillInstance<S> {
         self.link_ids.len()
     }
 
+    /// Returns the original ids of every compiled link, in dense order
+    /// (the extension hook incremental recomputation uses to translate a
+    /// dirty region back into network link ids for `compile_subset`).
+    #[must_use]
+    pub fn link_ids(&self) -> &[LinkId] {
+        &self.link_ids
+    }
+
+    /// Returns the capacity of the dense link `dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is out of range.
+    #[must_use]
+    pub fn capacity(&self, dense: usize) -> S {
+        self.capacities[dense]
+    }
+
     /// Water-fills the flow collection described in `scratch` (via
     /// [`WaterfillScratch::begin`]/[`WaterfillScratch::push_flow`]),
     /// leaving rates, fill levels, and bottlenecks readable from the

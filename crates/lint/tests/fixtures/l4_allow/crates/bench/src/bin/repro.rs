@@ -4,4 +4,7 @@ fn main() {
     if id == "e1" {
         let _ = fx_bench::experiments::e1_good::verdicts();
     }
+    if id == "e13" {
+        let _ = fx_bench::experiments::e13_churn::verdicts();
+    }
 }

@@ -1,2 +1,3 @@
 //! Experiment modules.
+pub mod e13_churn;
 pub mod e1_good;

@@ -1,0 +1,6 @@
+//! Wired churn experiment — multi-digit id ("e13") wiring must parse.
+
+/// Machine-checkable bounds.
+pub fn verdicts() -> Vec<(&'static str, bool)> {
+    vec![("churn bound holds", true)]
+}

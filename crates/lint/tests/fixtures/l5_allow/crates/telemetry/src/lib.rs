@@ -57,3 +57,22 @@ pub mod pipeline {
 pub fn touch_pipeline() {
     counters::SCRATCH_REUSE.incr();
 }
+
+/// Registered statics of the churn engine — the production `churn.*`
+/// names must pass the scheme, and the `churn.epochs` counter must NOT
+/// be mistaken for the `churn.epoch` timer's derived snapshot keys
+/// (`churn.epoch.nanos` / `churn.epoch.spans`).
+pub mod churn {
+    use super::{Counter, Timer};
+    /// Flow events applied.
+    pub static CHURN_EVENTS: Counter = Counter::new("churn.events");
+    /// Recompute epochs flushed; near-miss of the timer below.
+    pub static CHURN_EPOCHS: Counter = Counter::new("churn.epochs");
+    /// Epoch timer: derives `churn.epoch.nanos` and `churn.epoch.spans`.
+    pub static CHURN_EPOCH: Timer = Timer::new("churn.epoch");
+}
+
+/// Instrumentation site referencing a churn static registered above.
+pub fn touch_churn() {
+    counters::CHURN_EVENTS.incr();
+}

@@ -71,3 +71,25 @@ pub fn traced() {
     span("search.block");
     span_root("Bad Span");
 }
+
+/// Registered statics of the churn engine — the production `churn.*`
+/// names must pass the scheme, and the `churn.epochs` counter must NOT
+/// be mistaken for the `churn.epoch` timer's derived snapshot keys
+/// (`churn.epoch.nanos` / `churn.epoch.spans`).
+pub mod churn {
+    use super::{Counter, Timer};
+    /// Flow events applied.
+    pub static CHURN_EVENTS: Counter = Counter::new("churn.events");
+    /// Recompute epochs flushed; near-miss of the timer below.
+    pub static CHURN_EPOCHS: Counter = Counter::new("churn.epochs");
+    /// Links whose saturation level could change per epoch.
+    pub static CHURN_DIRTY_LINKS: Counter = Counter::new("churn.dirty_links");
+    /// Epoch timer: derives `churn.epoch.nanos` and `churn.epoch.spans`.
+    pub static CHURN_EPOCH: Timer = Timer::new("churn.epoch");
+}
+
+/// Instrumentation sites referencing churn statics and the epoch span.
+pub fn touch_churn() {
+    counters::CHURN_EVENTS.incr();
+    span("churn.epoch");
+}

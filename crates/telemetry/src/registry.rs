@@ -224,10 +224,24 @@ pub mod counters {
     /// Water-filling runs served by an already-warm scratch buffer (no
     /// fresh allocations; see `clos-fairness`'s compiled pipeline).
     pub static WATERFILL_SCRATCH_REUSE: Counter = Counter::new("waterfill.scratch_reuse");
+    /// Flow events (arrivals + departures) applied to a churn engine.
+    pub static CHURN_EVENTS: Counter = Counter::new("churn.events");
+    /// Flow arrivals applied to a churn engine.
+    pub static CHURN_ARRIVALS: Counter = Counter::new("churn.arrivals");
+    /// Flow departures applied to a churn engine.
+    pub static CHURN_DEPARTURES: Counter = Counter::new("churn.departures");
+    /// Churn recompute epochs (batched incremental water-filling runs).
+    pub static CHURN_EPOCHS: Counter = Counter::new("churn.epochs");
+    /// Links marked dirty by churn events since the previous epoch.
+    pub static CHURN_DIRTY_LINKS: Counter = Counter::new("churn.dirty_links");
+    /// Live flows whose rates a churn epoch recomputed (the dirty region).
+    pub static CHURN_RECOMPUTED_FLOWS: Counter = Counter::new("churn.recomputed_flows");
+    /// Live flows whose cached rates a churn epoch reused untouched.
+    pub static CHURN_REUSED_FLOWS: Counter = Counter::new("churn.reused_flows");
 
     /// Every registered counter, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Counter; 17] {
+    pub fn all() -> [&'static Counter; 24] {
         [
             &WATERFILL_CALLS,
             &WATERFILL_ROUNDS,
@@ -246,6 +260,13 @@ pub mod counters {
             &SEARCH_IMPROVEMENTS,
             &SEARCH_PRUNED,
             &WATERFILL_SCRATCH_REUSE,
+            &CHURN_EVENTS,
+            &CHURN_ARRIVALS,
+            &CHURN_DEPARTURES,
+            &CHURN_EPOCHS,
+            &CHURN_DIRTY_LINKS,
+            &CHURN_RECOMPUTED_FLOWS,
+            &CHURN_REUSED_FLOWS,
         ]
     }
 
@@ -270,11 +291,14 @@ pub mod timers {
     /// Wall time compiling a search instance (dense incidence tables),
     /// paid once per search rather than once per evaluated routing.
     pub static SEARCH_COMPILE: Timer = Timer::new("search.compile");
+    /// Wall time inside churn recompute epochs (region discovery plus the
+    /// incremental water-filling run).
+    pub static CHURN_EPOCH: Timer = Timer::new("churn.epoch");
 
     /// Every registered timer, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Timer; 4] {
-        [&WATERFILL, &SIMPLEX, &SEARCH, &SEARCH_COMPILE]
+    pub fn all() -> [&'static Timer; 5] {
+        [&WATERFILL, &SIMPLEX, &SEARCH, &SEARCH_COMPILE, &CHURN_EPOCH]
     }
 
     /// Resets every registered timer.

@@ -31,6 +31,8 @@
 //! assert_eq!(flows.len(), 18); // one per source
 //! ```
 
+use std::fmt;
+
 use clos_net::{ClosNetwork, Flow};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -74,7 +76,7 @@ pub enum Workload {
     /// Every ordered pair among the first `hosts` servers (including the
     /// self pair's distinct destination server).
     AllToAll {
-        /// Number of participating servers.
+        /// Number of participating servers (capped at the host count).
         hosts: usize,
     },
 }
@@ -93,14 +95,44 @@ impl Workload {
         }
     }
 
+    /// Returns a one-line human-readable description of the pattern and
+    /// its parameters, for experiment tables and trace reports (the
+    /// short [`name`](Self::name) stays the machine-friendly key).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Workload::UniformRandom { flows } => {
+                format!("{flows} independent uniformly random source-destination pairs")
+            }
+            Workload::Permutation => {
+                "random permutation: one flow per source and per destination".to_string()
+            }
+            Workload::Incast { senders } => format!(
+                "incast: {senders} distinct senders (capped at the host count) \
+                 to one random destination"
+            ),
+            Workload::Zipf { flows, exponent } => {
+                format!("{flows} flows with Zipf(s={exponent}) destinations and uniform sources")
+            }
+            Workload::Stride { stride } => {
+                format!("deterministic stride: host g sends to host (g + {stride}) mod H")
+            }
+            Workload::AllToAll { hosts } => format!(
+                "all-to-all: every ordered pair among the first {hosts} servers \
+                 (capped at the host count)"
+            ),
+        }
+    }
+
     /// Generates the flow collection on `clos`, deterministically in
     /// `seed`.
     ///
     /// # Panics
     ///
     /// Panics if a parameter is degenerate for the topology (zero flows,
-    /// zero senders, stride not coprime enough to produce any flow, or
-    /// `hosts` exceeding the host count).
+    /// zero senders or hosts, or a stride that is a multiple of the host
+    /// count). Oversized `Incast` sender and `AllToAll` host counts are
+    /// capped at the host count rather than rejected.
     #[must_use]
     pub fn generate(&self, clos: &ClosNetwork, seed: u64) -> Vec<Flow> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -175,7 +207,8 @@ impl Workload {
                     .collect()
             }
             Workload::AllToAll { hosts } => {
-                assert!(hosts >= 1 && hosts <= host_count, "hosts out of range");
+                assert!(hosts >= 1, "need at least one host");
+                let hosts = hosts.min(host_count);
                 let mut flows = Vec::with_capacity(hosts * hosts);
                 for s in 0..hosts {
                     for t in 0..hosts {
@@ -185,6 +218,14 @@ impl Workload {
                 flows
             }
         }
+    }
+}
+
+impl fmt::Display for Workload {
+    /// Formats as the short [`name`](Workload::name), e.g.
+    /// `all-to-all(5)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
     }
 }
 
@@ -349,9 +390,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "hosts out of range")]
-    fn oversized_all_to_all_rejected() {
-        let _ = Workload::AllToAll { hosts: 19 }.generate(&clos(), 0);
+    fn oversized_all_to_all_caps_at_host_count() {
+        // 18 hosts on C_3: requesting more must cap, not panic (and not
+        // silently fabricate nonexistent servers).
+        let clos = clos();
+        let capped = Workload::AllToAll { hosts: 19 }.generate(&clos, 0);
+        let exact = Workload::AllToAll { hosts: 18 }.generate(&clos, 0);
+        assert_eq!(capped, exact);
+        assert_eq!(capped.len(), 18 * 18);
+        assert!(validate_flows(clos.network(), &capped).is_ok());
+        let huge = Workload::AllToAll { hosts: usize::MAX }.generate(&clos, 0);
+        assert_eq!(huge, exact);
+    }
+
+    #[test]
+    fn oversized_incast_matches_exact_fit() {
+        // The sender cap must behave exactly like requesting the full
+        // host count, for any oversized request.
+        let clos = clos();
+        let capped = Workload::Incast { senders: 10_000 }.generate(&clos, 6);
+        let exact = Workload::Incast { senders: 18 }.generate(&clos, 6);
+        assert_eq!(capped, exact);
+        assert!(validate_flows(clos.network(), &capped).is_ok());
     }
 
     #[test]
@@ -380,5 +440,39 @@ mod tests {
         assert_eq!(Workload::Incast { senders: 3 }.name(), "incast(3)");
         assert_eq!(Workload::Stride { stride: 2 }.name(), "stride(2)");
         assert_eq!(Workload::AllToAll { hosts: 5 }.name(), "all-to-all(5)");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for w in [
+            Workload::Permutation,
+            Workload::UniformRandom { flows: 8 },
+            Workload::Incast { senders: 3 },
+            Workload::Zipf {
+                flows: 4,
+                exponent: 1.5,
+            },
+            Workload::Stride { stride: 2 },
+            Workload::AllToAll { hosts: 5 },
+        ] {
+            assert_eq!(w.to_string(), w.name());
+        }
+    }
+
+    #[test]
+    fn descriptions_mention_the_parameters() {
+        assert!(Workload::UniformRandom { flows: 64 }
+            .describe()
+            .contains("64"));
+        assert!(Workload::Incast { senders: 12 }.describe().contains("12"));
+        assert!(Workload::Zipf {
+            flows: 10,
+            exponent: 1.5
+        }
+        .describe()
+        .contains("1.5"));
+        assert!(Workload::Stride { stride: 7 }.describe().contains("7"));
+        assert!(Workload::AllToAll { hosts: 9 }.describe().contains("9"));
+        assert!(Workload::Permutation.describe().contains("permutation"));
     }
 }

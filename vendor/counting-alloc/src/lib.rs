@@ -1,0 +1,54 @@
+//! Counting wrapper around the system allocator.
+//!
+//! The workspace forbids `unsafe_code` in first-party crates (lint
+//! contract L6), but implementing [`GlobalAlloc`] is inherently unsafe.
+//! This helper quarantines that single impl outside the workspace so
+//! benchmark binaries can assert zero-allocation steady states rather
+//! than merely claim them.
+//!
+//! Usage:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+//!
+//! let before = counting_alloc::allocation_count();
+//! // ... timed region ...
+//! assert_eq!(counting_alloc::allocation_count(), before);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of heap allocations (and growing reallocations) since process
+/// start, maintained by [`CountingAlloc`].
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of allocation events counted so far.
+///
+/// Only meaningful in a binary that installs [`CountingAlloc`] as its
+/// `#[global_allocator]`; otherwise the counter stays at zero.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// System allocator wrapper that counts `alloc` and `realloc` calls, so a
+/// benchmark can assert a zero-allocation steady state.
+pub struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline drop-in substitute for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! deterministic random-testing framework: strategies are samplers, the
+//! `proptest!` macro runs `ProptestConfig::cases` seeded cases per test,
+//! and failures report the generated input. There is **no shrinking** —
+//! a failing case prints its full input instead of a minimal one — and
+//! no failure persistence; seeds derive from the test name and case
+//! index, so reruns are reproducible.
+//!
+//! Supported surface: `Just`, `any::<T>()` for primitives, integer
+//! range strategies, `&str` regex-lite string strategies (literals,
+//! `.`, character classes, `*`/`+`/`{m}`/`{m,n}` quantifiers), tuple
+//! strategies up to arity 10, `prop::collection::{vec, btree_map}`,
+//! `prop_map`/`prop_flat_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`,
+//! and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+use std::fmt::Debug;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, OneOf, Strategy};
+
+/// Error type carried by `prop_assert*` failures (a rendered message).
+pub type TestCaseError = String;
+
+/// Per-test configuration (`cases` is the number of random cases run).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator behind every strategy (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Widening multiply; the slight bias is irrelevant for testing.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Returns a uniform value in `[0, n)` for wide ranges.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        if n == 0 {
+            return 0;
+        }
+        let x = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        x % n
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `config.cases` random cases of `test` over `strat`'s values.
+///
+/// Called by the expansion of [`proptest!`]; panics (failing the
+/// enclosing `#[test]`) on the first case whose body returns an error
+/// or panics, printing the generated input and the case seed.
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strat: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut rejects: u64 = 0;
+    for case in 0..config.cases {
+        // Sample, retrying globally on local rejections (filters).
+        let mut value = None;
+        for attempt in 0u64..100 {
+            let seed = base
+                .wrapping_add(u64::from(case).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .wrapping_add(attempt.wrapping_mul(0x9e37_79b9));
+            let mut rng = TestRng::new(seed);
+            match strat.sample(&mut rng) {
+                Ok(v) => {
+                    value = Some(v);
+                    break;
+                }
+                Err(_) => rejects += 1,
+            }
+        }
+        let Some(value) = value else {
+            panic!(
+                "proptest {name}: too many local rejects \
+                 ({rejects} total) — filter too strict?"
+            );
+        };
+        let desc = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => panic!(
+                "proptest {name} failed at case {case}/{}:\n  {msg}\n  input: {desc}",
+                config.cases
+            ),
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest {name} panicked at case {case}/{}: input: {desc}",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// --------------------------------------------------------------- any<T>
+
+/// Types that can be generated without an explicit strategy.
+pub trait ArbitraryValue: Sized + Debug + Clone {
+    /// Generates one value.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, strategy::Rejected> {
+        Ok(T::generate(rng))
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl ArbitraryValue for $ty {
+            fn generate(rng: &mut TestRng) -> $ty {
+                // Bias toward small magnitudes and extremes, as upstream
+                // does, so edge cases are exercised.
+                match rng.below(8) {
+                    0 => 0,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 | 4 => (rng.below(100)) as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )+};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for i128 {
+    fn generate(rng: &mut TestRng) -> i128 {
+        let hi = i128::from(rng.next_u64() as i64);
+        match rng.below(4) {
+            0 => i128::from(rng.next_u64() as i64),
+            1 => (hi << 64) | i128::from(rng.next_u64()),
+            _ => rng.below(1000) as i128 - 500,
+        }
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn generate(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NAN,
+            4 => (rng.below(2001) as f64 - 1000.0) / 8.0,
+            5 => rng.unit_f64() * 1e12 - 5e11,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl ArbitraryValue for u128 {
+    fn generate(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl ArbitraryValue for char {
+    fn generate(rng: &mut TestRng) -> char {
+        strategy::diverse_char(rng)
+    }
+}
+
+// -------------------------------------------------------------- prelude
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+/// Defines seeded random-case tests (see crate docs for the contract).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(
+                &config,
+                stringify!($name),
+                ($($strat,)+),
+                |($($pat,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident() $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() $body
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,430 @@
+//! Strategy trait, combinators, and primitive strategy impls.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A local rejection (e.g. a filter predicate failed); the runner
+/// retries the whole case with a fresh seed.
+#[derive(Clone, Debug)]
+pub struct Rejected(pub &'static str);
+
+/// A generator of test values.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Samples one value (or rejects, for filtered strategies).
+    fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U + Clone>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2 + Clone>(
+        self,
+        f: F,
+    ) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool + Clone>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `recurse`
+    /// wraps a strategy for depth `d` into one for depth `d + 1`. The
+    /// result samples uniformly across depths `0..=depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("levels starts non-empty").clone();
+            levels.push(recurse(prev).boxed());
+        }
+        OneOf { arms: levels }.boxed()
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// Object-safe sampling, for [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn dyn_sample(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        self.inner.dyn_sample(rng)
+    }
+}
+
+/// A strategy producing exactly one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+// Manual impl: `#[derive(Clone)]` would demand `T: Clone`, but the arms
+// are `Rc`-backed and clone for any `T`.
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> OneOf<T> {
+        OneOf {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: Debug + 'static> OneOf<T> {
+    /// Builds a choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U + Clone> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<U, Rejected> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + Clone> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<S2::Value, Rejected> {
+        let base = self.inner.sample(rng)?;
+        (self.f)(base).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool + Clone> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        // Retry locally a few times before escalating to the runner.
+        for _ in 0..16 {
+            let v = self.inner.sample(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejected(self.reason))
+    }
+}
+
+// ------------------------------------------------------ integer ranges
+
+macro_rules! range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> Result<$ty, Rejected> {
+                assert!(
+                    self.start < self.end,
+                    "empty strategy range {}..{}", self.start, self.end
+                );
+                let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = rng.below_u128(width);
+                Ok(((self.start as i128) + off as i128) as $ty)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> Result<$ty, Rejected> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range {start}..={end}");
+                let width = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let off = rng.below_u128(width);
+                Ok(((start as i128) + off as i128) as $ty)
+            }
+        }
+    )+};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// i128 ranges need care with the i128 offset arithmetic; the workspace
+// only uses spans far below 2^127, so route through i128 differences.
+impl Strategy for Range<i128> {
+    type Value = i128;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<i128, Rejected> {
+        assert!(self.start < self.end, "empty strategy range");
+        let width = self.end.wrapping_sub(self.start) as u128;
+        Ok(self.start + rng.below_u128(width) as i128)
+    }
+}
+
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<i128, Rejected> {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty strategy range");
+        let width = end.wrapping_sub(start) as u128 + 1;
+        Ok(start + rng.below_u128(width) as i128)
+    }
+}
+
+// ------------------------------------------------------------- strings
+
+/// `&str` patterns act as regex-lite string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<String, Rejected> {
+        Ok(generate_from_pattern(self, rng))
+    }
+}
+
+/// Picks a character from a pool spanning ASCII, quotes/escapes,
+/// control characters, and multi-byte code points — the stress set for
+/// string encoders.
+pub(crate) fn diverse_char(rng: &mut TestRng) -> char {
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '-', '.', ',', ':', ';', ' ', '"', '\\', '/', '\n',
+        '\r', '\t', '\u{0}', '\u{1}', '\u{1f}', '{', '}', '[', ']', 'é', 'ß', '日', '\u{7f}', '😀',
+    ];
+    match rng.below(4) {
+        0 => char::from(32 + (rng.below(95)) as u8), // printable ASCII
+        _ => POOL[rng.below(POOL.len() as u64) as usize],
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    #[derive(Clone)]
+    enum Atom {
+        Any,
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new(); // atom, min, max
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                assert!(
+                    chars.get(i) != Some(&'^'),
+                    "vendored proptest: negated classes unsupported in {pattern:?}"
+                );
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("dangling escape");
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n: usize = body.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier"),
+                        hi.parse().expect("bad quantifier"),
+                    ),
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, min, max));
+    }
+
+    let mut out = String::new();
+    for (atom, min, max) in atoms {
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Any => out.push(diverse_char(rng)),
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    let code = lo as u32 + rng.below(u64::from(span)) as u32;
+                    out.push(char::from_u32(code).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+);)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                Ok(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )+};
+}
+tuple_strategies! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+}

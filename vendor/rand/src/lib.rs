@@ -1,0 +1,95 @@
+//! Offline drop-in substitute for the `rand` crate (version 0.8 API).
+//!
+//! Reimplements exactly the surface this workspace uses, with the same
+//! algorithms as upstream `rand` 0.8.5 so that seeded streams match:
+//!
+//! * [`rngs::StdRng`] — ChaCha12, block-sequential output, with the
+//!   upstream [`SeedableRng::seed_from_u64`] SplitMix64 seeding;
+//! * [`rngs::SmallRng`] — xoshiro256++ (the 64-bit upstream choice);
+//! * [`Rng::gen_range`] — Lemire widening-multiply with bias rejection,
+//!   matching `UniformInt::sample_single{,_inclusive}`;
+//! * [`Rng::gen`] via [`distributions::Standard`] — 53-bit floats,
+//!   full-width integers;
+//! * [`seq::SliceRandom::shuffle`] — descending Fisher–Yates.
+//!
+//! Anything outside that surface is intentionally absent.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod uniform;
+mod xoshiro;
+
+pub use distributions::Standard;
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanded with SplitMix64
+    /// exactly as `rand_core` 0.6 does (one output per 4-byte chunk).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL1: u64 = 0xbf58_476d_1ce4_e5b9;
+        const MUL2: u64 = 0x94d0_49bb_1331_11eb;
+        const INC: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(INC);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(MUL1);
+            z = (z ^ (z >> 27)).wrapping_mul(MUL2);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-level random value generation, layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&Standard, self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-export scheme matching `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

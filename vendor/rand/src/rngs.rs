@@ -1,0 +1,113 @@
+//! The standard (`StdRng`) and small (`SmallRng`) generators.
+
+use crate::chacha::ChaCha12;
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// The standard generator: ChaCha12, as in `rand` 0.8.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: ChaCha12,
+    /// Half-consumed `next_u64` leftovers are *not* kept: like
+    /// `rand_chacha`, `next_u64` reads two consecutive words.
+    _private: (),
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.core.next_word());
+        let hi = u64::from(self.core.next_word());
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.core.next_word().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        StdRng {
+            core: ChaCha12::new(seed),
+            _private: (),
+        }
+    }
+}
+
+/// The small, fast generator: xoshiro256++, as in `rand` 0.8 on 64-bit.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    core: Xoshiro256PlusPlus,
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        // Upper half, matching rand_xoshiro's next_u32.
+        (self.core.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.core.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.core.next().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> SmallRng {
+        SmallRng {
+            core: Xoshiro256PlusPlus::new(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn small_rng_works() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+}

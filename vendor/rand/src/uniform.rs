@@ -1,0 +1,145 @@
+//! Uniform range sampling with `rand` 0.8.5's single-sample algorithms
+//! (Lemire widening multiply with bias-rejection zone).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Rng, RngCore};
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty => $unsigned:ty => $large:ty),+ $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $large;
+                // `range == 0` cannot happen for half-open non-empty ranges
+                // unless the cast widened; the zone loop handles all cases.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.gen();
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let range = end.wrapping_sub(start) as $unsigned as $large;
+                let range = range.wrapping_add(1);
+                if range == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.gen::<$unsigned>() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.gen();
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+uniform_int!(
+    u8 => u8 => u32,
+    u16 => u16 => u32,
+    u32 => u32 => u32,
+    u64 => u64 => u64,
+    usize => usize => u64,
+    i8 => u8 => u32,
+    i16 => u16 => u32,
+    i32 => u32 => u32,
+    i64 => u64 => u64,
+    isize => usize => u64,
+    u128 => u128 => u128,
+    i128 => u128 => u128,
+);
+
+/// Widening multiply: returns `(high, low)` words of `a * b`.
+trait WideningMul: Copy {
+    fn widening(self, b: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn widening(self, b: u32) -> (u32, u32) {
+        let t = u64::from(self) * u64::from(b);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn widening(self, b: u64) -> (u64, u64) {
+        let t = u128::from(self) * u128::from(b);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+impl WideningMul for u128 {
+    fn widening(self, b: u128) -> (u128, u128) {
+        // Schoolbook 64-bit limbs.
+        const LO: u128 = u128::MAX >> 64;
+        let (ah, al) = (self >> 64, self & LO);
+        let (bh, bl) = (b >> 64, b & LO);
+        let ll = al * bl;
+        let lh = al * bh;
+        let hl = ah * bl;
+        let hh = ah * bh;
+        let mid = (ll >> 64) + (lh & LO) + (hl & LO);
+        let low = (mid << 64) | (ll & LO);
+        let high = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        (high, low)
+    }
+}
+
+fn wmul<T: WideningMul>(a: T, b: T) -> (T, T) {
+    a.widening(b)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let a = rng.gen_range(0..7usize);
+            assert!(a < 7);
+            let b = rng.gen_range(3..=9u32);
+            assert!((3..=9).contains(&b));
+            let c = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

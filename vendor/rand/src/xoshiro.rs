@@ -1,0 +1,45 @@
+//! xoshiro256++ — the 64-bit `SmallRng` algorithm of `rand` 0.8.
+
+/// xoshiro256++ state.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator from a 32-byte seed (four little-endian `u64`
+    /// words). An all-zero seed is mapped to a fixed nonzero state.
+    pub fn new(seed: [u8; 32]) -> Xoshiro256PlusPlus {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[8 * i..8 * i + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        if s == [0, 0, 0, 0] {
+            // xoshiro's zero state is a fixed point; use the splitmix
+            // expansion of 0 instead (matches rand_xoshiro's guard).
+            s = [
+                0xe220_a839_7b1d_cdaf,
+                0x6e78_9e6a_a1b9_65f4,
+                0x06c4_5d18_8009_454f,
+                0xf88b_b8a8_724c_81ec,
+            ];
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline substitute for serde's derive macros.
+//!
+//! Generates impls of the vendored `serde::Serialize`/`Deserialize`
+//! traits (a JSON-shaped `Value` model) with real serde's shape rules:
+//!
+//! * named struct  → object with fields in declaration order;
+//! * newtype struct → the inner value, transparently;
+//! * tuple struct  → array;
+//! * unit struct   → null;
+//! * enum          → externally tagged (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! The input is parsed directly from the `TokenTree` stream (no `syn`):
+//! attributes are `#` + bracket-group pairs, field lists live inside a
+//! single brace/paren group, so splitting on top-level commas is enough.
+//! Simple type parameters (`Foo<S>`) are supported and bounded by
+//! `Serialize`/`Deserialize` on the impl; lifetime/const parameters and
+//! `#[serde(...)]` attributes beyond `serde(transparent)` on newtypes
+//! (whose shape is already transparent here) are not, and produce a
+//! compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum`.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    /// Type parameter names (`["S"]` for `Foo<S>`); bounds are dropped
+    /// and re-emitted as `Serialize`/`Deserialize` bounds on the impl.
+    params: Vec<String>,
+    shape: Shape,
+}
+
+impl Parsed {
+    /// `"Foo"` or `"Foo<S>"` — the type the impl is for.
+    fn ty(&self) -> String {
+        if self.params.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.params.join(", "))
+        }
+    }
+
+    /// `""` or `"<S: ::serde::Serialize>"` — the impl's generics.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<String> = self
+                .params
+                .iter()
+                .map(|p| format!("{p}: {bound}"))
+                .collect();
+            format!("<{}>", list.join(", "))
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut entries = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(entries)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &p.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{ty}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        generics = p.impl_generics("::serde::Serialize"),
+        ty = p.ty()
+    );
+    out.parse().expect("serde_derive emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let ty = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(entries, \"{f}\", \"{ty}\")?"))
+                .collect();
+            format!(
+                "let entries = ::serde::de_object(v, \"{ty}\")?;\n\
+                 Ok({ty} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({ty}(::serde::Deserialize::from_value(v)?))"),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de_array(v, {n}, \"{ty}\")?;\n\
+                 Ok({ty}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({ty})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({ty}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({ty}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = ::serde::de_array(inner, {n}, \"{ty}::{vn}\")?;\n\
+                             return Ok({ty}::{vn}({}));\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::de_field(entries, \"{f}\", \"{ty}::{vn}\")?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let entries = ::serde::de_object(inner, \"{ty}::{vn}\")?;\n\
+                             return Ok({ty}::{vn} {{ {} }});\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 _ => {{}}\n\
+                 }},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, inner) = &o[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 _ => {{}}\n\
+                 }}\n\
+                 }},\n\
+                 _ => {{}}\n\
+                 }}\n\
+                 Err(::serde::DeError(format!(\"no variant of {ty} matches {{v:?}}\")))"
+            )
+        }
+    };
+    let out = format!(
+        "impl{generics} ::serde::Deserialize for {full_ty} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}",
+        generics = p.impl_generics("::serde::Deserialize"),
+        full_ty = p.ty()
+    );
+    out.parse().expect("serde_derive emitted invalid Rust")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Parsed {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&trees, &mut i);
+    let keyword = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    let params = parse_generics(&trees, &mut i);
+    match keyword.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+                name,
+                params,
+                shape: Shape::NamedStruct(named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Parsed {
+                name,
+                params,
+                shape: Shape::TupleStruct(count_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Parsed {
+                name,
+                params,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+                name,
+                params,
+                shape: Shape::Enum(variants(g.stream())),
+            },
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Consumes a `<...>` generics list if present, returning the type
+/// parameter names. Bounds (`S: Ord`) and defaults are skipped; lifetime
+/// and const parameters are rejected (the workspace uses neither on
+/// serde-derived types).
+fn parse_generics(trees: &[TokenTree], i: &mut usize) -> Vec<String> {
+    if !matches!(trees.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Vec::new();
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    // True at the start of a top-level parameter segment, where the next
+    // ident is the parameter's name (everything after it up to the next
+    // top-level comma is bounds/defaults).
+    let mut expect_param = true;
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                expect_param = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return params;
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expect_param = true;
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!(
+                        "serde_derive (vendored): const generics are not supported; \
+                         see vendor/README.md"
+                    );
+                }
+                params.push(s);
+                expect_param = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                panic!(
+                    "serde_derive (vendored): lifetime parameters are not supported; \
+                     see vendor/README.md"
+                );
+            }
+            Some(_) => expect_param = false,
+            None => panic!("serde_derive: unclosed generics list"),
+        }
+        *i += 1;
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility marker.
+fn skip_attrs_and_vis(trees: &[TokenTree], i: &mut usize) {
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [..] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(trees.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a group's stream on top-level commas into non-empty segments.
+///
+/// Generic arguments (`BTreeMap<String, u64>`) are not token groups, so
+/// commas inside them appear in the same stream; track `<`/`>` depth to
+/// skip them. (`->` never occurs in field lists, and shifts come through
+/// as two adjacent `>` puncts that each close one level.)
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let kind = match seg.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(named_fields(g.stream()))
+                }
+                other => panic!("serde_derive: unsupported variant body {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}

@@ -1,0 +1,356 @@
+//! Offline drop-in substitute for `serde_json`, layered over the
+//! vendored `serde`'s JSON-shaped [`Value`] model.
+//!
+//! The encoder is byte-compatible with `clos-telemetry`'s hand-rolled
+//! `JsonValue` encoder (and with real `serde_json` on the value ranges
+//! the workspace tests): compact separators, object order preserved,
+//! floats printed with `{:?}` (shortest round-trip form, always with a
+//! `.0` or exponent), `"`/`\\`/`\n`/`\r`/`\t` shorthand escapes and
+//! `\u00xx` for other control characters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A serialization or deserialization failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    encode(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON document.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+// -------------------------------------------------------------- encoder
+
+fn encode(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            use fmt::Write;
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => {
+            if x.is_finite() {
+                use fmt::Write;
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => encode_str(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_str(k, out);
+                out.push(':');
+                encode(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing garbage at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error(format!("at byte {}: {}", self.pos, msg.into())))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(format!("expected {lit:?}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => self.err(format!("unexpected byte {:?}", b as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return self.err("bad low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("bad \\u escape"),
+                            }
+                            // hex4 leaves pos after the 4 digits; undo the
+                            // generic advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            // Safety net: only decode the valid prefix.
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).unwrap_or("")
+                        }
+                        Err(_) => return self.err("invalid UTF-8"),
+                    };
+                    let c = match s.chars().next() {
+                        Some(c) => c,
+                        None => return self.err("invalid UTF-8"),
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let hex = &self.bytes[self.pos..self.pos + 4];
+        let s = std::str::from_utf8(hex).map_err(|_| Error("bad hex".to_string()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error("bad hex".to_string()))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".to_string()))?;
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(x) => Ok(Value::Float(x)),
+                Err(_) => self.err(format!("bad number {text:?}")),
+            }
+        } else {
+            match text.parse::<i128>() {
+                Ok(n) => Ok(Value::Int(n)),
+                Err(_) => self.err(format!("bad integer {text:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let s: String = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(s, "A\u{1f600}");
+    }
+
+    #[test]
+    fn nested_docs_parse() {
+        let doc = r#"{"a":[1,2.5,null,{"b":"c"}],"d":true}"#;
+        let v = parse(doc).unwrap();
+        let mut out = String::new();
+        encode(&v, &mut out);
+        assert_eq!(out, doc);
+    }
+}
