@@ -319,12 +319,17 @@ impl Comparison {
                 Verdict::Mismatch,
             ),
         }
-        let churn = base
-            .get("schema")
-            .and_then(as_str)
-            .is_some_and(|s| s.starts_with("bench_churn/"));
-        if churn {
+        let family = |prefix: &str| {
+            base.get("schema")
+                .and_then(as_str)
+                .is_some_and(|s| s.starts_with(prefix))
+        };
+        if family("bench_churn/") {
             self.churn_documents(base, curr);
+            return;
+        }
+        if family("bench_lint/") {
+            self.lint_documents(base, curr);
             return;
         }
 
@@ -489,6 +494,48 @@ impl Comparison {
                 ));
             }
         }
+    }
+
+    /// Compares two `bench_lint/*` reports: workspace coverage,
+    /// surviving-diagnostic and allowlist-suppression counts, and the
+    /// per-rule tallies are exact (any drift is a linter behaviour
+    /// change or new debt); the full-pass wall time is noisy.
+    fn lint_documents(&mut self, base: &JsonValue, curr: &JsonValue) {
+        for metric in ["files_scanned", "diagnostics", "suppressed"] {
+            self.exact(
+                &format!("lint.{metric}"),
+                base.get(metric),
+                curr.get(metric),
+            );
+        }
+        match (base.get("rules"), curr.get("rules")) {
+            (Some(JsonValue::Object(b)), Some(JsonValue::Object(c))) => {
+                for (key, bv) in b {
+                    let cv = c.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                    self.exact(&format!("lint.rules.{key}"), Some(bv), cv);
+                }
+                for (key, _) in c {
+                    if !b.iter().any(|(k, _)| k == key) {
+                        self.notes.push(format!(
+                            "current report adds rule {key} not in the baseline — refresh \
+                             the baseline to gate it"
+                        ));
+                    }
+                }
+            }
+            _ => self.push(
+                "lint.rules",
+                "?".to_string(),
+                "?".to_string(),
+                Verdict::Mismatch,
+            ),
+        }
+        self.noisy(
+            "lint.wall_ms",
+            base.get("wall_ms"),
+            curr.get("wall_ms"),
+            false,
+        );
     }
 
     fn failed(&self) -> bool {
@@ -730,6 +777,58 @@ mod tests {
         let mut cmp = Comparison::new(0.15, false);
         cmp.documents(&base, &curr);
         assert!(cmp.failed());
+    }
+
+    /// A minimal synthetic lint-timing report.
+    fn lint_report(suppressed: u64, l10: u64, wall_ms: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema":"bench_lint/v1","stable":false,"files_scanned":88,
+                "diagnostics":0,"suppressed":{suppressed},
+                "rules":{{"L1":0,"L7":0,"L8":0,"L9":0,"L10":{l10}}},
+                "wall_ms":{wall_ms}}}"#
+        ))
+        .expect("synthetic lint report parses")
+    }
+
+    #[test]
+    fn identical_lint_reports_pass() {
+        let doc = lint_report(68, 0, 350.0);
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&doc, &doc);
+        assert!(!cmp.failed());
+        assert!(cmp.deltas.iter().any(|d| d.metric == "lint.suppressed"));
+    }
+
+    #[test]
+    fn lint_debt_growth_fails_even_with_skip_wall() {
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(&lint_report(68, 0, 350.0), &lint_report(70, 0, 350.0));
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Mismatch && d.metric == "lint.suppressed"));
+    }
+
+    #[test]
+    fn lint_per_rule_drift_fails() {
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(&lint_report(68, 0, 350.0), &lint_report(68, 3, 350.0));
+        assert!(cmp.failed());
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.verdict == Verdict::Mismatch && d.metric == "lint.rules.L10"));
+    }
+
+    #[test]
+    fn lint_slowdown_fails_only_when_wall_gated() {
+        let mut cmp = Comparison::new(0.15, false);
+        cmp.documents(&lint_report(68, 0, 350.0), &lint_report(68, 0, 700.0));
+        assert!(cmp.failed());
+        let mut cmp = Comparison::new(0.15, true);
+        cmp.documents(&lint_report(68, 0, 350.0), &lint_report(68, 0, 700.0));
+        assert!(!cmp.failed());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! `bench_lint` — timing record for the workspace lint pass.
+//!
+//! The acceptance gate for `clos-lint` is not just "clean": the whole
+//! L1–L10 pass (lexing every first-party file, building the sema item
+//! graph, running four reachability rules) must stay fast enough to sit
+//! in the inner edit loop (< 2s workspace-wide). This binary runs the
+//! same `run_workspace` entry point CI gates on and writes a versioned
+//! `bench_lint/v1` report that `bench_compare` diffs like any other
+//! perf document:
+//!
+//! * exact metrics — `files_scanned`, surviving `diagnostics`,
+//!   allowlist-`suppressed` count, and the per-rule surviving tallies
+//!   (`rules`): any drift is a behavioural change in the linter or new
+//!   debt in the workspace, and gates;
+//! * noisy metric — `wall_ms` (best of `--reps` runs), compared within
+//!   the usual tolerance so a linter slowdown is caught like any other
+//!   perf regression. `--stable` zeroes it for byte-reproducible
+//!   baseline refreshes.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_lint [--root DIR] [--reps R] [--stable] [--out PATH]
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use clos_lint::Rule;
+use clos_telemetry::json::JsonValue;
+
+/// Parsed command-line options.
+struct Options {
+    root: String,
+    reps: u32,
+    stable: bool,
+    out: String,
+}
+
+const USAGE: &str = "usage: bench_lint [--root DIR] [--reps R] [--stable] [--out PATH]
+  --root DIR   workspace root to lint (default .)
+  --reps R     timing repetitions, best-of (default 3)
+  --stable     zero the wall-derived metric for byte-reproducible output
+  --out PATH   output JSON path (default BENCH_lint.json)";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: ".".to_string(),
+        reps: 3,
+        stable: false,
+        out: "BENCH_lint.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = args.next().ok_or("--root needs a value")?,
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--stable" => opts.stable = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a value")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if opts.reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let root = Path::new(&opts.root);
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..opts.reps {
+        let start = Instant::now();
+        let r = clos_lint::run_workspace(root, None).map_err(|e| format!("lint: {e}"))?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+        report = Some(r);
+    }
+    let report = report.expect("reps >= 1");
+
+    let rules: Vec<(String, JsonValue)> = Rule::all()
+        .iter()
+        .map(|rule| {
+            let count = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == *rule)
+                .count();
+            (rule.id().to_string(), JsonValue::from(count))
+        })
+        .collect();
+    let wall_ms = if opts.stable { 0.0 } else { best_ms };
+    let doc = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::from("bench_lint/v1")),
+        ("stable".to_string(), JsonValue::from(opts.stable)),
+        (
+            "files_scanned".to_string(),
+            JsonValue::from(report.files_scanned),
+        ),
+        (
+            "diagnostics".to_string(),
+            JsonValue::from(report.diagnostics.len()),
+        ),
+        ("suppressed".to_string(), JsonValue::from(report.suppressed)),
+        ("rules".to_string(), JsonValue::Object(rules)),
+        ("wall_ms".to_string(), JsonValue::from(wall_ms)),
+    ]);
+    fs::write(&opts.out, format!("{doc}\n")).map_err(|e| format!("write {}: {e}", opts.out))?;
+    println!(
+        "bench_lint: {} files, {} diagnostic(s), {} suppressed, {:.1} ms (best of {})",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressed,
+        best_ms,
+        opts.reps
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("bench_lint: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,17 +1,23 @@
 //! The budgeted allowlist: `lint.allow` at the workspace root.
 //!
-//! Each entry grants one file an exact number of violations of one rule,
-//! with a mandatory justification:
+//! Each entry grants one path an exact number of violations of one rule,
+//! with a mandatory justification. For the per-call-site rule L10 the
+//! path carries the enclosing fn as a `path#Type::fn` suffix, so one
+//! entry scopes exactly one fn:
 //!
 //! ```text
-//! # rule  path                                budget  justification
-//! L2      crates/rational/src/rational.rs     8       invariant-checked normalization
+//! # rule  path                                         budget  justification
+//! L8      crates/core/src/search.rs                    1       work-stealing cursor; block-order merge
+//! L10     crates/rational/src/rational.rs#Rational::new 1      invariant-checked normalization
 //! ```
 //!
-//! Budgets are exact, not upper bounds: if the file now has *fewer*
+//! Budgets are exact, not upper bounds: if the path now has *fewer*
 //! violations than budgeted, the run fails with a stale-entry diagnostic
 //! until the budget is ratcheted down. That makes `lint.allow` a visible,
 //! monotone burndown list rather than a place where debt hides.
+//!
+//! Entries for the retired per-file rule L2 are rejected with a
+//! migration message pointing at the equivalent L10 form.
 
 use std::collections::BTreeMap;
 
@@ -69,6 +75,19 @@ impl Allowlist {
                 ));
                 continue;
             };
+            if rule == Rule::L2Panic {
+                diags.push(Diagnostic::new(
+                    Rule::Allowlist,
+                    source_name,
+                    line,
+                    format!(
+                        "L2 is retired; migrate this entry to per-call-site form: \
+                         `L10 {path}#<Type::fn> <count> <why>` (or delete it if the \
+                         panics are unreachable from the repro entry points)"
+                    ),
+                ));
+                continue;
+            }
             if justification.is_empty() {
                 diags.push(Diagnostic::new(
                     Rule::Allowlist,
@@ -189,11 +208,12 @@ mod tests {
     #[test]
     fn parse_accepts_comments_and_entries() {
         let (al, diags) = Allowlist::parse(
-            "# header\n\nL2 crates/a/src/lib.rs 3 known debt, tracked\n",
+            "# header\n\nL10 crates/a/src/lib.rs#Foo::bar 3 known debt, tracked\n",
             "lint.allow",
         );
         assert!(diags.is_empty());
         assert_eq!(al.entries().len(), 1);
+        assert_eq!(al.entries()[0].path, "crates/a/src/lib.rs#Foo::bar");
         assert_eq!(al.entries()[0].budget, 3);
         assert_eq!(al.entries()[0].justification, "known debt, tracked");
     }
@@ -201,7 +221,7 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_lines() {
         let (al, diags) = Allowlist::parse(
-            "L2 path\nL9 p 1 zzz\nL2 p notanumber j\nL2 p 1\nL2 p 0 why",
+            "L10 path\nL99 p 1 zzz\nL10 p notanumber j\nL10 p 1\nL10 p 0 why",
             "lint.allow",
         );
         assert!(al.entries().is_empty());
@@ -211,12 +231,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_retired_l2_with_migration_hint() {
+        let (al, diags) = Allowlist::parse(
+            "L2 crates/a/src/lib.rs 3 known debt, tracked\n",
+            "lint.allow",
+        );
+        assert!(al.entries().is_empty());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("L2 is retired"));
+        assert!(diags[0]
+            .message
+            .contains("L10 crates/a/src/lib.rs#<Type::fn>"));
+    }
+
+    #[test]
     fn exact_budget_suppresses() {
-        let (al, _) = Allowlist::parse("L2 a.rs 2 ok", "lint.allow");
+        let (al, _) = Allowlist::parse("L10 a.rs#f 2 ok", "lint.allow");
         let (out, suppressed) = al.apply(
             vec![
-                diag(Rule::L2Panic, "a.rs", 1),
-                diag(Rule::L2Panic, "a.rs", 2),
+                diag(Rule::L10PanicReach, "a.rs#f", 1),
+                diag(Rule::L10PanicReach, "a.rs#f", 2),
             ],
             "lint.allow",
         );
@@ -226,11 +260,11 @@ mod tests {
 
     #[test]
     fn over_budget_fails_with_all_sites() {
-        let (al, _) = Allowlist::parse("L2 a.rs 1 ok", "lint.allow");
+        let (al, _) = Allowlist::parse("L10 a.rs#f 1 ok", "lint.allow");
         let (out, suppressed) = al.apply(
             vec![
-                diag(Rule::L2Panic, "a.rs", 1),
-                diag(Rule::L2Panic, "a.rs", 2),
+                diag(Rule::L10PanicReach, "a.rs#f", 1),
+                diag(Rule::L10PanicReach, "a.rs#f", 2),
             ],
             "lint.allow",
         );
@@ -241,8 +275,9 @@ mod tests {
 
     #[test]
     fn under_budget_is_stale() {
-        let (al, _) = Allowlist::parse("L2 a.rs 5 ok\nL1 b.rs 1 gone", "lint.allow");
-        let (out, suppressed) = al.apply(vec![diag(Rule::L2Panic, "a.rs", 1)], "lint.allow");
+        let (al, _) = Allowlist::parse("L10 a.rs#f 5 ok\nL1 b.rs 1 gone", "lint.allow");
+        let (out, suppressed) =
+            al.apply(vec![diag(Rule::L10PanicReach, "a.rs#f", 1)], "lint.allow");
         assert_eq!(suppressed, 1);
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(|d| d.message.contains("ratchet")));
@@ -250,11 +285,27 @@ mod tests {
     }
 
     #[test]
+    fn fn_scoped_entries_do_not_leak_across_fns() {
+        // Two fns in the same file: only the budgeted one is suppressed.
+        let (al, _) = Allowlist::parse("L10 a.rs#Foo::bar 1 ok", "lint.allow");
+        let (out, suppressed) = al.apply(
+            vec![
+                diag(Rule::L10PanicReach, "a.rs#Foo::bar", 1),
+                diag(Rule::L10PanicReach, "a.rs#Foo::baz", 2),
+            ],
+            "lint.allow",
+        );
+        assert_eq!(suppressed, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "a.rs#Foo::baz");
+    }
+
+    #[test]
     fn unrelated_rules_pass_through() {
-        let (al, _) = Allowlist::parse("L2 a.rs 1 ok", "lint.allow");
+        let (al, _) = Allowlist::parse("L10 a.rs#f 1 ok", "lint.allow");
         let (out, _) = al.apply(
             vec![
-                diag(Rule::L2Panic, "a.rs", 1),
+                diag(Rule::L10PanicReach, "a.rs#f", 1),
                 diag(Rule::L1FloatCmp, "a.rs", 9),
             ],
             "lint.allow",

@@ -8,7 +8,10 @@ pub enum Rule {
     /// No raw-float `==`/`!=` or `partial_cmp().unwrap()` — exact
     /// comparisons go through `Rational`/`TotalF64`.
     L1FloatCmp,
-    /// No `unwrap()`/`expect()` in non-test library code.
+    /// Retired: per-file panic budgets, superseded by the call-graph
+    /// reachability rule [`Rule::L10PanicReach`]. The id still parses so
+    /// stale `lint.allow` entries get a migration message instead of a
+    /// confusing parse error.
     L2Panic,
     /// No `HashMap`/`HashSet` in result- or report-producing modules.
     L3Determinism,
@@ -20,6 +23,19 @@ pub enum Rule {
     /// Every crate inherits the workspace lint contract from
     /// `[workspace.lints]`.
     L6Contract,
+    /// Exactness taint: `as f64`/`to_f64()`/`TotalF64` values and
+    /// float-typed struct fields may not reach `verdicts()` paths.
+    L7Exactness,
+    /// Determinism audit: `Ordering::Relaxed` only in the telemetry
+    /// registry, no hash collections reachable from result-producing
+    /// fns, no thread spawns outside the block-ordered search path.
+    L8DeterminismAudit,
+    /// No allocation in fns reachable from the compiled evaluate /
+    /// waterfill-run / churn arrive-depart hot paths.
+    L9HotAlloc,
+    /// No `unwrap()`/`expect()` in library fns reachable from the repro
+    /// entry points, except per-call-site `lint.allow` justifications.
+    L10PanicReach,
     /// The allowlist itself is stale (budget no longer matches reality).
     Allowlist,
 }
@@ -35,11 +51,15 @@ impl Rule {
             Rule::L4Experiments => "L4",
             Rule::L5Telemetry => "L5",
             Rule::L6Contract => "L6",
+            Rule::L7Exactness => "L7",
+            Rule::L8DeterminismAudit => "L8",
+            Rule::L9HotAlloc => "L9",
+            Rule::L10PanicReach => "L10",
             Rule::Allowlist => "ALLOW",
         }
     }
 
-    /// Parses a rule id (`"L1"`…`"L6"`) as written in `lint.allow`.
+    /// Parses a rule id (`"L1"`…`"L10"`) as written in `lint.allow`.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
         match id {
@@ -49,6 +69,10 @@ impl Rule {
             "L4" => Some(Rule::L4Experiments),
             "L5" => Some(Rule::L5Telemetry),
             "L6" => Some(Rule::L6Contract),
+            "L7" => Some(Rule::L7Exactness),
+            "L8" => Some(Rule::L8DeterminismAudit),
+            "L9" => Some(Rule::L9HotAlloc),
+            "L10" => Some(Rule::L10PanicReach),
             _ => None,
         }
     }
@@ -61,7 +85,11 @@ impl Rule {
                 "no ==/!= against float literals and no partial_cmp().unwrap(); \
                  exact comparisons go through Rational/TotalF64"
             }
-            Rule::L2Panic => "no unwrap()/expect() in non-test library code",
+            Rule::L2Panic => {
+                "(retired) per-file panic budgets; superseded by L10's \
+                 per-call-site reachability — migrate lint.allow entries to \
+                 `L10 <path>#<fn> <count> <why>`"
+            }
             Rule::L3Determinism => {
                 "no HashMap/HashSet in result-producing modules \
                  (core, bench experiments/bin, telemetry); use BTreeMap"
@@ -78,30 +106,57 @@ impl Rule {
                 "every crate inherits [workspace.lints] (lints.workspace = true) \
                  instead of per-crate #![forbid]/#![warn] headers"
             }
+            Rule::L7Exactness => {
+                "no as f64/to_f64()/TotalF64 taint or float struct-field reads \
+                 in fns reachable from verdicts(); floats are render-only"
+            }
+            Rule::L8DeterminismAudit => {
+                "Ordering::Relaxed only in crates/telemetry, no HashMap/HashSet \
+                 reachable from result-producing fns, no thread spawns outside \
+                 the block-ordered search path"
+            }
+            Rule::L9HotAlloc => {
+                "no Vec::new/vec!/clone/to_vec/collect/format! in fns reachable \
+                 from the compiled evaluate, waterfill run, or churn \
+                 arrive/depart hot paths (the zero-alloc bench gate, statically)"
+            }
+            Rule::L10PanicReach => {
+                "no unwrap()/expect() in library fns reachable from the repro \
+                 entry points; justified sites carry `L10 <path>#<fn>` \
+                 allowlist entries"
+            }
             Rule::Allowlist => "lint.allow entries must match reality exactly",
         }
     }
 
-    /// All enforceable rules, in order (excludes the allowlist meta-rule).
+    /// All *active* rules, in order: excludes the allowlist meta-rule and
+    /// the retired [`Rule::L2Panic`].
     #[must_use]
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::L1FloatCmp,
-            Rule::L2Panic,
             Rule::L3Determinism,
             Rule::L4Experiments,
             Rule::L5Telemetry,
             Rule::L6Contract,
+            Rule::L7Exactness,
+            Rule::L8DeterminismAudit,
+            Rule::L9HotAlloc,
+            Rule::L10PanicReach,
         ]
     }
 }
 
 /// One finding: a rule violation at a `file:line`.
+///
+/// For the per-call-site rule L10 the `path` carries the enclosing fn as
+/// a `path#fn` suffix, so allowlist budgets scope to one fn at a time.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Diagnostic {
     /// The rule that fired.
     pub rule: Rule,
-    /// Workspace-relative path with forward slashes.
+    /// Workspace-relative path with forward slashes (`path#fn` for
+    /// call-site-scoped rules).
     pub path: String,
     /// 1-based line number (0 for whole-file findings).
     pub line: u32,
@@ -156,6 +211,10 @@ mod tests {
             assert_eq!(Rule::from_id(rule.id()), Some(rule));
             assert!(!rule.summary().is_empty());
         }
-        assert_eq!(Rule::from_id("L9"), None);
+        // The retired L2 still parses (for lint.allow migration messages)
+        // but is not an active rule.
+        assert_eq!(Rule::from_id("L2"), Some(Rule::L2Panic));
+        assert!(!Rule::all().contains(&Rule::L2Panic));
+        assert_eq!(Rule::from_id("L11"), None);
     }
 }

@@ -11,18 +11,29 @@
 //! | Rule | Enforces |
 //! |------|----------|
 //! | L1   | no raw-float `==`/`!=` or `partial_cmp().unwrap()`; exact comparisons via `Rational`/`TotalF64` (only `total_f64.rs` is exempt) |
-//! | L2   | no `unwrap()`/`expect()` in non-test library code, except exact budgets in `lint.allow` |
 //! | L3   | no `HashMap`/`HashSet` in result-producing modules (`core`, `bench` experiments/bin, `telemetry`) |
 //! | L4   | every `experiments/e*.rs` defines `verdicts()` and is wired into `mod.rs` and the repro dispatcher |
 //! | L5   | telemetry counter/timer names are unique, well-formed, and instrumentation sites hit registered statics |
 //! | L6   | every crate inherits `[workspace.lints]` instead of per-crate lint headers |
+//! | L7   | exactness taint: no `as f64`/`to_f64()`/`TotalF64` or float struct-field reads in fns reachable from `verdicts()`; floats are render-only |
+//! | L8   | determinism audit: `Ordering::Relaxed` only in the telemetry registry, no hash collections reachable from result-producing fns, no spawns outside the block-ordered search path |
+//! | L9   | no `vec!`/`Vec::new`/`clone`/`to_vec`/`collect`/`format!` in fns reachable from the compiled-evaluate / waterfill-run / churn hot paths |
+//! | L10  | no `unwrap()`/`expect()` in library fns reachable from the repro entry points, except per-call-site `lint.allow` justifications |
+//!
+//! (L2 — per-*file* panic budgets — is retired; L10 does its job per
+//! call site, so unreachable panics no longer consume allowances.)
 //!
 //! Sources are lexed with a hand-rolled comment/string-aware token
 //! scanner ([`lexer`]) — nothing fires on doc comments, doctests, or
-//! string contents. Violations that are understood and accepted live in
-//! [`lint.allow`](allowlist) with an *exact* per-file budget and a
-//! mandatory justification, so the debt is a visible burndown list that
-//! only ratchets down.
+//! string contents. L1–L6 are single-file token/structure passes; L7–L10
+//! reason over the whole workspace through the [`sema`] layer: an item
+//! table (fns, impl self-types, `use` aliases, float fields) linked into
+//! an over-approximating call graph, so "reachable from `verdicts()`"
+//! is a real graph query, not a directory convention. Violations that
+//! are understood and accepted live in [`lint.allow`](allowlist) with an
+//! *exact* budget and a mandatory justification — per file for the token
+//! rules, per call site (`path#Type::fn`) for L10 — so the debt is a
+//! visible burndown list that only ratchets down.
 //!
 //! Run it locally:
 //!
@@ -35,6 +46,7 @@ pub mod diagnostics;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod sema;
 pub mod workspace;
 
 use std::path::Path;

@@ -1,0 +1,82 @@
+//! L10 — panic reachability: the call-graph successor to L2's budgets.
+//!
+//! L2 counted `unwrap()`/`expect()` per *file* and ratcheted the counts
+//! through `lint.allow`. That shape had two failure modes: a budget of 3
+//! could not say *which* three sites were justified, and a panic in a fn
+//! nothing ever calls cost an allowance it did not need. L10 fixes both
+//! by walking the call graph from the repro entry points (every binary's
+//! `main`) and flagging only the `unwrap`/`expect` sites in library fns
+//! inside that closure — each under a per-call-site allowlist key:
+//!
+//! ```text
+//! L10 crates/core/src/topology.rs#ClosTopology::link 1  index validated by ctor
+//! ```
+//!
+//! The diagnostic `path` carries the enclosing fn as a `path#Type::fn`
+//! suffix, so the existing budgeted-exact allowlist machinery scopes one
+//! fn at a time with no changes. Unreachable panics need no entry at
+//! all — deleting dead code deletes its allowances.
+//!
+//! The closure seeds protocol fns (`fmt`, `from_str`, `next`, …):
+//! a panic inside a `Display` impl fires on every `format!` even though
+//! no call site spells `fmt`. Binary-crate code (`src/main.rs`,
+//! `src/bin/`) is exempt as before — top-level drivers may crash loudly.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::sema::Sema;
+use crate::workspace::{FileClass, Workspace};
+
+/// Runs L10 over the main-reachable closure.
+pub fn check(ws: &Workspace, sema: &Sema, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = sema
+        .table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.in_test && f.name == "main" && sema.table.files[f.file].class == FileClass::Bin
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let closure = sema.reachable(roots, true);
+
+    for fi in 0..sema.table.files.len() {
+        let entry = &sema.table.files[fi];
+        if entry.class != FileClass::Lib {
+            continue;
+        }
+        let toks = sema.table.tokens(ws, fi);
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.is_ident("unwrap") || t.is_ident("expect")) {
+                continue;
+            }
+            if !(i.checked_sub(1).is_some_and(|p| toks[p].is_punct("."))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("(")))
+            {
+                continue;
+            }
+            let Some(fid) = sema.table.enclosing_fn(fi, i) else {
+                continue;
+            };
+            let item = &sema.table.fns[fid];
+            if item.in_test || !closure.contains(&fid) {
+                continue;
+            }
+            let label = super::l7_exactness::fn_label(sema, fid);
+            out.push(Diagnostic::new(
+                Rule::L10PanicReach,
+                format!("{}#{label}", entry.rel_path),
+                t.line,
+                format!(
+                    "`.{}()` in `{label}`, which is reachable from a repro entry \
+                     point; return Result/Option or justify this site with an \
+                     `L10 {}#{label}` allowlist entry",
+                    t.text, entry.rel_path,
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! L7 — exactness taint: float-derived values may not reach `verdicts()`.
+//!
+//! The repo's headline results are *exact* machine-checked bounds; a
+//! verdict computed from an `as f64` ratio or a float struct field can
+//! silently pass (or fail) from rounding alone. This rule walks the call
+//! graph backwards from every `verdicts()` fn and flags, inside that
+//! closure:
+//!
+//! * `as f64` / `as f32` casts and `.to_f64()` conversions — the taint
+//!   *sources*;
+//! * reads of struct fields declared with a float type (`f64`, `f32`,
+//!   `TotalF64`) — taint arriving through a `Row`-style record;
+//! * `TotalF64` mentions — total-order floats are for throughput
+//!   experiments, not verdict arithmetic.
+//!
+//! Formatting-macro arguments (`format!`, `println!`, …) are exempt:
+//! render-only display columns are exactly where floats belong. The
+//! `crates/rational` crate is exempt as a whole — it *implements* the
+//! exact/float boundary. `render()` fns are naturally out of scope
+//! because `verdicts()` never calls them.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::sema::Sema;
+use crate::workspace::Workspace;
+
+/// Runs L7 over the verdicts-reachable closure.
+pub fn check(ws: &Workspace, sema: &Sema, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = sema
+        .table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == "verdicts" && !f.in_test)
+        .map(|(id, _)| id)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let closure = sema.reachable(roots, false);
+
+    for fi in 0..sema.table.files.len() {
+        let entry = &sema.table.files[fi];
+        if entry.rel_path.starts_with("crates/rational/") {
+            continue;
+        }
+        let toks = sema.table.tokens(ws, fi);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let Some(fid) = sema.table.enclosing_fn(fi, i) else {
+                continue;
+            };
+            let item = &sema.table.fns[fid];
+            if !closure.contains(&fid) || item.in_test || sema.table.is_fmt_exempt(fi, i) {
+                continue;
+            }
+            let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(s));
+            let prev_is = |s: &str| i.checked_sub(1).is_some_and(|p| toks[p].is_punct(s));
+
+            let what = if t.text == "as"
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"))
+            {
+                Some(format!("`as {}` cast", toks[i + 1].text))
+            } else if t.text == "to_f64" && prev_is(".") && next_is("(") {
+                Some("`.to_f64()` conversion".to_string())
+            } else if t.text == "TotalF64" {
+                Some("`TotalF64`".to_string())
+            } else if prev_is(".") && !next_is("(") && sema.table.float_fields.contains(&t.text) {
+                Some(format!("float-typed field `.{}`", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(Diagnostic::new(
+                    Rule::L7Exactness,
+                    &entry.rel_path,
+                    t.line,
+                    format!(
+                        "{what} in `{}`, which is reachable from verdicts(); compute \
+                         verdict inputs exactly (Rational or integer counts) and keep \
+                         floats in render-only columns",
+                        fn_label(sema, fid),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `Type::name` when the fn sits in an impl, else just `name`.
+pub(crate) fn fn_label(sema: &Sema, fid: usize) -> String {
+    let f = &sema.table.fns[fid];
+    match &f.self_type {
+        Some(ty) => format!("{ty}::{}", f.name),
+        None => f.name.clone(),
+    }
+}

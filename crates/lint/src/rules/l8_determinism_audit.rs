@@ -1,0 +1,120 @@
+//! L8 — determinism audit: the graph-powered extension of L3.
+//!
+//! The repro gate promises byte-identical reports for any thread count,
+//! which rests on three invariants this rule enforces workspace-wide:
+//!
+//! * **Atomic orderings**: `Ordering::Relaxed` is only acceptable on the
+//!   telemetry registry's monotone counters (`crates/telemetry/src/`),
+//!   which are snapshot off the result path. Anywhere else a relaxed
+//!   load/store can reorder against the data it guards and make results
+//!   depend on thread timing. (The search engine's work-stealing cursor
+//!   is the one justified exception — carried in `lint.allow`, where the
+//!   justification documents the block-order merge that makes it safe.)
+//! * **Hash collections**: L3 bans `HashMap`/`HashSet` in a fixed list
+//!   of modules; L8 bans them in *any* fn reachable from a
+//!   result-producing root (a `verdicts()` fn, an experiment `run()`,
+//!   or a binary `main()`), wherever it lives.
+//! * **Thread spawns**: every spawn site must merge through the
+//!   block-ordered search path in `crates/core/src/search.rs` — a spawn
+//!   anywhere else has no deterministic merge discipline to inherit.
+//!
+//! The reachability closure seeds desugared protocol fns (`fmt`, `add`,
+//! `next`, …): a `HashMap` iterated inside a `Display` impl reorders
+//! report text just as surely as one in `run()` itself.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::sema::Sema;
+use crate::workspace::{FileClass, Workspace};
+
+/// Path prefix whose `Ordering::Relaxed` uses are sanctioned (telemetry
+/// registry counters, snapshot off the result path).
+const RELAXED_OK_PREFIX: &str = "crates/telemetry/src/";
+
+/// The one file allowed to spawn threads: the block-ordered search
+/// engine, whose merge discipline makes results thread-count invariant.
+const SPAWN_OK_SUFFIX: &str = "core/src/search.rs";
+
+/// Runs L8 over the workspace.
+pub fn check(ws: &Workspace, sema: &Sema, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = sema
+        .table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            if f.in_test {
+                return false;
+            }
+            let entry = &sema.table.files[f.file];
+            f.name == "verdicts"
+                || (f.name == "main" && entry.class == FileClass::Bin)
+                || (f.name == "run" && entry.rel_path.contains("/experiments/"))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let closure = sema.reachable(roots, true);
+
+    for fi in 0..sema.table.files.len() {
+        let entry = &sema.table.files[fi];
+        let source = sema.table.source(ws, fi);
+        let toks = sema.table.tokens(ws, fi);
+        for (i, t) in toks.iter().enumerate() {
+            // (a) Relaxed atomics outside the telemetry registry.
+            if t.is_ident("Relaxed")
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("Ordering")
+                && !entry.rel_path.starts_with(RELAXED_OK_PREFIX)
+                && !source.in_test_region(t.line)
+            {
+                out.push(Diagnostic::new(
+                    Rule::L8DeterminismAudit,
+                    &entry.rel_path,
+                    t.line,
+                    "`Ordering::Relaxed` outside the telemetry registry; results must \
+                     not depend on thread timing — use Acquire/Release (or justify the \
+                     merge discipline in lint.allow)",
+                ));
+            }
+
+            // (b) Hash collections anywhere in the result-producing closure.
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                if let Some(fid) = sema.table.enclosing_fn(fi, i) {
+                    let item = &sema.table.fns[fid];
+                    if closure.contains(&fid) && !item.in_test {
+                        out.push(Diagnostic::new(
+                            Rule::L8DeterminismAudit,
+                            &entry.rel_path,
+                            t.line,
+                            format!(
+                                "`{}` in `{}`, which is reachable from a result-producing \
+                                 fn; iteration order is nondeterministic — use \
+                                 BTreeMap/BTreeSet or index-keyed Vecs",
+                                t.text,
+                                super::l7_exactness::fn_label(sema, fid),
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // (c) Thread spawns outside the block-ordered search engine.
+            if t.is_ident("spawn")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                && i.checked_sub(1)
+                    .is_some_and(|p| toks[p].is_punct(".") || toks[p].is_punct("::"))
+                && !entry.rel_path.ends_with(SPAWN_OK_SUFFIX)
+                && !source.in_test_region(t.line)
+            {
+                out.push(Diagnostic::new(
+                    Rule::L8DeterminismAudit,
+                    &entry.rel_path,
+                    t.line,
+                    "thread spawn outside crates/core/src/search.rs; parallel results \
+                     must merge through the block-ordered search path to stay \
+                     thread-count invariant",
+                ));
+            }
+        }
+    }
+}

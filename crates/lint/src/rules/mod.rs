@@ -1,29 +1,45 @@
 //! The rule implementations, one module per rule.
 //!
-//! Every rule has the same shape: `check(&Workspace, &mut Vec<Diagnostic>)`.
-//! Token-stream rules (L1–L3, L5) walk the pre-lexed sources and skip
-//! `#[cfg(test)]` regions; structural rules (L4, L6) inspect the file
-//! layout and manifests. Scope policy, shared by the token rules:
+//! Every rule has the same shape: `check(&Workspace, …, &mut
+//! Vec<Diagnostic>)`. Token-stream rules (L1, L3, L5) walk the pre-lexed
+//! sources and skip `#[cfg(test)]` regions; structural rules (L4, L6)
+//! inspect the file layout and manifests; graph rules (L7–L10) share one
+//! [`Sema`] model built per run and reason about reachability across the
+//! whole workspace. Scope policy, shared by the token and graph rules:
 //! integration tests, benches, and examples are out of scope — the rules
 //! police *shipping* code, where a silent exactness or determinism bug
 //! can flip a machine-checked theorem verdict.
+//!
+//! L2 (per-file panic budgets) is retired: its module is gone and its
+//! job is done per call site by [`l10_panic_reach`].
 
+pub mod l10_panic_reach;
 pub mod l1_float_cmp;
-pub mod l2_panics;
 pub mod l3_determinism;
 pub mod l4_experiments;
 pub mod l5_telemetry;
 pub mod l6_contract;
+pub mod l7_exactness;
+pub mod l8_determinism_audit;
+pub mod l9_hot_alloc;
 
 use crate::diagnostics::Diagnostic;
+use crate::sema::Sema;
 use crate::workspace::Workspace;
 
 /// Runs every rule over `ws`, appending raw (pre-allowlist) diagnostics.
+///
+/// The [`Sema`] model is built once here and shared by the graph rules.
 pub fn check_all(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     l1_float_cmp::check(ws, out);
-    l2_panics::check(ws, out);
     l3_determinism::check(ws, out);
     l4_experiments::check(ws, out);
     l5_telemetry::check(ws, out);
     l6_contract::check(ws, out);
+
+    let sema = Sema::build(ws);
+    l7_exactness::check(ws, &sema, out);
+    l8_determinism_audit::check(ws, &sema, out);
+    l9_hot_alloc::check(ws, &sema, out);
+    l10_panic_reach::check(ws, &sema, out);
 }

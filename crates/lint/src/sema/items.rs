@@ -1,0 +1,742 @@
+//! Item extraction: one pass over each file's token stream producing the
+//! workspace item table the call graph links.
+//!
+//! The extractor is deliberately shallow — it recognises exactly the item
+//! shapes the graph rules need (`fn` items with body token ranges, `impl`
+//! and `trait` blocks with a self-type name, `use` aliases, struct fields
+//! with float-valued types, and the argument ranges of formatting macros)
+//! and nothing else. Everything is keyed by token index into the file's
+//! existing comment/string-aware stream, so no rule can ever fire on
+//! prose or string contents that the lexer already filtered out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{FileClass, SourceFile, Workspace};
+
+/// Index of a function in [`ItemTable::fns`].
+pub type FnId = usize;
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub self_type: Option<String>,
+    /// Index into [`ItemTable::files`].
+    pub file: usize,
+    /// Token-index range of the body braces (`open..=close`); `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the declaration sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One scanned file, with the workspace coordinates needed to map a
+/// [`FnId`] back to its tokens.
+#[derive(Clone, Debug)]
+pub struct FileEntry {
+    /// Index of the owning member in [`Workspace::members`].
+    pub member: usize,
+    /// Index of the file in the member's `sources`.
+    pub source: usize,
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// Library or binary code.
+    pub class: FileClass,
+    /// Crate name with `-` normalised to `_` (path-qualifier spelling).
+    pub crate_name: String,
+    /// Module name derived from the file stem (`search.rs` → `search`,
+    /// `mod.rs`/`lib.rs`/`main.rs` → the parent directory name).
+    pub module: String,
+}
+
+/// The workspace item table: every fn, keyed four ways for resolution,
+/// plus the auxiliary tables the semantic rules scope on.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTable {
+    /// Scanned files, in deterministic member/source order.
+    pub files: Vec<FileEntry>,
+    /// Every fn item in the workspace.
+    pub fns: Vec<FnItem>,
+    /// Names of struct fields declared with a float-valued type
+    /// (`f64`/`f32`/`TotalF64`), workspace-wide.
+    pub float_fields: BTreeSet<String>,
+    /// Per-file token-index ranges covering the arguments of formatting
+    /// macros (`format!`, `write!`, `println!`, …) — render-only text.
+    pub fmt_exempt: Vec<Vec<(usize, usize)>>,
+    /// Per-file `use` aliases: local name → normalised crate of origin.
+    pub use_crates: Vec<BTreeMap<String, String>>,
+    /// Per-file map from token index to the innermost enclosing fn.
+    pub fn_of: Vec<Vec<Option<FnId>>>,
+    /// Per-file token ranges covering `macro_rules!` definition bodies —
+    /// templates, not code; the graph must not read call sites there.
+    pub(crate) masked: Vec<Vec<(usize, usize)>>,
+    pub(crate) by_name: BTreeMap<String, Vec<FnId>>,
+    pub(crate) by_method: BTreeMap<(String, String), Vec<FnId>>,
+    pub(crate) by_module: BTreeMap<(String, String), Vec<FnId>>,
+    pub(crate) by_crate: BTreeMap<(String, String), Vec<FnId>>,
+}
+
+/// Macros whose arguments only ever feed rendered text, exempt from the
+/// exactness-taint rule. `assert!` and friends are deliberately absent:
+/// an assertion is a check, not a display column.
+const FORMAT_MACROS: [&str; 7] = [
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
+];
+
+/// Float-valued type names for the struct-field table.
+const FLOAT_TYPES: [&str; 3] = ["f64", "f32", "TotalF64"];
+
+impl ItemTable {
+    /// Builds the item table for every member source file of `ws`.
+    #[must_use]
+    pub fn build(ws: &Workspace) -> ItemTable {
+        let mut table = ItemTable::default();
+        for (mi, member) in ws.members.iter().enumerate() {
+            let crate_name = member.name.replace('-', "_");
+            for (si, file) in member.sources.iter().enumerate() {
+                let entry = FileEntry {
+                    member: mi,
+                    source: si,
+                    rel_path: file.rel_path.clone(),
+                    class: file.class,
+                    crate_name: crate_name.clone(),
+                    module: module_name(&file.rel_path, &crate_name),
+                };
+                table.scan_file(entry, file);
+            }
+        }
+        table.index();
+        table
+    }
+
+    /// The token stream of file `fi`, borrowed from the workspace the
+    /// table was built over.
+    #[must_use]
+    pub fn tokens<'w>(&self, ws: &'w Workspace, fi: usize) -> &'w [Token] {
+        let entry = &self.files[fi];
+        &ws.members[entry.member].sources[entry.source].tokens
+    }
+
+    /// The source file behind table entry `fi`.
+    #[must_use]
+    pub fn source<'w>(&self, ws: &'w Workspace, fi: usize) -> &'w SourceFile {
+        let entry = &self.files[fi];
+        &ws.members[entry.member].sources[entry.source]
+    }
+
+    /// Innermost fn whose body contains token `ti` of file `fi`.
+    #[must_use]
+    pub fn enclosing_fn(&self, fi: usize, ti: usize) -> Option<FnId> {
+        self.fn_of[fi].get(ti).copied().flatten()
+    }
+
+    /// True when token `ti` of file `fi` sits inside a `macro_rules!`
+    /// definition body. Those tokens are a template, not code: the
+    /// metavariables would otherwise parse as real items (`impl $name
+    /// { fn index … }` produces a phantom `name::index`) and every
+    /// reference in the template would bind at file level.
+    #[must_use]
+    pub fn is_masked(&self, fi: usize, ti: usize) -> bool {
+        self.masked[fi]
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&ti))
+    }
+
+    /// True when token `ti` of file `fi` sits inside a formatting-macro
+    /// argument list (render-only text).
+    #[must_use]
+    pub fn is_fmt_exempt(&self, fi: usize, ti: usize) -> bool {
+        self.fmt_exempt[fi]
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&ti))
+    }
+
+    /// All fns named `name`, in deterministic id order.
+    #[must_use]
+    pub fn fns_named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All fns named `name` under self type `ty`.
+    #[must_use]
+    pub fn methods_of(&self, ty: &str, name: &str) -> &[FnId] {
+        self.by_method
+            .get(&(ty.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All methods (fns with a self type) named `name`.
+    #[must_use]
+    pub fn methods_named(&self, name: &str) -> Vec<FnId> {
+        self.fns_named(name)
+            .iter()
+            .copied()
+            .filter(|&f| self.fns[f].self_type.is_some())
+            .collect()
+    }
+
+    /// Fns named `name` in module `module` (file-stem match).
+    #[must_use]
+    pub fn in_module(&self, module: &str, name: &str) -> &[FnId] {
+        self.by_module
+            .get(&(module.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Fns named `name` anywhere in crate `krate` (normalised name).
+    #[must_use]
+    pub fn in_crate(&self, krate: &str, name: &str) -> &[FnId] {
+        self.by_crate
+            .get(&(krate.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn index(&mut self) {
+        for (id, f) in self.fns.iter().enumerate() {
+            self.by_name.entry(f.name.clone()).or_default().push(id);
+            if let Some(ty) = &f.self_type {
+                self.by_method
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+            let entry = &self.files[f.file];
+            self.by_module
+                .entry((entry.module.clone(), f.name.clone()))
+                .or_default()
+                .push(id);
+            self.by_crate
+                .entry((entry.crate_name.clone(), f.name.clone()))
+                .or_default()
+                .push(id);
+        }
+    }
+
+    fn scan_file(&mut self, entry: FileEntry, file: &SourceFile) {
+        let fi = self.files.len();
+        let toks = &file.tokens;
+        let closes = matching_braces(toks);
+
+        // `macro_rules!` bodies are templates, not items.
+        let masked = macro_def_ranges(toks, &closes);
+        let in_masked = |ti: usize| masked.iter().any(|&(lo, hi)| (lo..=hi).contains(&ti));
+
+        // Self-type blocks: impl/trait bodies, innermost-wins for nesting.
+        let blocks: Vec<_> = self_type_blocks(toks, &closes)
+            .into_iter()
+            .filter(|&(lo, _, _)| !in_masked(lo))
+            .collect();
+        let self_type_at = |ti: usize| -> Option<String> {
+            blocks
+                .iter()
+                .filter(|(lo, hi, _)| (*lo..=*hi).contains(&ti))
+                .min_by_key(|(lo, hi, _)| hi - lo)
+                .map(|(_, _, name)| name.clone())
+        };
+
+        // Fn items.
+        let mut file_fns = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && !in_masked(i)
+            {
+                let body = fn_body(toks, i + 2, &closes);
+                file_fns.push(self.fns.len());
+                self.fns.push(FnItem {
+                    name: toks[i + 1].text.clone(),
+                    self_type: self_type_at(i),
+                    file: fi,
+                    body,
+                    line: toks[i].line,
+                    in_test: file.in_test_region(toks[i].line),
+                });
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+
+        // Token → innermost enclosing fn.
+        let mut fn_of = vec![None; toks.len()];
+        let mut by_span: Vec<FnId> = file_fns
+            .iter()
+            .copied()
+            .filter(|&f| self.fns[f].body.is_some())
+            .collect();
+        // Wider spans first so inner fns overwrite their enclosing fn.
+        by_span.sort_by_key(|&f| {
+            let (lo, hi) = self.fns[f].body.unwrap_or((0, 0));
+            std::cmp::Reverse(hi - lo)
+        });
+        for f in by_span {
+            let (lo, hi) = self.fns[f].body.unwrap_or((0, 0));
+            for slot in fn_of.iter_mut().take(hi + 1).skip(lo) {
+                *slot = Some(f);
+            }
+        }
+
+        self.fmt_exempt.push(fmt_exempt_ranges(toks));
+        self.use_crates.push(use_aliases(toks));
+        self.float_fields.extend(float_fields(toks, &closes));
+        self.fn_of.push(fn_of);
+        self.masked.push(masked);
+        self.files.push(entry);
+    }
+}
+
+/// Module name a path qualifier would use for this file.
+fn module_name(rel_path: &str, crate_name: &str) -> String {
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("");
+    match stem {
+        "lib" | "main" => crate_name.to_string(),
+        "mod" => rel_path
+            .rsplit('/')
+            .nth(1)
+            .unwrap_or(crate_name)
+            .to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Token ranges covering `macro_rules!` definitions (keyword through the
+/// close of the outer brace). Everything inside is a substitution
+/// template: `impl $name { pub const fn index … }` must not produce a
+/// phantom `name::index` item, and references in the template must not
+/// become call-graph edges.
+fn macro_def_ranges(toks: &[Token], closes: &BTreeMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("macro_rules") && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+            // Skip the macro name and any attribute-ish tokens up to the
+            // outer `{`, then mask through its matching close.
+            let open = (i + 2..toks.len()).find(|&j| toks[j].is_punct("{"));
+            if let Some(&close) = open.and_then(|o| closes.get(&o)) {
+                ranges.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// For every `{` token, the index of its matching `}` (if balanced).
+fn matching_braces(toks: &[Token]) -> BTreeMap<usize, usize> {
+    let mut stack = Vec::new();
+    let mut closes = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(open) = stack.pop() {
+                closes.insert(open, i);
+            }
+        }
+    }
+    closes
+}
+
+/// `impl`/`trait` blocks as `(open_brace, close_brace, self_type)`.
+///
+/// The self type is the head of the *last* path segment before the block
+/// opens: `impl<S: Scalar> ChurnEngine<S>` → `ChurnEngine`,
+/// `impl Objective for LexMaxMin` → `LexMaxMin` (the `for` target wins),
+/// `trait Objective` → `Objective`.
+fn self_type_blocks(
+    toks: &[Token],
+    closes: &BTreeMap<usize, usize>,
+) -> Vec<(usize, usize, String)> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("impl") || toks[i].is_ident("trait")) {
+            i += 1;
+            continue;
+        }
+        // Item position only: `impl Trait` in return/argument/bound
+        // position (`-> impl Iterator`, `x: impl Fn()`) is a type, and
+        // scanning it would swallow the enclosing fn's body as a block.
+        let item_position = match i.checked_sub(1).map(|p| &toks[p]) {
+            None => true,
+            Some(p) => {
+                p.is_punct("{")
+                    || p.is_punct("}")
+                    || p.is_punct(";")
+                    || p.is_punct("]")
+                    || p.is_ident("unsafe")
+                    || p.is_ident("pub")
+            }
+        };
+        if !item_position {
+            i += 1;
+            continue;
+        }
+        let mut name: Option<String> = None;
+        let mut angle = 0i32;
+        let mut frozen = false;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") && angle == 0 {
+                if let (Some(n), Some(&close)) = (name.clone(), closes.get(&j)) {
+                    blocks.push((j, close, n));
+                }
+                break;
+            }
+            if t.is_punct(";") && angle == 0 {
+                break; // bodyless (negative impls, `trait X;` never, but degrade)
+            }
+            match t {
+                t if t.is_punct("<") => angle += 1,
+                t if t.is_punct(">") => angle = (angle - 1).max(0),
+                t if t.is_ident("where") && angle == 0 => frozen = true,
+                t if t.is_ident("for") && angle == 0 && !frozen => name = None,
+                t if t.kind == TokenKind::Ident && angle == 0 && !frozen => {
+                    let keyword = matches!(
+                        t.text.as_str(),
+                        "dyn" | "mut" | "const" | "unsafe" | "pub" | "crate" | "in"
+                    );
+                    if !keyword {
+                        name = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    blocks
+}
+
+/// Finds the body braces of a fn whose signature starts at `start`
+/// (the token after the fn name). Returns `None` for `;`-terminated
+/// trait-method declarations.
+fn fn_body(
+    toks: &[Token],
+    start: usize,
+    closes: &BTreeMap<usize, usize>,
+) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        match t {
+            t if t.is_punct("(") => paren += 1,
+            t if t.is_punct(")") => paren -= 1,
+            t if t.is_punct("<") => angle += 1,
+            t if t.is_punct(">") => angle = (angle - 1).max(0),
+            t if t.is_punct("{") && paren == 0 => {
+                return closes.get(&j).map(|&close| (j, close));
+            }
+            t if t.is_punct(";") && paren == 0 && angle == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Token ranges covering the argument lists of formatting macros.
+fn fmt_exempt_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for i in 0..toks.len() {
+        let is_fmt = FORMAT_MACROS.iter().any(|m| toks[i].is_ident(m));
+        if !is_fmt
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        for (j, t) in toks.iter().enumerate().skip(i + 2) {
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    ranges.push((i, j));
+                    break;
+                }
+            }
+        }
+    }
+    ranges
+}
+
+/// `use` aliases: local name → normalised crate the name comes from.
+///
+/// Handles plain paths (`use clos_fairness::max_min_fair;`), groups
+/// (`use clos_net::{ClosNetwork, Flow};`), and `as` renames. `self`,
+/// `crate`, `super`, and `std` paths are skipped — the resolver only
+/// needs cross-crate origins.
+fn use_aliases(toks: &[Token]) -> BTreeMap<String, String> {
+    let mut aliases = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // The crate segment is the first ident of the path.
+        let Some(root) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let krate = root.text.clone();
+        let skip = matches!(krate.as_str(), "self" | "crate" | "super" | "std" | "core");
+        // Walk to the terminating `;`, recording every imported leaf:
+        // an ident followed by `,`, `}`, or `;`, or renamed via `as`.
+        let mut j = i + 2;
+        let mut last_ident: Option<String> = None;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            let t = &toks[j];
+            if t.kind == TokenKind::Ident && t.text != "as" {
+                last_ident = Some(t.text.clone());
+            }
+            if t.is_ident("as") {
+                if let Some(renamed) = toks.get(j + 1).filter(|t| t.kind == TokenKind::Ident) {
+                    if !skip {
+                        aliases.insert(renamed.text.clone(), krate.clone());
+                    }
+                    last_ident = None;
+                    j += 2;
+                    continue;
+                }
+            }
+            let leaf_end = t.is_punct(",") || t.is_punct("}");
+            if leaf_end {
+                if let (Some(name), false) = (last_ident.take(), skip) {
+                    aliases.insert(name, krate.clone());
+                }
+            }
+            j += 1;
+        }
+        if let (Some(name), false) = (last_ident.take(), skip) {
+            aliases.insert(name, krate.clone());
+        }
+        i = j;
+    }
+    aliases
+}
+
+/// Field names declared with a float-valued type in any struct body.
+fn float_fields(toks: &[Token], closes: &BTreeMap<usize, usize>) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // Find the body brace (skip generics/where); tuple structs (`(`
+        // first) and unit structs (`;`) have no named fields.
+        let mut open = None;
+        let mut angle = 0i32;
+        for (j, t) in toks.iter().enumerate().skip(i + 1) {
+            match t {
+                t if t.is_punct("<") => angle += 1,
+                t if t.is_punct(">") => angle = (angle - 1).max(0),
+                t if t.is_punct("{") && angle == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                t if (t.is_punct(";") || t.is_punct("(")) && angle == 0 => break,
+                _ => {}
+            }
+        }
+        let (Some(open), Some(&close)) = (open, open.and_then(|o| closes.get(&o))) else {
+            i += 1;
+            continue;
+        };
+        // Fields: `name :` at nesting depth zero inside the body.
+        let mut depth = (0i32, 0i32, 0i32); // ( ) / < > / { }
+        let mut j = open + 1;
+        while j < close {
+            let t = &toks[j];
+            match t {
+                t if t.is_punct("(") => depth.0 += 1,
+                t if t.is_punct(")") => depth.0 -= 1,
+                t if t.is_punct("<") => depth.1 += 1,
+                t if t.is_punct(">") => depth.1 = (depth.1 - 1).max(0),
+                t if t.is_punct("{") => depth.2 += 1,
+                t if t.is_punct("}") => depth.2 -= 1,
+                _ => {}
+            }
+            let at_field_level = depth == (0, 0, 0);
+            if at_field_level
+                && t.kind == TokenKind::Ident
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(":"))
+                && !toks.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct(":"))
+            {
+                // Capture the type tokens up to the next top-level comma.
+                let mut ty_depth = (0i32, 0i32);
+                let mut is_float = false;
+                let mut k = j + 2;
+                while k < close {
+                    let ty = &toks[k];
+                    match ty {
+                        ty if ty.is_punct("(") => ty_depth.0 += 1,
+                        ty if ty.is_punct(")") => ty_depth.0 -= 1,
+                        ty if ty.is_punct("<") => ty_depth.1 += 1,
+                        ty if ty.is_punct(">") => ty_depth.1 -= 1,
+                        ty if ty.is_punct(",") && ty_depth == (0, 0) => break,
+                        ty if FLOAT_TYPES.iter().any(|f| ty.is_ident(f)) => is_float = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if is_float {
+                    fields.insert(t.text.clone());
+                }
+                j = k;
+                continue;
+            }
+            j += 1;
+        }
+        i = close;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items_of(src: &str) -> (Vec<Token>, BTreeMap<usize, usize>) {
+        let toks = lex(src);
+        let closes = matching_braces(&toks);
+        (toks, closes)
+    }
+
+    #[test]
+    fn self_type_prefers_the_for_target() {
+        let (toks, closes) =
+            items_of("impl<S: Scalar> Objective for ChurnEngine<S> { fn go(&self) {} }");
+        let blocks = self_type_blocks(&toks, &closes);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].2, "ChurnEngine");
+    }
+
+    #[test]
+    fn self_type_handles_inherent_impls_and_traits() {
+        let (toks, closes) = items_of(
+            "impl<'a> Problem<'a> { fn f(&self) {} }\n\
+             trait Objective { fn key(&self) -> u32 { 0 } fn beats(&self) -> bool; }",
+        );
+        let blocks = self_type_blocks(&toks, &closes);
+        let names: Vec<&str> = blocks.iter().map(|(_, _, n)| n.as_str()).collect();
+        assert_eq!(names, ["Problem", "Objective"]);
+    }
+
+    #[test]
+    fn fn_bodies_and_bodyless_decls() {
+        let (toks, closes) = items_of("fn a() -> Vec<u32> { vec![] } fn b();");
+        // First fn: body found.
+        assert!(fn_body(&toks, 2, &closes).is_some());
+        // Second: `;` before any `{` at paren depth 0.
+        let b_pos = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        assert_eq!(fn_body(&toks, b_pos + 1, &closes), None);
+    }
+
+    #[test]
+    fn float_fields_catch_floats_through_generics() {
+        let (toks, closes) = items_of(
+            "pub struct Row { pub n: usize, pub starvation: f64, \
+             pub rates: Vec<(String, TotalF64)>, pub name: String }",
+        );
+        let fields = float_fields(&toks, &closes);
+        assert!(fields.contains("starvation"));
+        assert!(fields.contains("rates"));
+        assert!(!fields.contains("n"));
+        assert!(!fields.contains("name"));
+    }
+
+    #[test]
+    fn use_aliases_map_leaves_to_crates() {
+        let (toks, _) = items_of(
+            "use clos_fairness::max_min_fair;\n\
+             use clos_net::{ClosNetwork, Flow as F};\n\
+             use std::collections::BTreeMap;\n\
+             use crate::table::Table;",
+        );
+        let aliases = use_aliases(&toks);
+        assert_eq!(
+            aliases.get("max_min_fair").map(String::as_str),
+            Some("clos_fairness")
+        );
+        assert_eq!(
+            aliases.get("ClosNetwork").map(String::as_str),
+            Some("clos_net")
+        );
+        assert_eq!(aliases.get("F").map(String::as_str), Some("clos_net"));
+        assert!(!aliases.contains_key("BTreeMap"));
+        assert!(!aliases.contains_key("Table"));
+    }
+
+    #[test]
+    fn fmt_ranges_cover_macro_arguments_only() {
+        let (toks, _) = items_of(r#"fn f(x: f64) { format!("{:.3}", x); taint(x); }"#);
+        let ranges = fmt_exempt_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let x_in_fmt = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("x"))
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>();
+        // Parameter x, formatted x, tainted x.
+        assert_eq!(x_in_fmt.len(), 3);
+        let (lo, hi) = ranges[0];
+        assert!((lo..=hi).contains(&x_in_fmt[1]));
+        assert!(!(lo..=hi).contains(&x_in_fmt[2]));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_masked() {
+        let (toks, closes) = items_of(
+            "macro_rules! id_type {\n\
+             ($name:ident) => {\n\
+                 impl $name { pub const fn index(self) -> usize { self.0 } }\n\
+             };\n\
+             }\n\
+             fn real() {}",
+        );
+        let ranges = macro_def_ranges(&toks, &closes);
+        assert_eq!(ranges.len(), 1);
+        let (lo, hi) = ranges[0];
+        // The template's `fn index` is inside the mask; `fn real` is not.
+        let index_pos = toks.iter().position(|t| t.is_ident("index")).unwrap();
+        let real_pos = toks.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!((lo..=hi).contains(&index_pos));
+        assert!(!(lo..=hi).contains(&real_pos));
+    }
+
+    #[test]
+    fn module_names_follow_file_stems() {
+        assert_eq!(
+            module_name("crates/core/src/search.rs", "clos_core"),
+            "search"
+        );
+        assert_eq!(
+            module_name("crates/core/src/lib.rs", "clos_core"),
+            "clos_core"
+        );
+        assert_eq!(
+            module_name("crates/bench/src/experiments/mod.rs", "clos_bench"),
+            "experiments"
+        );
+    }
+}

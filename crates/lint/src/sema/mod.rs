@@ -1,0 +1,63 @@
+//! The semantic layer: per-crate item tables linked into a workspace
+//! call/reference graph.
+//!
+//! The token rules (L1–L5) see one file at a time; the graph rules
+//! (L7–L10) need to know *what flows where* — whether an `as f64` value
+//! can reach a `verdicts()` check, whether an allocation sits on a path
+//! the zero-alloc bench gate claims is allocation-free, whether a panic
+//! site is reachable from the `repro` entry points at all. [`Sema`] is
+//! built once per lint run from the already-lexed token streams:
+//!
+//! 1. [`items::ItemTable`] extracts `fn` items (with body token ranges
+//!    and enclosing `impl`/`trait` self types), `use` aliases,
+//!    float-typed struct fields, and formatting-macro argument ranges.
+//! 2. [`graph::CallGraph`] links call and reference sites into an
+//!    over-approximating workspace call graph, with exact resolution for
+//!    the two precision-critical forms (`self.method(…)` and
+//!    `module::fn(…)`) and optional seeding of desugared trait-protocol
+//!    fns (`add`, `fmt`, `next`, …) that never spell their name at the
+//!    call site.
+//!
+//! Everything is keyed on token indices into the comment/string-aware
+//! streams, so the graph rules inherit the lexer's false-positive
+//! guarantees, and every map is a `BTreeMap` — diagnostics come out in
+//! the same order on every run.
+
+pub mod graph;
+pub mod items;
+
+use std::collections::BTreeSet;
+
+pub use graph::CallGraph;
+pub use items::{FileEntry, FnId, FnItem, ItemTable};
+
+use crate::workspace::Workspace;
+
+/// The built semantic model: item table plus linked call graph.
+#[derive(Clone, Debug)]
+pub struct Sema {
+    /// The workspace item table.
+    pub table: ItemTable,
+    /// The linked call graph over [`Self::table`].
+    pub graph: CallGraph,
+}
+
+impl Sema {
+    /// Builds the semantic model for `ws`.
+    #[must_use]
+    pub fn build(ws: &Workspace) -> Sema {
+        let table = ItemTable::build(ws);
+        let graph = CallGraph::build(ws, &table);
+        Sema { table, graph }
+    }
+
+    /// Fns reachable from `roots`; see [`CallGraph::reachable`].
+    #[must_use]
+    pub fn reachable(
+        &self,
+        roots: impl IntoIterator<Item = FnId>,
+        include_protocol: bool,
+    ) -> BTreeSet<FnId> {
+        self.graph.reachable(&self.table, roots, include_protocol)
+    }
+}

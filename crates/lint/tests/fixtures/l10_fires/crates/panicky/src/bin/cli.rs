@@ -1,0 +1,4 @@
+//! Bins may unwrap; they also anchor the reachability closure.
+fn main() {
+    println!("{}", fx_panicky::bad() + Some(1).unwrap());
+}

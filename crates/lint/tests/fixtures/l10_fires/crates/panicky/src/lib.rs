@@ -1,0 +1,29 @@
+//! Fixture: panic reachability from the repro entry points.
+
+/// Reachable from the bin's `main`: both sites must fire.
+pub fn bad() -> u32 {
+    let v: Option<u32> = Some(1);
+    let w: Option<u32> = Some(2);
+    v.unwrap() + w.expect("present")
+}
+
+/// `unwrap_or` and friends are fine.
+pub fn good() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap_or(7) + v.unwrap_or_else(|| 8) + v.unwrap_or_default()
+}
+
+/// Panics, but nothing reachable calls it: silent under L10, where L2
+/// would have charged the file a budget for it.
+pub fn dead_end() -> u32 {
+    let v: Option<u32> = Some(9);
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_ok() {
+        assert_eq!(super::bad(), Some(3).unwrap());
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: float taint reaching `verdicts()`.
+
+/// One measured row.
+pub struct Row {
+    /// Exact hit count.
+    pub hits: u64,
+    /// Render-only ratio column.
+    pub ratio: f64,
+}
+
+/// Float division: fine on its own, tainted once verdicts() calls it.
+fn hit_fraction(hits: u64, total: u64) -> f64 {
+    let h = hits as f64;
+    h / total as f64
+}
+
+/// Verdict inputs must stay exact: the field read and the helper's
+/// casts all fire.
+pub fn verdicts(rows: &[Row]) -> Vec<bool> {
+    let label = format!("{:.3}", rows[0].ratio); // fmt args are exempt
+    rows.iter()
+        .map(|r| r.ratio > 0.5 && hit_fraction(r.hits, 10) > 0.0 && !label.is_empty())
+        .collect()
+}
+
+/// Render-only: not reachable from verdicts(), floats welcome.
+pub fn render(rows: &[Row]) -> String {
+    let raw = rows[0].hits as f64;
+    format!("{raw} {:.3}", rows[0].ratio)
+}

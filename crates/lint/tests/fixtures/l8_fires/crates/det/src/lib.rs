@@ -1,0 +1,47 @@
+//! Fixture: determinism audit across atomics, hash maps, and spawns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Event counter.
+pub static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Relaxed outside the telemetry registry: fires.
+pub fn bump() -> u64 {
+    EVENTS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Hash-keyed tally, reachable from verdicts(): fires.
+fn tally(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for k in keys {
+        seen.insert(*k);
+    }
+    seen.len()
+}
+
+/// The result-producing root.
+pub fn verdicts(keys: &[u32]) -> bool {
+    tally(keys) == keys.len()
+}
+
+/// Hash map in a fn nothing result-producing calls: silent.
+pub fn scratchpad() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// Spawn outside the block-ordered search path: fires.
+pub fn fan_out() {
+    let worker = std::thread::spawn(|| ());
+    drop(worker);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_is_exempt() {
+        let _ = std::collections::HashMap::<u32, u32>::new();
+        let t = std::thread::spawn(|| ());
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixture: allocations reachable from the zero-alloc hot paths.
+
+/// A compiled instance with a preallocated rate buffer.
+pub struct CompiledInstance {
+    /// Flow rates, sized at compile time.
+    pub rates: Vec<u64>,
+    /// Reused scratch buffer.
+    pub scratch: Vec<u64>,
+}
+
+impl CompiledInstance {
+    /// Compile side: may allocate freely (not reachable from evaluate).
+    pub fn compile(n: usize) -> Self {
+        CompiledInstance {
+            rates: vec![0; n],
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// The hot entry: anchors the closure.
+    pub fn evaluate(&mut self) -> u64 {
+        self.step()
+    }
+
+    /// Called from evaluate: both allocations fire.
+    fn step(&mut self) -> u64 {
+        let copied = self.rates.to_vec();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&copied);
+        buf.len() as u64
+    }
+
+    /// Scratch reuse is the approved shape: silent.
+    fn accumulate(&mut self) -> u64 {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.rates);
+        self.scratch.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_alloc_is_exempt() {
+        let mut c = super::CompiledInstance::compile(4);
+        assert_eq!(c.evaluate(), 4);
+        let _ = c.rates.to_vec();
+        assert_eq!(c.accumulate(), 0);
+    }
+}

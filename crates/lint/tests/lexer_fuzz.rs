@@ -1,0 +1,120 @@
+//! Property fuzz for the lint lexer.
+//!
+//! Every rule in `clos-lint` trusts one load-bearing claim: the lexer
+//! never emits a token from inside a comment, doc comment (including
+//! doctest fences), or string/char literal. A leak would let rules fire
+//! on prose, and a panic would take CI down on whatever a contributor
+//! happens to type. Both properties are fuzzed here:
+//!
+//! * snippets assembled from self-contained fragments, where every
+//!   comment/string fragment embeds the sentinel `ZZleakZZ`, must lex
+//!   without the sentinel ever appearing in a token;
+//! * fully arbitrary input — including dangling `/*`, unterminated
+//!   strings, raw-string openers, and multi-byte code points — must
+//!   never panic the scanner or the `#[cfg(test)]`-region pass.
+
+use clos_lint::lexer::{lex, test_regions};
+use proptest::prelude::*;
+
+/// The sentinel that must never escape a comment or string region.
+const SENTINEL: &str = "ZZleakZZ";
+
+/// Self-terminated fragments safe to concatenate in any order: code
+/// fragments (whose idents SHOULD tokenize), and comment/string
+/// fragments carrying [`SENTINEL`] (whose contents must not).
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // -- code: these tokens are expected to survive.
+        Just("fn kept_marker() { let x = 1.5e3 + 0x1f; }".to_string()),
+        Just("let kept_marker = vec![0b10, 1_000, 2.];".to_string()),
+        Just("impl Foo { fn kept_marker(&self) -> u32 { 'a' as u32 } }".to_string()),
+        Just("let lt: &'static str = kept_marker;".to_string()),
+        Just("#[cfg(test)] mod t { fn kept_marker() {} }".to_string()),
+        // -- comments: contents must vanish.
+        Just(format!("// line {SENTINEL}\n")),
+        Just(format!("/* block {SENTINEL} */")),
+        Just(format!(
+            "/* outer /* nested {SENTINEL} */ tail {SENTINEL} */"
+        )),
+        Just(format!("/// doc {SENTINEL}\n")),
+        Just(format!("//! inner doc {SENTINEL}\n")),
+        Just(format!("/** doc block {SENTINEL} */")),
+        // Doctest fence inside a doc comment: still a comment.
+        Just(format!(
+            "/// ```\n/// let {SENTINEL} = \"{SENTINEL}\";\n/// ```\n"
+        )),
+        // -- strings: contents become one Str token, never idents.
+        Just(format!("let s = \"str {SENTINEL} \\\" escaped\";")),
+        Just(format!("let r = r\"raw {SENTINEL}\";")),
+        Just(format!("let h = r#\"raw {SENTINEL} \"quoted\" \"#;")),
+        Just(format!("let b = b\"bytes {SENTINEL}\";")),
+    ]
+}
+
+/// Whitespace glue between fragments.
+fn glue() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(" ".to_string()),
+        Just("\n".to_string()),
+        Just("\t".to_string()),
+        Just("\n\n".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn comment_and_string_contents_never_leak(
+        parts in prop::collection::vec((fragment(), glue()), 1..12)
+    ) {
+        let src: String = parts
+            .iter()
+            .flat_map(|(f, g)| [f.as_str(), g.as_str()])
+            .collect();
+        let tokens = lex(&src);
+        for t in &tokens {
+            // Idents/puncts from comment or string interiors would carry
+            // the sentinel; a Str token's text is the literal itself,
+            // which is allowed to contain it.
+            if t.kind != clos_lint::lexer::TokenKind::Str {
+                prop_assert!(
+                    !t.text.contains(SENTINEL),
+                    "leaked {:?} out of a comment/string region in {src:?}",
+                    t.text
+                );
+            }
+        }
+        // The code fragments' marker survives lexing whenever one was
+        // included — the scanner must not over-swallow either.
+        let has_code = parts.iter().any(|(f, _)| f.contains("kept_marker"));
+        let marker_seen = tokens.iter().any(|t| t.text == "kept_marker");
+        prop_assert!(
+            has_code == marker_seen,
+            "marker mismatch (code fragment {has_code}, marker seen {marker_seen}) in {src:?}"
+        );
+        // The test-region pass accepts any token stream.
+        let _ = test_regions(&tokens);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(
+        head in ".{0,80}",
+        opener in prop_oneof![
+            Just(""), Just("/*"), Just("\""), Just("r#\""), Just("'"),
+            Just("//"), Just("r\""), Just("b\""), Just("/* /*"),
+        ],
+        tail in ".{0,80}"
+    ) {
+        // `.` draws from a pool that includes quotes, backslashes,
+        // control characters, and multi-byte code points; the explicit
+        // opener in the middle stresses unterminated-region recovery.
+        let src = format!("{head}{opener}{tail}");
+        let tokens = lex(&src);
+        // Lines are emitted in order — a cheap global sanity invariant.
+        for pair in tokens.windows(2) {
+            prop_assert!(pair[0].line <= pair[1].line);
+        }
+        let _ = test_regions(&tokens);
+    }
+}

@@ -52,3 +52,62 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.realloc(ptr, layout, new_size)
     }
 }
+
+// These tests drive the raw `GlobalAlloc` impl directly so `cargo miri
+// test` (CI's undefined-behaviour gate over this one unsafe module) sees
+// real allocate/write/grow/free traffic, not just the counter.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_realloc_count_dealloc_does_not() {
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(64, 8).expect("valid layout");
+        let before = allocation_count();
+        // SAFETY: the layout is non-zero-sized; the block is written
+        // only within bounds, grown with the same layout it was
+        // allocated with, and freed exactly once at its final layout.
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(allocation_count(), before + 1);
+            p.write_bytes(0xab, layout.size());
+            assert_eq!(p.add(layout.size() - 1).read(), 0xab);
+
+            let grown = a.realloc(p, layout, 128);
+            assert!(!grown.is_null());
+            assert_eq!(allocation_count(), before + 2);
+            // Growth preserves the old contents.
+            assert_eq!(grown.read(), 0xab);
+            assert_eq!(grown.add(layout.size() - 1).read(), 0xab);
+
+            a.dealloc(
+                grown,
+                Layout::from_size_align(128, 8).expect("valid layout"),
+            );
+        }
+        // Frees are deliberately uncounted: the zero-allocation gates
+        // measure allocation events, not live bytes.
+        assert_eq!(allocation_count(), before + 2);
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_alias() {
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(16, 16).expect("valid layout");
+        // SAFETY: both blocks are non-zero-sized, written in bounds,
+        // and freed once with their allocation layout.
+        unsafe {
+            let p = a.alloc(layout);
+            let q = a.alloc(layout);
+            assert!(!p.is_null() && !q.is_null());
+            p.write_bytes(0x11, layout.size());
+            q.write_bytes(0x22, layout.size());
+            assert_eq!(p.read(), 0x11);
+            assert_eq!(q.read(), 0x22);
+            a.dealloc(p, layout);
+            a.dealloc(q, layout);
+        }
+    }
+}
