@@ -343,12 +343,8 @@ impl Comparison {
         let key = |row: &JsonValue| -> String {
             format!(
                 "{}/{}",
-                row.get("instance")
-                    .and_then(|v| as_str(v))
-                    .unwrap_or_default(),
-                row.get("objective")
-                    .and_then(|v| as_str(v))
-                    .unwrap_or_default()
+                row.get("instance").and_then(as_str).unwrap_or_default(),
+                row.get("objective").and_then(as_str).unwrap_or_default()
             )
         };
         let base_rows = rows(base);
@@ -552,8 +548,8 @@ fn as_str(v: &JsonValue) -> Option<String> {
 
 fn print_table(cmp: &Comparison) {
     println!(
-        "{:<44} {:>14} {:>14} {:>8}  {}",
-        "metric", "baseline", "current", "delta", "verdict"
+        "{:<44} {:>14} {:>14} {:>8}  verdict",
+        "metric", "baseline", "current", "delta"
     );
     for d in &cmp.deltas {
         println!(

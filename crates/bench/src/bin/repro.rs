@@ -1,7 +1,7 @@
 //! Regenerates every experiment table of the reproduction.
 //!
 //! ```text
-//! repro [--experiment e1|e2|...|e13|all] [--quick] [--json <path>]
+//! repro [--experiment e1|e2|...|e14|all] [--quick] [--json <path>]
 //!       [--telemetry] [--threads <n>] [--stable] [--trace <path>]
 //! ```
 //!
@@ -39,7 +39,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use clos_bench::experiments::{
-    e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e13_churn,
+    e10_oversubscription, e11_lp_cross_validation, e12_weighted_fairness, e13_churn, e14_failures,
     e1_example_2_3, e2_price_of_fairness, e3_replication, e4_starvation, e5_doom_switch,
     e6_rate_study, e7_fct, e8_exactness, e9_relative_fairness,
 };
@@ -99,7 +99,7 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--help" | "-h" => return Err(
-                "usage: repro [--experiment e1..e13|all] [--quick] [--json <path>] [--telemetry] \
+                "usage: repro [--experiment e1..e14|all] [--quick] [--json <path>] [--telemetry] \
                  [--threads <n>] [--stable] [--trace <path>]"
                     .to_string(),
             ),
@@ -341,9 +341,29 @@ fn run_e13(quick: bool, rec: &mut ExperimentRecord) {
     apply_verdicts(rec, e13_churn::verdicts(&rows));
 }
 
+fn run_e14(quick: bool, rec: &mut ExperimentRecord) {
+    let (ns, steps): (Vec<usize>, usize) = if quick {
+        (vec![2, 3], 8)
+    } else {
+        (vec![2, 3, 4], 12)
+    };
+    rec.param("ns", format!("{ns:?}"));
+    rec.param("steps", steps);
+    let rows = e14_failures::run(&ns, steps);
+    println!("{}", e14_failures::render(&rows));
+    println!("Seeded failures degrade the fabric while stale routings are repaired");
+    println!("only by randomized local fast reroute: the exhaustively recomputed");
+    println!("optimum dominates every repaired routing at every step, and both the");
+    println!("optimum and the reroute starve exactly the unreachable flows.");
+    let last = rows.last().expect("nonempty sweep");
+    rec.result("final_unreachable_max_n", last.unreachable);
+    rec.result("final_opt_tput_max_n", last.opt_tput.to_string());
+    apply_verdicts(rec, e14_failures::verdicts(&rows));
+}
+
 type Runner = fn(bool, &mut ExperimentRecord);
 
-const EXPERIMENTS: [(&str, &str, Runner); 13] = [
+const EXPERIMENTS: [(&str, &str, Runner); 14] = [
     (
         "e1",
         "Figure 1 / Example 2.3 — allocations depend on routing",
@@ -408,6 +428,11 @@ const EXPERIMENTS: [(&str, &str, Runner); 13] = [
         "e13",
         "flow churn — incremental max-min allocation under arrivals/departures",
         run_e13,
+    ),
+    (
+        "e14",
+        "failures — local fast reroute vs recomputed optimum on degraded fabrics",
+        run_e14,
     ),
 ];
 
@@ -488,7 +513,7 @@ fn main() -> ExitCode {
             .filter(|(id, _, _)| *id == opts.experiment)
             .collect();
         if found.is_empty() {
-            eprintln!("unknown experiment {}; use e1..e13 or all", opts.experiment);
+            eprintln!("unknown experiment {}; use e1..e14 or all", opts.experiment);
             return ExitCode::FAILURE;
         }
         found

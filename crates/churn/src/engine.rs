@@ -35,12 +35,13 @@
 //! [`flush`]: ChurnEngine::flush
 
 use clos_fairness::{WaterfillInstance, WaterfillScratch};
-use clos_net::{ClosNetwork, Flow, LinkId};
+use clos_net::{CapacityMap, ClosNetwork, Flow, LinkId};
 use clos_rational::{Rational, Scalar};
 use clos_telemetry::{counters, timers};
 
 use crate::event::{FlowEvent, FlowKey};
 use crate::policy::OnlinePolicy;
+use crate::reroute::{LocalReroute, RerouteOutcome};
 
 /// Sentinel in the key→slot table: the key has no live flow.
 const NO_SLOT: u32 = u32::MAX;
@@ -87,6 +88,14 @@ pub struct RecomputeStats {
     pub departures: u64,
     /// Maximum concurrent live flows observed.
     pub peak_live: u64,
+    /// Failure overlays applied (calls that changed at least one link).
+    pub failures: u64,
+    /// Links whose capacity failure overlays changed.
+    pub degraded_links: u64,
+    /// Flows moved by [`reroute_failed`](ChurnEngine::reroute_failed).
+    pub rerouted_flows: u64,
+    /// Flows `reroute_failed` found stuck (no surviving path).
+    pub reroute_dead_ends: u64,
 }
 
 /// One flow's pod/ToR-sharded bookkeeping (slots are reused through a
@@ -319,6 +328,21 @@ impl<S: Scalar> ChurnEngine<S> {
         };
         self.slot_of_key[ki] = NO_SLOT;
 
+        self.unlink_slot(slot);
+
+        let s = &mut self.slots[slot as usize];
+        s.live = false;
+        let n = self.middles;
+        let (src, dst, m) = (s.src_tor as usize, s.dst_tor as usize, s.middle as usize);
+        self.up[src * n + m] -= 1;
+        self.down[dst * n + m] -= 1;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// Removes `slot` from the member list of each of its four links
+    /// (swap-remove with position fixup) and marks those links dirty.
+    fn unlink_slot(&mut self, slot: u32) {
         let links = self.slots[slot as usize].links;
         let pos = self.slots[slot as usize].pos;
         for i in 0..4 {
@@ -344,15 +368,6 @@ impl<S: Scalar> ChurnEngine<S> {
             }
             self.mark_dirty(d);
         }
-
-        let s = &mut self.slots[slot as usize];
-        s.live = false;
-        let n = self.middles;
-        let (src, dst, m) = (s.src_tor as usize, s.dst_tor as usize, s.middle as usize);
-        self.up[src * n + m] -= 1;
-        self.down[dst * n + m] -= 1;
-        self.free.push(slot);
-        self.live -= 1;
     }
 
     fn mark_dirty(&mut self, dense: usize) {
@@ -402,7 +417,18 @@ impl<S: Scalar> ChurnEngine<S> {
                     let l = l as usize;
                     if !self.dirty[l] {
                         self.dirty[l] = true;
-                        self.link_stack.push(l);
+                        // A zero-capacity (failed) link joins the
+                        // region — its members' links must resolve in
+                        // the subset compile — but does not propagate:
+                        // it pins every member at rate zero, so the
+                        // components it bridges are independent beyond
+                        // it. Seeds from `dirty_list` still expand
+                        // unconditionally, which is exactly what
+                        // recomputes a dying link's members to zero in
+                        // the epoch after `apply_failure`.
+                        if !self.instance.capacity(l).is_zero() {
+                            self.link_stack.push(l);
+                        }
                     }
                 }
             }
@@ -498,6 +524,146 @@ impl<S: Scalar> ChurnEngine<S> {
             self.levels() == oracle_levels,
             "incremental levels diverged from the oracle"
         );
+    }
+
+    /// Applies a failure overlay (see [`clos_net::failure`]): changed
+    /// links take their new capacities — identifiers and dense indices
+    /// stay stable, a dead link being a live link of zero capacity —
+    /// the waterfill instance is recompiled, and every changed link is
+    /// marked dirty so the next [`flush`](Self::flush) recomputes
+    /// exactly the components the failure touched. A no-op when the
+    /// overlay changes nothing.
+    ///
+    /// Placed flows are *not* moved — that is
+    /// [`reroute_failed`](Self::reroute_failed)'s job. A flow crossing
+    /// a zeroed link recomputes to rate zero at the next flush.
+    pub fn apply_failure(&mut self, overlay: &CapacityMap) {
+        let changed: Vec<LinkId> = overlay
+            .iter()
+            .filter(|&(&link, &cap)| self.clos.network().link(link).capacity() != cap)
+            .map(|(&link, _)| link)
+            .collect();
+        if changed.is_empty() {
+            return;
+        }
+        counters::FAILURE_EVENTS.incr();
+        counters::FAILURE_LINKS_DEGRADED.add(changed.len() as u64);
+        self.stats.failures += 1;
+        self.stats.degraded_links += changed.len() as u64;
+        self.clos = self.clos.with_capacities(overlay);
+        let instance = WaterfillInstance::<S>::compile(self.clos.network());
+        debug_assert_eq!(
+            instance.link_ids(),
+            self.instance.link_ids(),
+            "failure overlays must keep the dense link order stable"
+        );
+        self.instance = instance;
+        for link in changed {
+            let Some(d) = self.instance.dense_index(link) else {
+                unreachable!("failure overlays keep every link finite")
+            };
+            self.mark_dirty(d);
+        }
+    }
+
+    /// Moves the live flow in `slot` onto `middle`, updating member
+    /// lists, pod counts, and dirty marks on both the old and new
+    /// links. The recorded rate goes stale until the next flush.
+    fn relocate(&mut self, slot: u32, middle: usize) {
+        self.unlink_slot(slot);
+        let (flow, src, dst, old) = {
+            let s = &self.slots[slot as usize];
+            (
+                s.flow,
+                s.src_tor as usize,
+                s.dst_tor as usize,
+                s.middle as usize,
+            )
+        };
+        let n = self.middles;
+        self.up[src * n + old] -= 1;
+        self.down[dst * n + old] -= 1;
+        self.up[src * n + middle] += 1;
+        self.down[dst * n + middle] += 1;
+
+        let links = self.clos.links_via(flow, middle).map(|l| {
+            let Some(d) = self.instance.dense_index(l) else {
+                unreachable!("Clos links are finite")
+            };
+            d as u32
+        });
+        let mut pos = [0u32; 4];
+        for (i, &d) in links.iter().enumerate() {
+            let list = &mut self.members[d as usize];
+            pos[i] = list.len() as u32;
+            list.push(slot);
+            self.mark_dirty(d as usize);
+        }
+        let s = &mut self.slots[slot as usize];
+        s.middle = middle as u32;
+        s.links = links;
+        s.pos = pos;
+    }
+
+    /// Sweeps every live flow crossing a zero-capacity link and moves
+    /// it, via the randomized local fast-reroute `policy`, onto a
+    /// middle switch whose uplink *and* downlink for the flow's ToR
+    /// pair both survive. A flow with a dead host link or no surviving
+    /// middle is left in place as *stuck* — its max-min rate is zero
+    /// and no reroute (local or global) can change that.
+    ///
+    /// The sweep runs in ascending slot order — a deterministic
+    /// function of the event prefix — so the outcome depends only on
+    /// engine state and the policy's seed. Call
+    /// [`flush`](Self::flush) afterwards to publish recomputed rates.
+    pub fn reroute_failed(&mut self, policy: &mut LocalReroute) -> RerouteOutcome {
+        let n = self.middles;
+        let mut outcome = RerouteOutcome::default();
+        let mut candidates: Vec<usize> = Vec::with_capacity(n);
+        for slot in 0..self.slots.len() as u32 {
+            let s = &self.slots[slot as usize];
+            if !s.live {
+                continue;
+            }
+            let dead = s
+                .links
+                .iter()
+                .any(|&d| self.instance.capacity(d as usize).is_zero());
+            if !dead {
+                continue;
+            }
+            // Host links are shared by every middle choice: if one is
+            // dead, no detour exists.
+            let host_dead = self.instance.capacity(s.links[0] as usize).is_zero()
+                || self.instance.capacity(s.links[3] as usize).is_zero();
+            let flow = s.flow;
+            candidates.clear();
+            if !host_dead {
+                for m in 0..n {
+                    let [_, uplink, downlink, _] = self.clos.links_via(flow, m);
+                    let alive = |l: LinkId| {
+                        let Some(d) = self.instance.dense_index(l) else {
+                            unreachable!("Clos links are finite")
+                        };
+                        !self.instance.capacity(d).is_zero()
+                    };
+                    if alive(uplink) && alive(downlink) {
+                        candidates.push(m);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                outcome.stuck += 1;
+            } else {
+                self.relocate(slot, policy.pick(&candidates));
+                outcome.moved += 1;
+            }
+        }
+        counters::REROUTE_FLOWS.add(outcome.moved);
+        counters::REROUTE_DEAD_ENDS.add(outcome.stuck);
+        self.stats.rerouted_flows += outcome.moved;
+        self.stats.reroute_dead_ends += outcome.stuck;
+        outcome
     }
 
     /// Number of live flows.

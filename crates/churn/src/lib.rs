@@ -29,9 +29,11 @@
 pub mod engine;
 pub mod event;
 pub mod policy;
+pub mod reroute;
 pub mod trace;
 
 pub use engine::{ChurnConfig, ChurnEngine, RecomputeStats};
 pub use event::{FlowEvent, FlowKey, TimedEvent};
 pub use policy::OnlinePolicy;
+pub use reroute::{LocalReroute, RerouteOutcome};
 pub use trace::{Pattern, SizeDist, TraceConfig, TraceGenerator};

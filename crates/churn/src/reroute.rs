@@ -1,0 +1,102 @@
+//! Randomized local fast reroute.
+//!
+//! When a fabric link dies, the flows crossing it starve until
+//! *something* moves them. Global recomputation (re-running the full
+//! routing search) is the gold standard but needs fabric-wide
+//! knowledge and time; the data-center answer is *local fast reroute*:
+//! each affected flow is bounced, using only information available at
+//! its own ToR pair, onto a uniformly random surviving detour.
+//! Randomization is essential — deterministic local rules herd every
+//! victim of a shared failure onto the same alternate and manufacture
+//! a hotspot, while the random choice spreads them (cf. Bankhamer,
+//! Elsässer & Schmid, "Local Fast Rerouting with Low Congestion",
+//! arXiv 2108.02136, who prove such randomized local rules achieve
+//! polylogarithmic congestion where every deterministic one is
+//! Ω(fabric degree)).
+//!
+//! In the three-stage Clos setting a flow's route is one middle-switch
+//! choice, so the policy is: among middles whose uplink *and* downlink
+//! for this flow's ToR pair both survive, pick uniformly at random.
+//! A flow whose host link is dead, or with no surviving middle, is
+//! *stuck* — no local (or global) rule can save it.
+//!
+//! The RNG is a seeded [`StdRng`], so reroute decisions — like every
+//! other source of nondeterminism in this workspace — are a pure
+//! function of `(engine state, seed)` and byte-reproducible in CI.
+//!
+//! [`StdRng`]: rand::rngs::StdRng
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What one [`reroute_failed`] sweep did.
+///
+/// [`reroute_failed`]: crate::ChurnEngine::reroute_failed
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RerouteOutcome {
+    /// Flows moved onto a surviving middle switch.
+    pub moved: u64,
+    /// Flows left in place with no surviving path (rate stays zero).
+    pub stuck: u64,
+}
+
+/// The randomized local fast-reroute policy (see module docs).
+#[derive(Clone, Debug)]
+pub struct LocalReroute {
+    rng: StdRng,
+}
+
+impl LocalReroute {
+    /// Creates the policy with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> LocalReroute {
+        LocalReroute {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The policy's short name (for experiment tables).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        "local-random"
+    }
+
+    /// Picks one of `candidates` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty — callers classify such flows
+    /// as stuck instead of asking.
+    pub fn pick(&mut self, candidates: &[usize]) -> usize {
+        assert!(!candidates.is_empty(), "no reroute candidates");
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_are_reproducible_and_in_range() {
+        let candidates = [1usize, 3, 4];
+        let mut a = LocalReroute::new(7);
+        let mut b = LocalReroute::new(7);
+        for _ in 0..64 {
+            let x = a.pick(&candidates);
+            assert_eq!(x, b.pick(&candidates));
+            assert!(candidates.contains(&x));
+        }
+    }
+
+    #[test]
+    fn all_candidates_are_eventually_picked() {
+        let candidates = [0usize, 2];
+        let mut policy = LocalReroute::new(1);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[policy.pick(&candidates)] = true;
+        }
+        assert!(seen[0] && seen[2] && !seen[1]);
+    }
+}

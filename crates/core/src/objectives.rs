@@ -198,8 +198,8 @@ pub fn for_each_canonical_assignment(
     }
     let space = CanonicalSpace::new(clos, flows);
     let mut assignment = vec![0usize; flows.len()];
-    let mut fresh = vec![0usize; flows.len() + 1];
-    walk_completions(&space, &mut assignment, &mut fresh, 0, &mut Each(visit));
+    let mut used = space.rows(flows.len());
+    walk_completions(&space, &mut assignment, &mut used, 0, &mut Each(visit));
 }
 
 fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> Routing {

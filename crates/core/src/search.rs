@@ -6,16 +6,26 @@
 //! module is the shared engine. It improves on naive enumeration three
 //! ways, without leaving exact territory:
 //!
-//! 1. **Combined symmetry reduction.** All links have equal capacity, so
-//!    relabeling middle switches and permuting identical flows preserve
-//!    allocations. The enumerator emits only assignments that are
-//!    simultaneously *group-sorted* (non-decreasing within each set of
-//!    identical flows) and *first-use canonical* (middle labels first
-//!    appear in increasing order). Every orbit keeps a representative:
-//!    its lexicographically least element satisfies both constraints at
-//!    once — if it violated group-sortedness, sorting within groups would
-//!    produce a lex-smaller orbit element, and if it violated first-use
-//!    order, relabeling by first use would.
+//! 1. **Combined symmetry reduction, capacity-class aware.** Permuting
+//!    identical flows always preserves allocations; relabeling middle
+//!    switches preserves them only within a *capacity equivalence
+//!    class* — middles whose per-ToR uplink and downlink capacity
+//!    vectors are identical (on a pristine fabric every middle is in
+//!    one class; failures split classes). The enumerator emits only
+//!    assignments that are simultaneously *group-sorted*
+//!    (non-decreasing within each set of identical flows) and
+//!    *first-use canonical per class* (the `j`-th distinct member of a
+//!    class to appear is the `j`-th member of that class in middle
+//!    order). Every orbit keeps a representative: its lexicographically
+//!    least element satisfies both constraints at once — if it violated
+//!    group-sortedness, sorting within groups would produce a
+//!    lex-smaller orbit element; and if some class's members first
+//!    appeared out of order, relabeling that class by first use would
+//!    map the first out-of-order member to a smaller same-class index,
+//!    again lex-smaller (re-sorting groups afterwards only decreases
+//!    further, and the process terminates because the element strictly
+//!    decreases). With one class this degenerates to the classic
+//!    uniform reduction, byte for byte.
 //! 2. **Branch-and-bound pruning.** Each [`Objective`] may supply an
 //!    *admissible* per-prefix upper bound on its key; subtrees whose bound
 //!    cannot strictly beat the incumbent are skipped (counted in telemetry
@@ -143,11 +153,24 @@ pub struct Problem<'a> {
     uplinks: Vec<Vec<LinkId>>,
     /// Fabric downlink of flow `i` via middle `m`.
     downlinks: Vec<Vec<LinkId>>,
-    /// Distinct source host-uplinks among `flows[k..]`, for every `k`.
-    suffix_src_hosts: Vec<usize>,
-    /// Distinct destination host-downlinks among `flows[k..]`.
-    suffix_dst_hosts: Vec<usize>,
-    /// The uniform link capacity of the network.
+    /// Finite capacity of every link, indexed by dense [`LinkId`] — the
+    /// per-link generalization that keeps both bounds admissible on
+    /// asymmetric (failure-degraded) fabrics.
+    link_cap: Vec<Rational>,
+    /// Capacity sum of the distinct source host-uplinks among
+    /// `flows[k..]`, for every `k` (uniform fabrics: capacity x count).
+    suffix_src_cap: Vec<Rational>,
+    /// Capacity sum of the distinct destination host-downlinks among
+    /// `flows[k..]`.
+    suffix_dst_cap: Vec<Rational>,
+    /// Per-flow rate cap: `min(source host-uplink, destination
+    /// host-downlink, best fabric pair over all middles)` — what a flow
+    /// can carry under *any* assignment.
+    flow_caps: Vec<Rational>,
+    /// The nominal construction capacity ([`ClosParams::link_capacity`];
+    /// individual links may have been degraded below it).
+    ///
+    /// [`ClosParams::link_capacity`]: clos_net::ClosParams
     capacity: Rational,
 }
 
@@ -171,28 +194,60 @@ impl<'a> Problem<'a> {
             uplinks.push((0..n).map(|m| clos.uplink(st, m)).collect::<Vec<_>>());
             downlinks.push((0..n).map(|m| clos.downlink(m, dt)).collect::<Vec<_>>());
         }
-        // Suffix counts of distinct host links (a flow crosses its source
-        // host-uplink and destination host-downlink no matter the middle).
-        let mut suffix_src_hosts = vec![0usize; flows.len() + 1];
-        let mut suffix_dst_hosts = vec![0usize; flows.len() + 1];
+        let link_cap: Vec<Rational> = clos
+            .network()
+            .links()
+            .map(|l| l.capacity().finite().expect("Clos links are finite"))
+            .collect();
+        // Suffix capacity sums of distinct host links (a flow crosses its
+        // source host-uplink and destination host-downlink no matter the
+        // middle). Sums of per-link capacities, not counts x capacity, so
+        // the cover bounds stay admissible when host links are degraded.
+        let mut suffix_src_cap = vec![Rational::ZERO; flows.len() + 1];
+        let mut suffix_dst_cap = vec![Rational::ZERO; flows.len() + 1];
         let mut seen_src = std::collections::BTreeSet::new();
         let mut seen_dst = std::collections::BTreeSet::new();
+        let (mut src_acc, mut dst_acc) = (Rational::ZERO, Rational::ZERO);
         for k in (0..flows.len()).rev() {
             let (st, sh) = clos.source_coords(flows[k].src());
             let (dt, dh) = clos.destination_coords(flows[k].dst());
-            seen_src.insert(clos.host_uplink(st, sh));
-            seen_dst.insert(clos.host_downlink(dt, dh));
-            suffix_src_hosts[k] = seen_src.len();
-            suffix_dst_hosts[k] = seen_dst.len();
+            let src_link = clos.host_uplink(st, sh);
+            let dst_link = clos.host_downlink(dt, dh);
+            if seen_src.insert(src_link) {
+                src_acc += link_cap[src_link.index()];
+            }
+            if seen_dst.insert(dst_link) {
+                dst_acc += link_cap[dst_link.index()];
+            }
+            suffix_src_cap[k] = src_acc;
+            suffix_dst_cap[k] = dst_acc;
         }
+        let flow_caps: Vec<Rational> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let (st, sh) = clos.source_coords(f.src());
+                let (dt, dh) = clos.destination_coords(f.dst());
+                // Fold from zero: capacities are nonnegative, so the
+                // identity is exact even for the n = 1 fabric.
+                let fabric = (0..n)
+                    .map(|m| link_cap[uplinks[i][m].index()].min(link_cap[downlinks[i][m].index()]))
+                    .fold(Rational::ZERO, Rational::max);
+                link_cap[clos.host_uplink(st, sh).index()]
+                    .min(link_cap[clos.host_downlink(dt, dh).index()])
+                    .min(fabric)
+            })
+            .collect();
         Problem {
             clos,
             flows,
             compiled,
             uplinks,
             downlinks,
-            suffix_src_hosts,
-            suffix_dst_hosts,
+            link_cap,
+            suffix_src_cap,
+            suffix_dst_cap,
+            flow_caps,
             capacity: clos.params().link_capacity,
         }
     }
@@ -209,7 +264,8 @@ impl<'a> Problem<'a> {
         self.flows
     }
 
-    /// The uniform link capacity.
+    /// The nominal construction capacity (individual links may carry
+    /// less after failure overlays; the bounds use per-link values).
     #[must_use]
     pub fn capacity(&self) -> Rational {
         self.capacity
@@ -289,11 +345,20 @@ impl<'a> Problem<'a> {
         up.dedup();
         down.sort_unstable();
         down.dedup();
-        let links = (up.len() + self.suffix_src_hosts[k])
-            .min(down.len() + self.suffix_dst_hosts[k])
-            .min(self.suffix_src_hosts[0])
-            .min(self.suffix_dst_hosts[0]);
-        self.capacity * Rational::from_integer(links as i128)
+        // Capacity sums (not counts x uniform capacity): each cover
+        // element carries at most its own — possibly degraded — capacity.
+        let mut up_cap = self.suffix_src_cap[k];
+        for l in up.iter() {
+            up_cap += self.link_cap[l.index()];
+        }
+        let mut down_cap = self.suffix_dst_cap[k];
+        for l in down.iter() {
+            down_cap += self.link_cap[l.index()];
+        }
+        up_cap
+            .min(down_cap)
+            .min(self.suffix_src_cap[0])
+            .min(self.suffix_dst_cap[0])
     }
 }
 
@@ -358,14 +423,16 @@ pub trait Objective: Sync {
 /// vector, compared lexicographically from the smallest rate.
 ///
 /// Its prefix bound concatenates the max-min fair rates of the prefix
-/// flows *alone* with one full link capacity per unassigned flow, and
-/// sorts. Admissibility: in any completion, the allocation restricted to
-/// the prefix flows is feasible for the prefix-only problem, whose
-/// max-min fair allocation is leximin-maximal among feasible rate
-/// vectors; each unassigned flow is individually capped by its host
-/// links; and sorting is monotone under componentwise domination of the
-/// two parts, so the concatenated bound vector dominates every
-/// completion's sorted vector.
+/// flows *alone* with each unassigned flow's individual rate cap
+/// (host links and its best fabric pair — on a uniform fabric, one
+/// full link capacity), and sorts. Admissibility: in any completion,
+/// the allocation restricted to the prefix flows is feasible for the
+/// prefix-only problem, whose max-min fair allocation is
+/// leximin-maximal among feasible rate vectors; each unassigned flow
+/// is individually capped by [`Problem`]'s `flow_caps` no matter which
+/// middle it picks; and sorting is monotone under componentwise
+/// domination of the two parts, so the concatenated bound vector
+/// dominates every completion's sorted vector.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LexMaxMin;
 
@@ -400,7 +467,7 @@ impl Objective for LexMaxMin {
         }
         problem.evaluate(scratch, prefix);
         let mut rates = scratch.rates().to_vec();
-        rates.resize(f, problem.capacity());
+        rates.extend_from_slice(&problem.flow_caps[k..]);
         Some(SortedRates::from_unsorted(rates))
     }
 
@@ -412,17 +479,18 @@ impl Objective for LexMaxMin {
         scratch: &mut EvalScratch,
     ) -> bool {
         // Allocation-free mirror of the default: evaluate the prefix,
-        // pad with full capacity in the scratch sort buffer, compare.
+        // pad with the unassigned flows' caps in the scratch sort
+        // buffer, compare.
         let k = prefix.len();
         let f = problem.flows().len();
         if !lex_bound_worthwhile(k, f) {
             return false;
         }
         problem.evaluate(scratch, prefix);
-        let capacity = problem.capacity();
+        let caps = &problem.flow_caps[k..];
         let bound = scratch.sorted_by(|rates, buf| {
             buf.extend_from_slice(rates);
-            buf.resize(f, capacity);
+            buf.extend_from_slice(caps);
         });
         bound <= incumbent.rates()
     }
@@ -459,10 +527,31 @@ impl Objective for ThroughputMaxMin {
     }
 }
 
-/// The canonical assignment space: per-position value ranges encoding the
-/// combined symmetry reduction (see the module docs).
+/// The canonical assignment space: per-position admissible values
+/// encoding the combined symmetry reduction (see the module docs),
+/// organized around *capacity equivalence classes* of middle switches.
+///
+/// Two middles are equivalent iff their per-ToR uplink capacity vectors
+/// and per-ToR downlink capacity vectors both agree — exactly when
+/// swapping them maps every routing to one with the same allocation.
+/// First-use canonicalization applies per class: along any path of the
+/// enumeration tree, the `j`-th distinct member of class `c` to appear
+/// must be the `j`-th member of `c` in ascending middle order. The
+/// walker tracks, per position, how many members of each class the
+/// prefix has used (a row of [`Self::classes`] counters); a value is
+/// admissible iff its within-class rank does not exceed its class's
+/// used count. On a uniform fabric there is a single class, the
+/// admissible set is the contiguous range `lower..=used`, and the
+/// enumeration is identical — order, admitted counts, and all — to the
+/// historical uniform-only reduction.
 pub(crate) struct CanonicalSpace {
     n: usize,
+    /// Number of capacity equivalence classes (1 on uniform fabrics).
+    classes: usize,
+    /// Middle -> its class; classes numbered by smallest member.
+    class_of: Vec<u32>,
+    /// Middle -> rank among its class's members in ascending order.
+    rank_in_class: Vec<u32>,
     /// Previous position holding an identical flow, if any.
     prev_in_group: Vec<Option<usize>>,
 }
@@ -475,26 +564,122 @@ impl CanonicalSpace {
         for (i, f) in flows.iter().enumerate() {
             prev_in_group[i] = last.insert((f.src(), f.dst()), i);
         }
+        let n = clos.middle_count();
+        let tors = clos.tor_count();
+        // Capacity signature of a middle: its uplink and downlink
+        // capacities over every ToR, in ToR order. Equal signature ==
+        // interchangeable under every flow collection.
+        let signature = |m: usize| -> Vec<clos_net::Capacity> {
+            (0..tors)
+                .map(|t| clos.network().link(clos.uplink(t, m)).capacity())
+                .chain((0..tors).map(|t| clos.network().link(clos.downlink(m, t)).capacity()))
+                .collect()
+        };
+        let mut reprs: Vec<Vec<clos_net::Capacity>> = Vec::new();
+        let mut class_of = Vec::with_capacity(n);
+        let mut rank_in_class = Vec::with_capacity(n);
+        let mut class_sizes: Vec<u32> = Vec::new();
+        for m in 0..n {
+            let sig = signature(m);
+            let class = match reprs.iter().position(|r| *r == sig) {
+                Some(c) => c,
+                None => {
+                    reprs.push(sig);
+                    class_sizes.push(0);
+                    reprs.len() - 1
+                }
+            };
+            class_of.push(class as u32);
+            rank_in_class.push(class_sizes[class]);
+            class_sizes[class] += 1;
+        }
+        // Degenerate-case guard (successor of the hard "all links have
+        // equal capacity" assumption this reduction once silently made):
+        // a fabric whose links all carry one capacity must collapse to a
+        // single class, or the reduction would enumerate a wrong orbit
+        // set. Kept as a debug assertion now that non-uniform fabrics
+        // are first-class.
+        debug_assert!(
+            {
+                let mut caps = clos.network().links().map(|l| l.capacity());
+                let first = caps.next();
+                !caps.all(|c| Some(c) == first) || reprs.len() == 1
+            },
+            "uniform fabric produced {} capacity classes; the symmetry \
+             reduction would enumerate a wrong orbit set",
+            reprs.len()
+        );
         CanonicalSpace {
-            n: clos.middle_count(),
+            n,
+            classes: reprs.len(),
+            class_of,
+            rank_in_class,
             prev_in_group,
         }
     }
 
-    /// Smallest admissible value at position `i` given the prefix:
-    /// group-sortedness forces at least the previous identical flow's
-    /// value. (First-use canonicalization never raises this further, so
-    /// the range below [`Self::upper`] is nonempty: the group bound is a
-    /// label already used in the prefix, hence at most `fresh`.)
-    fn lower(&self, assignment: &[usize], i: usize) -> usize {
-        self.prev_in_group[i].map_or(0, |p| assignment[p])
+    /// Allocates the walker's per-position used-count rows for
+    /// assignments of length `count`: row `i` (a `classes`-wide slice)
+    /// holds, for each class, how many of its members appear in
+    /// `assignment[..i]`. Row 0 is all zeros; [`Self::fill_next_row`]
+    /// derives each subsequent row.
+    pub(crate) fn rows(&self, count: usize) -> Vec<u32> {
+        vec![0; (count + 1) * self.classes]
     }
 
-    /// One past the largest admissible value: first-use canonicalization
-    /// allows reusing any label `< fresh` or introducing exactly the next
-    /// fresh one (`fresh` is one past the largest label in the prefix).
-    fn upper(&self, fresh: usize) -> usize {
-        (fresh + 1).min(self.n)
+    /// Borrows row `i` of `used`.
+    fn row<'u>(&self, used: &'u [u32], i: usize) -> &'u [u32] {
+        &used[i * self.classes..(i + 1) * self.classes]
+    }
+
+    /// Fills row `i + 1` from row `i` and the value chosen at position
+    /// `i`: the chosen value's class gains one used member iff the value
+    /// was fresh for its class.
+    pub(crate) fn fill_next_row(&self, used: &mut [u32], i: usize, value: usize) {
+        let c = self.classes;
+        let (head, tail) = used.split_at_mut((i + 1) * c);
+        let row = &head[i * c..];
+        let next = &mut tail[..c];
+        next.copy_from_slice(row);
+        let class = self.class_of[value] as usize;
+        debug_assert!(
+            self.rank_in_class[value] <= row[class],
+            "inadmissible value {value} reached fill_next_row"
+        );
+        if self.rank_in_class[value] == row[class] {
+            next[class] += 1;
+        }
+    }
+
+    /// Whether `value` is admissible under the used-count `row`:
+    /// reusing an already-introduced member of its class, or
+    /// introducing exactly its class's next member.
+    fn admissible(&self, row: &[u32], value: usize) -> bool {
+        self.rank_in_class[value] <= row[self.class_of[value] as usize]
+    }
+
+    /// Smallest admissible value `>= from`, or `n` (the exhaustion
+    /// sentinel) when none remains.
+    fn next_admissible(&self, row: &[u32], from: usize) -> usize {
+        (from..self.n)
+            .find(|&v| self.admissible(row, v))
+            .unwrap_or(self.n)
+    }
+
+    /// Number of admissible values `>= lower` (the walker's branching
+    /// factor at a position; `n - admitted` is the symmetry skip count).
+    fn admitted(&self, row: &[u32], lower: usize) -> usize {
+        (lower..self.n).filter(|&v| self.admissible(row, v)).count()
+    }
+
+    /// Smallest admissible value at position `i` given the prefix:
+    /// group-sortedness forces at least the previous identical flow's
+    /// value. (First-use canonicalization never rules this value out:
+    /// the group bound was already used in the prefix, so its class rank
+    /// is strictly below its class's used count — the admissible set at
+    /// or above `lower` is never empty.)
+    fn lower(&self, assignment: &[usize], i: usize) -> usize {
+        self.prev_in_group[i].map_or(0, |p| assignment[p])
     }
 }
 
@@ -521,12 +706,17 @@ pub(crate) trait Visitor {
 /// completion of `assignment[..start]` — an explicit-stack depth-first
 /// walk, so deep flow collections cannot overflow the call stack.
 ///
-/// `fresh[i]` must hold one past the largest label in `assignment[..i]`
-/// for `i <= start` on entry; the walker maintains it for deeper levels.
+/// `used` holds the per-position used-count rows ([`CanonicalSpace::rows`]);
+/// rows `0..=start` must describe `assignment[..start]` on entry
+/// ([`CanonicalSpace::fill_next_row`] per prefix position), and the
+/// walker maintains the deeper rows. Within a position, values advance
+/// through the admissible set in ascending order — on a single-class
+/// (uniform) fabric that set is the contiguous range the historical
+/// walker scanned, so the visit order is unchanged there.
 pub(crate) fn walk_completions(
     space: &CanonicalSpace,
     assignment: &mut [usize],
-    fresh: &mut [usize],
+    used: &mut [u32],
     start: usize,
     visitor: &mut impl Visitor,
 ) {
@@ -536,20 +726,24 @@ pub(crate) fn walk_completions(
         return;
     }
     let mut i = start;
+    // The group lower bound is always admissible (see `lower`), so the
+    // first candidate at a freshly entered position needs no scan.
     assignment[i] = space.lower(assignment, i);
-    visitor.enter(i, space.upper(fresh[i]).saturating_sub(assignment[i]));
+    visitor.enter(i, space.admitted(space.row(used, i), assignment[i]));
     loop {
-        if assignment[i] < space.upper(fresh[i]) {
-            fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+        // Invariant: `assignment[i]` is an admissible value, or the
+        // sentinel `n` once the position is exhausted.
+        if assignment[i] < space.n {
+            space.fill_next_row(used, i, assignment[i]);
             if i + 1 == count {
                 visitor.leaf(assignment);
             } else if !visitor.prune(&assignment[..=i]) {
                 i += 1;
                 assignment[i] = space.lower(assignment, i);
-                visitor.enter(i, space.upper(fresh[i]).saturating_sub(assignment[i]));
+                visitor.enter(i, space.admitted(space.row(used, i), assignment[i]));
                 continue;
             }
-            assignment[i] += 1;
+            assignment[i] = space.next_admissible(space.row(used, i), assignment[i] + 1);
             continue;
         }
         // Values exhausted at this depth: backtrack.
@@ -557,7 +751,7 @@ pub(crate) fn walk_completions(
             return;
         }
         i -= 1;
-        assignment[i] += 1;
+        assignment[i] = space.next_admissible(space.row(used, i), assignment[i] + 1);
     }
 }
 
@@ -574,9 +768,9 @@ impl Visitor for Collect {
 /// Collects every canonical prefix of length `depth`.
 fn canonical_prefixes(space: &CanonicalSpace, depth: usize) -> Vec<Vec<usize>> {
     let mut assignment = vec![0usize; depth];
-    let mut fresh = vec![0usize; depth + 1];
+    let mut used = space.rows(depth);
     let mut collect = Collect(Vec::new());
-    walk_completions(space, &mut assignment, &mut fresh, 0, &mut collect);
+    walk_completions(space, &mut assignment, &mut used, 0, &mut collect);
     collect.0
 }
 
@@ -686,7 +880,7 @@ impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
         self.outcome.examined += 1;
         counters::SEARCH_ASSIGNMENTS.incr();
         let sampled = self.ctx.config.trace_sample.is_some_and(|k| {
-            (self.outcome.examined - 1) % k.max(1) == 0
+            (self.outcome.examined - 1).is_multiple_of(k.max(1))
                 && self.outcome.profile.sampled.len() < MAX_SAMPLED_PER_BLOCK
         });
         self.ctx.problem.evaluate(self.scratch, assignment);
@@ -737,9 +931,9 @@ fn process_block<O: Objective>(
     let depth = prefix.len();
     let mut assignment = vec![0usize; flow_count];
     assignment[..depth].copy_from_slice(prefix);
-    let mut fresh = vec![0usize; flow_count + 1];
-    for i in 0..depth {
-        fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+    let mut used = ctx.space.rows(flow_count);
+    for (i, &middle) in assignment.iter().enumerate().take(depth) {
+        ctx.space.fill_next_row(&mut used, i, middle);
     }
     let mut visitor = BlockVisitor {
         ctx,
@@ -764,7 +958,7 @@ fn process_block<O: Objective>(
         return visitor.outcome;
     }
     visitor.outcome.profile.blocks_exhausted += 1;
-    walk_completions(&ctx.space, &mut assignment, &mut fresh, depth, &mut visitor);
+    walk_completions(&ctx.space, &mut assignment, &mut used, depth, &mut visitor);
     visitor.outcome
 }
 
@@ -896,9 +1090,9 @@ mod tests {
     fn all_leaves(clos: &ClosNetwork, flows: &[Flow]) -> Vec<Vec<usize>> {
         let space = CanonicalSpace::new(clos, flows);
         let mut assignment = vec![0usize; flows.len()];
-        let mut fresh = vec![0usize; flows.len() + 1];
+        let mut used = space.rows(flows.len());
         let mut collect = Collect(Vec::new());
-        walk_completions(&space, &mut assignment, &mut fresh, 0, &mut collect);
+        walk_completions(&space, &mut assignment, &mut used, 0, &mut collect);
         collect.0
     }
 
@@ -917,12 +1111,12 @@ mod tests {
         for prefix in &blocks {
             let mut assignment = vec![0usize; flows.len()];
             assignment[..depth].copy_from_slice(prefix);
-            let mut fresh = vec![0usize; flows.len() + 1];
-            for i in 0..depth {
-                fresh[i + 1] = fresh[i].max(assignment[i] + 1);
+            let mut used = space.rows(flows.len());
+            for (i, &middle) in assignment.iter().enumerate().take(depth) {
+                space.fill_next_row(&mut used, i, middle);
             }
             let mut collect = Collect(Vec::new());
-            walk_completions(&space, &mut assignment, &mut fresh, depth, &mut collect);
+            walk_completions(&space, &mut assignment, &mut used, depth, &mut collect);
             via_blocks.extend(collect.0);
         }
         assert_eq!(via_blocks, all_leaves(&clos, &flows));

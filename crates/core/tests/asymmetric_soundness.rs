@@ -1,0 +1,314 @@
+//! Orbit coverage of the capacity-class-aware symmetry reduction on
+//! *asymmetric* fabrics.
+//!
+//! The historical reduction assumed "all links have equal capacity" and
+//! silently enumerated a wrong orbit set on anything else — on an
+//! asymmetric fabric, relabeling middle switches is only
+//! allocation-preserving *within* a capacity equivalence class. These
+//! proptests degrade random fabric links of `C_3`/`C_4` (including to
+//! zero, the failure-model limit) and check the canonical enumeration
+//! against raw brute force over all `n^F` assignments:
+//!
+//! * the optimal lex-max-min key and the optimal throughput reached by
+//!   canonical assignments equal the brute-force optima, under both
+//!   exact [`Rational`] and float [`TotalF64`] water-filling;
+//! * the search engine (which prunes and parallelizes over the same
+//!   canonical tree) returns winners attaining those optima at 1 and 4
+//!   threads;
+//! * every canonical assignment is group-sorted and first-use canonical
+//!   *per capacity class* of the degraded fabric.
+
+use std::collections::BTreeMap;
+
+use clos_core::objectives::for_each_canonical_assignment;
+use clos_core::search::{run_search, LexMaxMin, Problem, SearchConfig, ThroughputMaxMin};
+use clos_fairness::{max_min_fair, SortedRates};
+use clos_net::{Capacity, CapacityMap, ClosNetwork, Flow, Routing};
+use clos_rational::{Rational, Scalar, TotalF64};
+use proptest::prelude::*;
+
+/// One raw degradation draw: up/down side, ToR, middle, and a capacity
+/// choice from `{0, 1/4, 1/2, 2}` (moduli applied at build time).
+type Degradation = (bool, usize, usize, u8);
+
+fn degraded_clos(n: usize, degradations: &[Degradation]) -> ClosNetwork {
+    let base = ClosNetwork::standard(n);
+    let mut overlay = CapacityMap::new();
+    for &(up, tor, middle, cap) in degradations {
+        let link = if up {
+            base.uplink(tor % base.tor_count(), middle % n)
+        } else {
+            base.downlink(middle % n, tor % base.tor_count())
+        };
+        let capacity = match cap % 4 {
+            0 => Rational::ZERO,
+            1 => Rational::new(1, 4),
+            2 => Rational::new(1, 2),
+            _ => Rational::TWO,
+        };
+        overlay.insert(link, Capacity::finite_value(capacity));
+    }
+    base.with_capacities(&overlay)
+}
+
+fn flows_from_coords(clos: &ClosNetwork, coords: &[(usize, usize, usize, usize)]) -> Vec<Flow> {
+    let tors = clos.tor_count();
+    let hosts = clos.hosts_per_tor();
+    coords
+        .iter()
+        .map(|&(st, sh, dt, dh)| {
+            Flow::new(
+                clos.source(st % tors, sh % hosts),
+                clos.destination(dt % tors, dh % hosts),
+            )
+        })
+        .collect()
+}
+
+fn routing_via(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> Routing {
+    Routing::new(
+        flows
+            .iter()
+            .zip(assignment)
+            .map(|(&f, &m)| clos.path_via(f, m))
+            .collect(),
+    )
+}
+
+/// Raw brute force over all `n^F` assignments under scalar `S`: the
+/// best (first-wins) lex-max-min sorted key and the best throughput.
+fn brute_force_optima<S: Scalar>(clos: &ClosNetwork, flows: &[Flow]) -> (SortedRates<S>, S) {
+    let n = clos.middle_count();
+    assert!(
+        n.pow(flows.len() as u32) <= 1 << 12,
+        "brute force too large"
+    );
+    let mut best_lex: Option<SortedRates<S>> = None;
+    let mut best_tput: Option<S> = None;
+    let mut assignment = vec![0usize; flows.len()];
+    loop {
+        let routing = routing_via(clos, flows, &assignment);
+        let alloc =
+            max_min_fair::<S>(clos.network(), flows, &routing).expect("Clos links are finite");
+        let lex = alloc.sorted();
+        let tput = alloc.throughput();
+        if best_lex.as_ref().is_none_or(|b| lex > *b) {
+            best_lex = Some(lex);
+        }
+        if best_tput.is_none_or(|b| tput > b) {
+            best_tput = Some(tput);
+        }
+        // Mixed-radix increment; most-significant at index 0 so the scan
+        // is lexicographic.
+        let mut i = flows.len();
+        loop {
+            if i == 0 {
+                return (best_lex.unwrap(), best_tput.unwrap());
+            }
+            i -= 1;
+            assignment[i] += 1;
+            if assignment[i] < n {
+                break;
+            }
+            assignment[i] = 0;
+        }
+    }
+}
+
+/// The canonical enumeration's optima under scalar `S`, via the same
+/// allocating path brute force uses (so the comparison is exact per
+/// scalar, not routed through `Rational`).
+fn canonical_optima<S: Scalar>(clos: &ClosNetwork, flows: &[Flow]) -> (SortedRates<S>, S) {
+    let mut best_lex: Option<SortedRates<S>> = None;
+    let mut best_tput: Option<S> = None;
+    let mut canonical_count = 0usize;
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        canonical_count += 1;
+        let routing = routing_via(clos, flows, assignment);
+        let alloc =
+            max_min_fair::<S>(clos.network(), flows, &routing).expect("Clos links are finite");
+        let lex = alloc.sorted();
+        let tput = alloc.throughput();
+        if best_lex.as_ref().is_none_or(|b| lex > *b) {
+            best_lex = Some(lex);
+        }
+        if best_tput.is_none_or(|b| tput > b) {
+            best_tput = Some(tput);
+        }
+    });
+    assert!(canonical_count > 0, "enumeration emitted no assignment");
+    (best_lex.unwrap(), best_tput.unwrap())
+}
+
+/// Per-middle capacity signature over the (possibly degraded) fabric,
+/// recomputed independently of the engine's internal classes.
+fn capacity_classes(clos: &ClosNetwork) -> Vec<Vec<usize>> {
+    let mut classes: Vec<(Vec<Capacity>, Vec<usize>)> = Vec::new();
+    for m in 0..clos.middle_count() {
+        let sig: Vec<Capacity> = (0..clos.tor_count())
+            .map(|t| clos.network().link(clos.uplink(t, m)).capacity())
+            .chain(
+                (0..clos.tor_count()).map(|t| clos.network().link(clos.downlink(m, t)).capacity()),
+            )
+            .collect();
+        match classes.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, members)) => members.push(m),
+            None => classes.push((sig, vec![m])),
+        }
+    }
+    classes.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Checks every canonical assignment is group-sorted and first-use
+/// canonical per capacity class.
+fn check_canonical_constraints(clos: &ClosNetwork, flows: &[Flow]) {
+    let classes = capacity_classes(clos);
+    let mut class_of = vec![0usize; clos.middle_count()];
+    let mut rank_of = vec![0usize; clos.middle_count()];
+    for (c, members) in classes.iter().enumerate() {
+        for (rank, &m) in members.iter().enumerate() {
+            class_of[m] = c;
+            rank_of[m] = rank;
+        }
+    }
+    for_each_canonical_assignment(clos, flows, |assignment| {
+        // Group-sortedness: non-decreasing within identical flows.
+        let mut last: BTreeMap<(clos_net::NodeId, clos_net::NodeId), usize> = BTreeMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            if let Some(prev) = last.insert((f.src(), f.dst()), i) {
+                assert!(
+                    assignment[prev] <= assignment[i],
+                    "group-sort violated at {assignment:?}"
+                );
+            }
+        }
+        // Per-class first use: the j-th distinct member of class c to
+        // appear must be rank j of class c.
+        let mut used = vec![0usize; classes.len()];
+        for &m in assignment {
+            let c = class_of[m];
+            assert!(
+                rank_of[m] <= used[c],
+                "class {c} first-use violated at {assignment:?}"
+            );
+            if rank_of[m] == used[c] {
+                used[c] += 1;
+            }
+        }
+    });
+}
+
+fn check_asymmetric_instance(
+    n: usize,
+    degradations: &[Degradation],
+    coords: &[(usize, usize, usize, usize)],
+) {
+    let clos = degraded_clos(n, degradations);
+    let flows = flows_from_coords(&clos, coords);
+
+    check_canonical_constraints(&clos, &flows);
+
+    // Both scalars: canonical enumeration reaches the brute-force optima.
+    let (brute_lex_r, brute_tput_r) = brute_force_optima::<Rational>(&clos, &flows);
+    let (canon_lex_r, canon_tput_r) = canonical_optima::<Rational>(&clos, &flows);
+    assert_eq!(brute_lex_r, canon_lex_r, "Rational lex optimum diverged");
+    assert_eq!(brute_tput_r, canon_tput_r, "Rational throughput diverged");
+    let (brute_lex_f, brute_tput_f) = brute_force_optima::<TotalF64>(&clos, &flows);
+    let (canon_lex_f, canon_tput_f) = canonical_optima::<TotalF64>(&clos, &flows);
+    assert_eq!(brute_lex_f, canon_lex_f, "TotalF64 lex optimum diverged");
+    assert_eq!(brute_tput_f, canon_tput_f, "TotalF64 throughput diverged");
+
+    // The pruning, parallel engine agrees at 1 and 4 threads.
+    let problem = Problem::new(&clos, &flows);
+    for threads in [1usize, 4] {
+        let cfg = SearchConfig {
+            threads: Some(threads),
+            ..SearchConfig::default()
+        };
+        let (lex_win, _) = run_search(&clos, &flows, &LexMaxMin, cfg);
+        let lex_alloc = problem.prefix_allocation(&lex_win);
+        assert_eq!(
+            lex_alloc.sorted(),
+            brute_lex_r,
+            "engine lex winner suboptimal at {threads} threads"
+        );
+        let (tput_win, _) = run_search(&clos, &flows, &ThroughputMaxMin, cfg);
+        let tput_alloc = problem.prefix_allocation(&tput_win);
+        assert_eq!(
+            tput_alloc.throughput(),
+            brute_tput_r,
+            "engine throughput winner suboptimal at {threads} threads"
+        );
+    }
+}
+
+/// The seeded-failure shape the canonical bug came from: a removed
+/// middle (all links zero) plus one degraded link. Deterministic, so
+/// the regression is pinned even without proptest.
+#[test]
+fn removed_middle_plus_degraded_link_fixed_instance() {
+    check_asymmetric_instance(
+        3,
+        &[
+            (true, 0, 1, 0),
+            (true, 1, 1, 0),
+            (true, 2, 1, 0),
+            (true, 3, 1, 0),
+            (true, 4, 1, 0),
+            (true, 5, 1, 0),
+            (false, 0, 1, 0),
+            (false, 1, 1, 0),
+            (false, 2, 1, 0),
+            (false, 3, 1, 0),
+            (false, 4, 1, 0),
+            (false, 5, 1, 0),
+            (true, 0, 2, 2),
+        ],
+        &[(0, 0, 1, 0), (0, 1, 1, 1), (1, 0, 0, 0), (0, 0, 1, 0)],
+    );
+}
+
+/// A hand-sized witness that the *old* uniform-only reduction was
+/// wrong: with middle 0's links degraded, the best routing may use
+/// only middle 1 (or 2), which first-use canonicalization over a
+/// single class would have canonicalized away. The class-aware
+/// enumeration must still find the true optimum.
+#[test]
+fn optimum_avoiding_middle_zero_is_reachable() {
+    // Kill middle 0 entirely: any flow routed there gets rate 0.
+    let degradations: Vec<Degradation> = (0..6)
+        .flat_map(|t| [(true, t, 0, 0), (false, t, 0, 0)])
+        .collect();
+    let clos = degraded_clos(3, &degradations);
+    let flows = flows_from_coords(&clos, &[(0, 0, 1, 0), (2, 0, 3, 0)]);
+    let (brute_lex, brute_tput) = brute_force_optima::<Rational>(&clos, &flows);
+    // Two disjoint flows on surviving middles: both saturate.
+    assert_eq!(brute_tput, Rational::TWO);
+    let (canon_lex, canon_tput) = canonical_optima::<Rational>(&clos, &flows);
+    assert_eq!(canon_lex, brute_lex);
+    assert_eq!(canon_tput, brute_tput);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn canonical_search_matches_brute_force_on_asymmetric_c3(
+        degradations in prop::collection::vec(
+            (any::<bool>(), 0..6usize, 0..3usize, 0..4u8), 0..=8),
+        coords in prop::collection::vec(
+            (0..6usize, 0..3usize, 0..6usize, 0..3usize), 1..=5),
+    ) {
+        check_asymmetric_instance(3, &degradations, &coords);
+    }
+
+    #[test]
+    fn canonical_search_matches_brute_force_on_asymmetric_c4(
+        degradations in prop::collection::vec(
+            (any::<bool>(), 0..8usize, 0..4usize, 0..4u8), 0..=10),
+        coords in prop::collection::vec(
+            (0..8usize, 0..4usize, 0..8usize, 0..4usize), 1..=4),
+    ) {
+        check_asymmetric_instance(4, &degradations, &coords);
+    }
+}

@@ -116,13 +116,16 @@ fn duplicate_flows_c3_both_scalars() {
     assert_compiled_matches_fresh::<TotalF64>(&clos, &raw, &assignments);
 }
 
+/// Flow endpoints as `(src_tor, src_host, dst_tor, dst_host)` tuples.
+type FlowTuples = Vec<(usize, usize, usize, usize)>;
+
 /// A random flow collection on `C_n` plus a batch of random assignments
 /// for it, encoded as index tuples so proptest can shrink them.
 fn flows_and_assignments(
     n: usize,
     max_flows: usize,
     batch: usize,
-) -> impl Strategy<Value = (Vec<(usize, usize, usize, usize)>, Vec<Vec<usize>>)> {
+) -> impl Strategy<Value = (FlowTuples, Vec<Vec<usize>>)> {
     let tor = 2 * n;
     let host = n;
     let flow = (0..tor, 0..host, 0..tor, 0..host);

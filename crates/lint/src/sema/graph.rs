@@ -80,7 +80,7 @@ impl CallGraph {
         // file: the table's targets are live exactly when the file's
         // code is.
         let mut file_level: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); table.files.len()];
-        for fi in 0..table.files.len() {
+        for (fi, file_edges) in file_level.iter_mut().enumerate() {
             let toks = table.tokens(ws, fi);
             // `use a::b::leaf;` spells fn names without referencing them
             // — imports are resolution *inputs* (see `use_aliases`), not
@@ -160,7 +160,7 @@ impl CallGraph {
                 };
                 match caller {
                     Some(caller) => edges[caller].extend(callees),
-                    None => file_level[fi].extend(callees),
+                    None => file_edges.extend(callees),
                 }
             }
         }

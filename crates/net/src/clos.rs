@@ -265,6 +265,25 @@ impl ClosNetwork {
         self.params
     }
 
+    /// Returns a copy of this network with the capacities in `overlay`
+    /// substituted. Every node, link, and coordinate accessor of the
+    /// copy matches the original identifier-for-identifier — only
+    /// capacities change — so failure overlays (see
+    /// [`crate::failure`]) compose with any dense per-link state built
+    /// against the pristine fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlay` names a link outside this network.
+    #[must_use]
+    pub fn with_capacities(&self, overlay: &crate::CapacityMap) -> ClosNetwork {
+        let mut out = self.clone();
+        for (&link, &capacity) in overlay {
+            out.net.set_link_capacity(link, capacity);
+        }
+        out
+    }
+
     /// Returns the number of middle switches (the `n` of `C_n` for standard
     /// networks).
     #[must_use]

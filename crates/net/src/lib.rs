@@ -35,6 +35,7 @@ pub mod dot;
 
 mod capacity;
 mod clos;
+pub mod failure;
 mod flow;
 mod ids;
 mod macro_switch;
@@ -44,6 +45,7 @@ mod routing;
 
 pub use crate::capacity::Capacity;
 pub use crate::clos::{ClosNetwork, ClosParams};
+pub use crate::failure::{apply_event, CapacityMap, FailureEvent, FailureSchedule};
 pub use crate::flow::{validate_flows, Flow, FlowError};
 pub use crate::ids::{FlowId, LinkId, NodeId};
 pub use crate::macro_switch::MacroSwitch;

@@ -255,6 +255,21 @@ impl Network {
         self.links.len()
     }
 
+    /// Replaces the capacity of an existing link, leaving the adjacency
+    /// structure (and with it every [`NodeId`]/[`LinkId`]) untouched.
+    ///
+    /// This is the mutation primitive behind failure overlays: degraded
+    /// and removed links keep their identifiers (a removed link is one
+    /// whose capacity is zero), so per-link vectors indexed by dense
+    /// identifiers stay valid across failure events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity: Capacity) {
+        self.links[id.index()].capacity = capacity;
+    }
+
     /// Returns the node with the given identifier.
     ///
     /// # Panics

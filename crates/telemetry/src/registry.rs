@@ -238,10 +238,20 @@ pub mod counters {
     pub static CHURN_RECOMPUTED_FLOWS: Counter = Counter::new("churn.recomputed_flows");
     /// Live flows whose cached rates a churn epoch reused untouched.
     pub static CHURN_REUSED_FLOWS: Counter = Counter::new("churn.reused_flows");
+    /// Failure overlays applied to a churn engine (`apply_failure`
+    /// calls that changed at least one link).
+    pub static FAILURE_EVENTS: Counter = Counter::new("failure.events");
+    /// Links whose capacity a failure overlay actually changed.
+    pub static FAILURE_LINKS_DEGRADED: Counter = Counter::new("failure.links_degraded");
+    /// Flows moved off a dead link by the local fast-reroute policy.
+    pub static REROUTE_FLOWS: Counter = Counter::new("reroute.flows");
+    /// Flows the reroute policy could not save (no middle with a
+    /// surviving uplink and downlink, or a dead host link).
+    pub static REROUTE_DEAD_ENDS: Counter = Counter::new("reroute.dead_ends");
 
     /// Every registered counter, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Counter; 24] {
+    pub fn all() -> [&'static Counter; 28] {
         [
             &WATERFILL_CALLS,
             &WATERFILL_ROUNDS,
@@ -267,6 +277,10 @@ pub mod counters {
             &CHURN_DIRTY_LINKS,
             &CHURN_RECOMPUTED_FLOWS,
             &CHURN_REUSED_FLOWS,
+            &FAILURE_EVENTS,
+            &FAILURE_LINKS_DEGRADED,
+            &REROUTE_FLOWS,
+            &REROUTE_DEAD_ENDS,
         ]
     }
 
