@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use clos_core::routers::{EcmpRouter, GreedyRouter, LocalSearchRouter, Router};
+use clos_core::routers::{macro_demands, EcmpRouter, GreedyRouter, LocalSearchRouter, Router};
 use clos_net::{ClosNetwork, MacroSwitch};
 use clos_sim::rate_ratio_study;
 use clos_workloads::Workload;
@@ -42,9 +42,10 @@ fn bench_routers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dyn_dispatch", n), &n, |b, _| {
             let mut routers: Vec<Box<dyn Router>> =
                 vec![Box::new(EcmpRouter::new(2)), Box::new(GreedyRouter::new())];
+            let demands = macro_demands(&clos, &ms, &flows);
             b.iter(|| {
                 for r in &mut routers {
-                    black_box(r.route(&clos, &ms, &flows));
+                    black_box(r.route(&clos, &demands, &flows));
                 }
             });
         });

@@ -61,7 +61,9 @@ use clos_core::search::{
     search_threads, set_search_threads, LexMaxMin, Objective, Problem, SearchConfig,
 };
 use clos_core::RoutedAllocation;
+use clos_fairness::SortedRates;
 use clos_net::{ClosNetwork, Flow};
+use clos_rational::Rational;
 use clos_telemetry::json::JsonValue;
 
 // The counting allocator lives in `vendor/counting-alloc`: implementing
@@ -327,10 +329,11 @@ fn eval_pipeline_bench(reps: u32) -> EvalBench {
     // Materialize the incumbent once (this allocates, as the engine does
     // on improvements), then warm every scratch buffer.
     problem.evaluate(&mut scratch, &assignments[0]);
-    let incumbent = LexMaxMin.key(&mut scratch);
+    let lex = &LexMaxMin as &dyn Objective<ClosNetwork, Key = SortedRates<Rational>>;
+    let incumbent = lex.key(&mut scratch);
     for a in &assignments {
         problem.evaluate(&mut scratch, a);
-        black_box(LexMaxMin.beats(&incumbent, &mut scratch));
+        black_box(lex.beats(&incumbent, &mut scratch));
     }
 
     let mut best_ms = f64::INFINITY;
@@ -341,7 +344,7 @@ fn eval_pipeline_bench(reps: u32) -> EvalBench {
         for _ in 0..PASSES {
             for a in &assignments {
                 problem.evaluate(&mut scratch, a);
-                black_box(LexMaxMin.beats(&incumbent, &mut scratch));
+                black_box(lex.beats(&incumbent, &mut scratch));
             }
         }
         let ms = start.elapsed().as_secs_f64() * 1e3;

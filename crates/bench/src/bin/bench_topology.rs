@@ -1,0 +1,243 @@
+//! `bench_topology` — wall-clock sweep of the exact routing searches
+//! across the three [`Fabric`] implementors (Clos, Benes, fat-tree) at
+//! oversubscription ratios 1:1, 2:1, and 4:1.
+//!
+//! Where `bench_search` stresses one fabric shape with richer instances,
+//! this binary answers the orthogonal question the `Fabric` refactor
+//! opens up: how does the branch-and-bound scale with *stage depth* and
+//! *routing-class count*? Every sweep point runs both lex-max-min and
+//! throughput-max-min to the exact optimum and records the examined /
+//! pruned routing counts (deterministic for any thread count) next to
+//! the wall time.
+//!
+//! The JSON report (`bench_topology/v1`, default `BENCH_topology.json`)
+//! is informational: it is **not** wired into the `bench_compare` exact
+//! gate, because the sweep's instance set is expected to grow with each
+//! new fabric. `--stable` zeroes the wall-derived metrics so two runs of
+//! the same build are byte-identical — the deterministic counters make
+//! the report diffable on demand.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_topology [--out PATH] [--threads N] [--flows F] [--stable]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use clos_bench::experiments::e15_topologies::ring_flows;
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_core::search::set_search_threads;
+use clos_net::{BenesNetwork, ClosNetwork, Fabric, FatTree, Flow};
+use clos_rational::Rational;
+use clos_telemetry::json::JsonValue;
+
+/// Parsed command-line options.
+struct Options {
+    out: String,
+    threads: Option<usize>,
+    flows: usize,
+    stable: bool,
+}
+
+const USAGE: &str = "usage: bench_topology [--out PATH] [--threads N] [--flows F] [--stable]
+  --out PATH    output JSON path (default BENCH_topology.json)
+  --threads N   search thread count (default: auto)
+  --flows F     flows per partial workload (default 6)
+  --stable      zero wall-derived metrics for byte-reproducible output";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_topology.json".to_string(),
+        threads: None,
+        flows: 6,
+        stable: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+                opts.threads = Some(n);
+            }
+            "--flows" => {
+                let v = value("--flows")?;
+                let f: usize = v.parse().map_err(|_| format!("bad --flows {v}"))?;
+                if f == 0 {
+                    return Err("--flows must be positive".to_string());
+                }
+                opts.flows = f;
+            }
+            "--stable" => opts.stable = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One measured sweep point.
+struct Measured {
+    topology: String,
+    oversub: u32,
+    stages: usize,
+    classes: usize,
+    flows: usize,
+    lex_examined: u64,
+    lex_pruned: u64,
+    tput_examined: u64,
+    tput_pruned: u64,
+    lex_min: Rational,
+    tput_total: Rational,
+    wall_ms: f64,
+}
+
+/// Runs both exact searches over `fabric` and measures the sweep point.
+fn measure<F: Fabric + Sync>(
+    topology: String,
+    oversub: u32,
+    fabric: &F,
+    flows: &[Flow],
+) -> Measured {
+    let start = Instant::now();
+    let (lex, lex_stats) = search_lex_max_min(fabric, flows);
+    let (tput, tput_stats) = search_throughput_max_min(fabric, flows);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Measured {
+        topology,
+        oversub,
+        // Switch columns traversed = interior hops of a candidate path.
+        stages: fabric.max_path_len().saturating_sub(1),
+        classes: fabric.class_count(),
+        flows: flows.len(),
+        lex_examined: lex_stats.routings_examined,
+        lex_pruned: lex_stats.pruned,
+        tput_examined: tput_stats.routings_examined,
+        tput_pruned: tput_stats.pruned,
+        lex_min: lex.allocation.min_rate().unwrap_or(Rational::ZERO),
+        tput_total: tput.throughput(),
+        wall_ms,
+    }
+}
+
+/// Overlay scaling every switch↔switch link to `nominal / ρ` (the e15
+/// interior overlay, restated here to keep the binary self-contained).
+fn scaled<F: Fabric>(base: &F, rho: u32) -> F {
+    let nominal = base.nominal_capacity();
+    let net = base.network();
+    let value = clos_net::Capacity::finite_value(nominal / Rational::from_integer(i128::from(rho)));
+    let overlay: clos_net::CapacityMap = net
+        .links()
+        .filter(|l| {
+            net.node(l.src()).kind() != clos_net::NodeKind::Source
+                && net.node(l.dst()).kind() != clos_net::NodeKind::Destination
+        })
+        .map(|l| (l.id(), value))
+        .collect();
+    base.with_capacities(&overlay)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    if let Some(n) = opts.threads {
+        set_search_threads(n);
+    }
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<24} {:>7} {:>6} {:>7} {:>5} {:>12} {:>12} {:>10}",
+        "topology",
+        "oversub",
+        "stages",
+        "classes",
+        "flows",
+        "lex_examined",
+        "tput_examined",
+        "wall_ms"
+    );
+    for rho in [1u32, 2, 4] {
+        for n in [2usize, 3] {
+            let fabric = scaled(&ClosNetwork::standard(n), rho);
+            let flows = ring_flows(fabric.network(), opts.flows);
+            rows.push(measure(format!("clos(n={n})"), rho, &fabric, &flows));
+        }
+        for r in [2usize, 3] {
+            let base = BenesNetwork::standard(r);
+            let fabric = scaled(&base, rho);
+            let flows = ring_flows(fabric.network(), base.terminal_count());
+            rows.push(measure(format!("benes(r={r})"), rho, &fabric, &flows));
+        }
+        let ft = FatTree::new(4, Rational::from_integer(i128::from(rho)));
+        let flows = ring_flows(ft.network(), opts.flows);
+        rows.push(measure("fat-tree(k=4)".to_string(), rho, &ft, &flows));
+    }
+
+    let mut json_rows = Vec::new();
+    for m in &rows {
+        println!(
+            "{:<24} {:>6}:1 {:>6} {:>7} {:>5} {:>12} {:>12} {:>10.2}",
+            m.topology,
+            m.oversub,
+            m.stages,
+            m.classes,
+            m.flows,
+            m.lex_examined,
+            m.tput_examined,
+            m.wall_ms
+        );
+        let wall_ms = if opts.stable { 0.0 } else { m.wall_ms };
+        json_rows.push(JsonValue::Object(vec![
+            ("topology".to_string(), JsonValue::from(m.topology.as_str())),
+            ("oversub".to_string(), JsonValue::from(u64::from(m.oversub))),
+            ("stages".to_string(), JsonValue::from(m.stages)),
+            ("classes".to_string(), JsonValue::from(m.classes)),
+            ("flows".to_string(), JsonValue::from(m.flows)),
+            ("lex_examined".to_string(), JsonValue::from(m.lex_examined)),
+            ("lex_pruned".to_string(), JsonValue::from(m.lex_pruned)),
+            (
+                "tput_examined".to_string(),
+                JsonValue::from(m.tput_examined),
+            ),
+            ("tput_pruned".to_string(), JsonValue::from(m.tput_pruned)),
+            (
+                "lex_min".to_string(),
+                JsonValue::from(m.lex_min.to_string()),
+            ),
+            (
+                "tput_total".to_string(),
+                JsonValue::from(m.tput_total.to_string()),
+            ),
+            ("wall_ms".to_string(), JsonValue::from(wall_ms)),
+        ]));
+    }
+
+    let report = JsonValue::Object(vec![
+        ("schema".to_string(), JsonValue::from("bench_topology/v1")),
+        ("stable".to_string(), JsonValue::from(opts.stable)),
+        ("rows".to_string(), JsonValue::Array(json_rows)),
+    ]);
+    fs::write(&opts.out, format!("{report}\n")).map_err(|e| format!("write {}: {e}", opts.out))?;
+    println!("report written to {}", opts.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_topology: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,6 +5,7 @@ pub mod e11_lp_cross_validation;
 pub mod e12_weighted_fairness;
 pub mod e13_churn;
 pub mod e14_failures;
+pub mod e15_topologies;
 pub mod e1_example_2_3;
 pub mod e2_price_of_fairness;
 pub mod e3_replication;

@@ -1,13 +1,14 @@
 //! The incremental churn engine.
 //!
-//! [`ChurnEngine`] maintains the max-min fair allocation of a Clos
-//! network under online flow churn. Each [`FlowEvent`] routes (on
-//! arrival, via an [`OnlinePolicy`]) or removes one flow and marks the
-//! four fabric links the flow crosses *dirty*; after a configurable
-//! batch of events an *epoch* recomputes rates — but only for the
-//! *dirty region*, the connected component(s) of the flow↔link
-//! incidence graph reachable from a dirty link. Flows outside the
-//! region kept their membership lists and link loads unchanged, so
+//! [`ChurnEngine`] maintains the max-min fair allocation of a
+//! multi-stage fabric (any [`Fabric`], a Clos network by default) under
+//! online flow churn. Each [`FlowEvent`] routes (on arrival, via an
+//! [`OnlinePolicy`] choosing among the fabric's routing classes) or
+//! removes one flow and marks the links the flow crosses *dirty*; after
+//! a configurable batch of events an *epoch* recomputes rates — but
+//! only for the *dirty region*, the connected component(s) of the
+//! flow↔link incidence graph reachable from a dirty link. Flows outside
+//! the region kept their membership lists and link loads unchanged, so
 //! their rates are provably unaffected and are reused verbatim.
 //!
 //! # Bit-identical incrementality
@@ -32,10 +33,18 @@
 //! different batches agree byte-for-byte at every common flushed
 //! checkpoint (CI byte-diffs published epochs at two batch sizes).
 //!
+//! Nothing here assumes the Clos shape: paths may have any length up to
+//! [`Fabric::max_path_len`] (slot link/position tables are flat arrays
+//! with that stride), and congestion bookkeeping is a live-flow count
+//! per dense link rather than per (ToR, middle) pair. On a Clos fabric
+//! the interior of a path is exactly its uplink and downlink, so the
+//! per-class load maxima the policy sees — and hence every placement —
+//! are identical to the historical ToR-sharded matrices.
+//!
 //! [`flush`]: ChurnEngine::flush
 
 use clos_fairness::{WaterfillInstance, WaterfillScratch};
-use clos_net::{CapacityMap, ClosNetwork, Flow, LinkId};
+use clos_net::{CapacityMap, ClosNetwork, Fabric, Flow, LinkId};
 use clos_rational::{Rational, Scalar};
 use clos_telemetry::{counters, timers};
 
@@ -98,22 +107,18 @@ pub struct RecomputeStats {
     pub reroute_dead_ends: u64,
 }
 
-/// One flow's pod/ToR-sharded bookkeeping (slots are reused through a
-/// free list after the flow departs).
+/// One flow's bookkeeping (slots are reused through a free list after
+/// the flow departs). The flow's dense link indices and member-list
+/// positions live in the engine's flat `slot_links`/`slot_pos` tables
+/// at `slot * stride`, with `len` entries used.
 #[derive(Clone, Debug)]
 struct Slot<S> {
     key: FlowKey,
     flow: Flow,
-    /// Source-side ToR index (pod shard of the up-count matrix).
-    src_tor: u32,
-    /// Destination-side ToR index (pod shard of the down-count matrix).
-    dst_tor: u32,
-    /// Chosen middle switch.
-    middle: u32,
-    /// The four crossed links, as full-instance dense indices.
-    links: [u32; 4],
-    /// This slot's position inside each link's member list.
-    pos: [u32; 4],
+    /// Chosen routing class (on Clos, the middle-switch index).
+    class: u32,
+    /// Number of links on the flow's current path.
+    len: u32,
     /// Cached max-min rate as of the last epoch covering this flow.
     rate: S,
     /// Bottleneck link (full-instance dense index) as of that epoch.
@@ -121,8 +126,8 @@ struct Slot<S> {
     live: bool,
 }
 
-/// Event-driven incremental max-min allocation over a Clos network
-/// (see the module docs for the algorithm and its guarantees).
+/// Event-driven incremental max-min allocation over a multi-stage
+/// fabric (see the module docs for the algorithm and its guarantees).
 ///
 /// # Examples
 ///
@@ -146,15 +151,24 @@ struct Slot<S> {
 /// assert_eq!(engine.live(), 0);
 /// ```
 #[derive(Clone, Debug)]
-pub struct ChurnEngine<S> {
-    clos: ClosNetwork,
+pub struct ChurnEngine<S, F: Fabric = ClosNetwork> {
+    fabric: F,
     instance: WaterfillInstance<S>,
     policy: OnlinePolicy,
     cfg: ChurnConfig,
     capacity: Rational,
-    middles: usize,
+    classes: usize,
+    /// Per-slot stride of the flat link/position tables, equal to the
+    /// fabric's [`max_path_len`](Fabric::max_path_len).
+    stride: usize,
 
     slots: Vec<Slot<S>>,
+    /// Dense link indices per slot, `stride` entries each (the first
+    /// `len` are meaningful).
+    slot_links: Vec<u32>,
+    /// This slot's position inside each link's member list, parallel to
+    /// `slot_links`.
+    slot_pos: Vec<u32>,
     free: Vec<u32>,
     /// Key → slot index (keys are dense, see [`FlowKey`]); `NO_SLOT`
     /// marks keys that never arrived or already departed.
@@ -162,10 +176,9 @@ pub struct ChurnEngine<S> {
     /// Per dense link: member slot indices (order maintained by
     /// swap-remove, deterministic in the event prefix).
     members: Vec<Vec<u32>>,
-    /// Live-flow count per uplink, `up[src_tor * middles + m]`.
-    up: Vec<u32>,
-    /// Live-flow count per downlink, `down[dst_tor * middles + m]`.
-    down: Vec<u32>,
+    /// Live-flow count per dense link (every link of a live flow's
+    /// path counts; the policy reads interior links only).
+    live_count: Vec<u32>,
     live: usize,
 
     dirty: Vec<bool>,
@@ -175,7 +188,11 @@ pub struct ChurnEngine<S> {
     scratch: WaterfillScratch<S>,
     oracle_scratch: WaterfillScratch<S>,
 
+    // Apply-time work buffers, reused across events.
+    path_buf: Vec<LinkId>,
+    class_loads: Vec<u32>,
     // Epoch work buffers, reused across epochs.
+    flow_links: Vec<usize>,
     slot_mark: Vec<bool>,
     affected: Vec<u32>,
     link_stack: Vec<usize>,
@@ -184,42 +201,46 @@ pub struct ChurnEngine<S> {
     stats: RecomputeStats,
 }
 
-impl<S: Scalar> ChurnEngine<S> {
-    /// Builds an engine over `clos` with the given routing policy.
+impl<S: Scalar, F: Fabric> ChurnEngine<S, F> {
+    /// Builds an engine over `fabric` with the given routing policy.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.batch` is zero.
     #[must_use]
-    pub fn new(clos: ClosNetwork, policy: OnlinePolicy, cfg: ChurnConfig) -> ChurnEngine<S> {
+    pub fn new(fabric: F, policy: OnlinePolicy, cfg: ChurnConfig) -> ChurnEngine<S, F> {
         assert!(cfg.batch >= 1, "batch size must be at least 1");
-        let instance = WaterfillInstance::<S>::compile(clos.network());
+        let instance = WaterfillInstance::<S>::compile(fabric.network());
         let links = instance.link_count();
-        let shard = clos.tor_count() * clos.middle_count();
         ChurnEngine {
-            capacity: clos.params().link_capacity,
-            middles: clos.middle_count(),
+            capacity: fabric.nominal_capacity(),
+            classes: fabric.class_count(),
+            stride: fabric.max_path_len(),
             instance,
             policy,
             cfg,
             slots: Vec::new(),
+            slot_links: Vec::new(),
+            slot_pos: Vec::new(),
             free: Vec::new(),
             slot_of_key: Vec::new(),
             members: vec![Vec::new(); links],
-            up: vec![0; shard],
-            down: vec![0; shard],
+            live_count: vec![0; links],
             live: 0,
             dirty: vec![false; links],
             dirty_list: Vec::new(),
             pending: 0,
             scratch: WaterfillScratch::new(),
             oracle_scratch: WaterfillScratch::new(),
+            path_buf: Vec::new(),
+            class_loads: Vec::new(),
+            flow_links: Vec::new(),
             slot_mark: Vec::new(),
             affected: Vec::new(),
             link_stack: Vec::new(),
             region: Vec::new(),
             stats: RecomputeStats::default(),
-            clos,
+            fabric,
         }
     }
 
@@ -244,26 +265,49 @@ impl<S: Scalar> ChurnEngine<S> {
         }
     }
 
+    /// Dense waterfill index of `link`.
+    fn dense(&self, link: LinkId) -> usize {
+        let Some(d) = self.instance.dense_index(link) else {
+            unreachable!("fabric links are finite")
+        };
+        d
+    }
+
+    /// Maximum live-flow count over the interior links of the path,
+    /// the congestion the policy compares across classes. (Host access
+    /// links are class-independent, so they cancel; a degenerate path
+    /// with no interior reads all of its links.)
+    fn interior_load(&self, len: usize) -> u32 {
+        let span = if len >= 3 { 1..len - 1 } else { 0..len };
+        let mut load = 0u32;
+        for i in span {
+            let d = self.dense(self.path_buf[i]);
+            load = load.max(self.live_count[d]);
+        }
+        load
+    }
+
     fn arrive(&mut self, key: FlowKey, flow: Flow) {
         counters::CHURN_ARRIVALS.incr();
         self.stats.arrivals += 1;
-        let src = self.clos.src_tor(flow);
-        let dst = self.clos.dst_tor(flow);
-        let n = self.middles;
-        let middle = self.policy.pick_middle(
-            &self.up[src * n..(src + 1) * n],
-            &self.down[dst * n..(dst + 1) * n],
-            self.capacity,
-        );
-        self.up[src * n + middle] += 1;
-        self.down[dst * n + middle] += 1;
+        self.class_loads.clear();
+        for class in 0..self.classes {
+            self.path_buf.clear();
+            self.fabric
+                .append_links_via(flow, class, &mut self.path_buf);
+            let load = self.interior_load(self.path_buf.len());
+            self.class_loads.push(load);
+        }
+        let class = self.policy.pick_class(&self.class_loads, self.capacity);
 
-        let links = self.clos.links_via(flow, middle).map(|l| {
-            let Some(d) = self.instance.dense_index(l) else {
-                unreachable!("Clos links are finite")
-            };
-            d as u32
-        });
+        self.path_buf.clear();
+        self.fabric
+            .append_links_via(flow, class, &mut self.path_buf);
+        let len = self.path_buf.len();
+        debug_assert!(
+            len >= 1 && len <= self.stride,
+            "path length within the fabric's declared bound"
+        );
 
         let slot = match self.free.pop() {
             Some(slot) => slot,
@@ -271,15 +315,14 @@ impl<S: Scalar> ChurnEngine<S> {
                 self.slots.push(Slot {
                     key: 0,
                     flow,
-                    src_tor: 0,
-                    dst_tor: 0,
-                    middle: 0,
-                    links: [0; 4],
-                    pos: [0; 4],
+                    class: 0,
+                    len: 0,
                     rate: S::zero(),
                     bottleneck: 0,
                     live: false,
                 });
+                self.slot_links.resize(self.slots.len() * self.stride, 0);
+                self.slot_pos.resize(self.slots.len() * self.stride, 0);
                 (self.slots.len() - 1) as u32
             }
         };
@@ -294,28 +337,35 @@ impl<S: Scalar> ChurnEngine<S> {
         );
         self.slot_of_key[ki] = slot;
 
-        let mut pos = [0u32; 4];
-        for (i, &d) in links.iter().enumerate() {
-            let list = &mut self.members[d as usize];
-            pos[i] = list.len() as u32;
-            list.push(slot);
-            self.mark_dirty(d as usize);
-        }
+        self.link_current_path(slot);
 
-        self.slots[slot as usize] = Slot {
-            key,
-            flow,
-            src_tor: src as u32,
-            dst_tor: dst as u32,
-            middle: middle as u32,
-            links,
-            pos,
-            rate: S::zero(),
-            bottleneck: links[0],
-            live: true,
-        };
+        let base = slot as usize * self.stride;
+        let s = &mut self.slots[slot as usize];
+        s.key = key;
+        s.flow = flow;
+        s.class = class as u32;
+        s.len = len as u32;
+        s.rate = S::zero();
+        s.bottleneck = self.slot_links[base];
+        s.live = true;
         self.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live as u64);
+    }
+
+    /// Pushes `slot` onto the member list of every link in `path_buf`
+    /// (recording dense indices and positions in the flat tables),
+    /// bumps live counts, and marks the links dirty.
+    fn link_current_path(&mut self, slot: u32) {
+        let base = slot as usize * self.stride;
+        for i in 0..self.path_buf.len() {
+            let d = self.dense(self.path_buf[i]);
+            self.slot_links[base + i] = d as u32;
+            let p = self.members[d].len() as u32;
+            self.members[d].push(slot);
+            self.slot_pos[base + i] = p;
+            self.live_count[d] += 1;
+            self.mark_dirty(d);
+        }
     }
 
     fn depart(&mut self, key: FlowKey) {
@@ -330,37 +380,35 @@ impl<S: Scalar> ChurnEngine<S> {
 
         self.unlink_slot(slot);
 
-        let s = &mut self.slots[slot as usize];
-        s.live = false;
-        let n = self.middles;
-        let (src, dst, m) = (s.src_tor as usize, s.dst_tor as usize, s.middle as usize);
-        self.up[src * n + m] -= 1;
-        self.down[dst * n + m] -= 1;
+        self.slots[slot as usize].live = false;
         self.free.push(slot);
         self.live -= 1;
     }
 
-    /// Removes `slot` from the member list of each of its four links
-    /// (swap-remove with position fixup) and marks those links dirty.
+    /// Removes `slot` from the member list of each link it crosses
+    /// (swap-remove with position fixup), drops its live counts, and
+    /// marks those links dirty.
     fn unlink_slot(&mut self, slot: u32) {
-        let links = self.slots[slot as usize].links;
-        let pos = self.slots[slot as usize].pos;
-        for i in 0..4 {
-            let d = links[i] as usize;
-            let p = pos[i] as usize;
+        let base = slot as usize * self.stride;
+        let len = self.slots[slot as usize].len as usize;
+        for i in 0..len {
+            let d = self.slot_links[base + i] as usize;
+            let p = self.slot_pos[base + i] as usize;
+            self.live_count[d] -= 1;
             let list = &mut self.members[d];
             let Some(last) = list.pop() else {
                 unreachable!("member list of a live flow's link cannot be empty")
             };
             if p < list.len() {
                 // Swap-remove: the tail slot moves into `p`; fix its
-                // recorded position for this link (a slot's four links
-                // are on four distinct layers, so `d` appears once).
+                // recorded position for this link (a path never repeats
+                // a link, so `d` appears once in the moved slot).
                 list[p] = last;
-                let moved = &mut self.slots[last as usize];
-                for j in 0..4 {
-                    if moved.links[j] as usize == d {
-                        moved.pos[j] = p as u32;
+                let mbase = last as usize * self.stride;
+                let mlen = self.slots[last as usize].len as usize;
+                for j in 0..mlen {
+                    if self.slot_links[mbase + j] as usize == d {
+                        self.slot_pos[mbase + j] = p as u32;
                     }
                 }
             } else {
@@ -398,9 +446,9 @@ impl<S: Scalar> ChurnEngine<S> {
         self.stats.dirty_links += self.dirty_list.len() as u64;
 
         // Close the dirty links under flow↔link incidence: every flow on
-        // a region link joins the region along with all four of its
-        // links, so the region covers whole connected components and a
-        // subset run over it is exact (see the module docs).
+        // a region link joins the region along with all of its links, so
+        // the region covers whole connected components and a subset run
+        // over it is exact (see the module docs).
         self.slot_mark.resize(self.slots.len(), false);
         self.affected.clear();
         self.link_stack.clear();
@@ -413,8 +461,10 @@ impl<S: Scalar> ChurnEngine<S> {
                 }
                 self.slot_mark[slot as usize] = true;
                 self.affected.push(slot);
-                for &l in &self.slots[slot as usize].links {
-                    let l = l as usize;
+                let base = slot as usize * self.stride;
+                let plen = self.slots[slot as usize].len as usize;
+                for j in 0..plen {
+                    let l = self.slot_links[base + j] as usize;
                     if !self.dirty[l] {
                         self.dirty[l] = true;
                         // A zero-capacity (failed) link joins the
@@ -447,18 +497,22 @@ impl<S: Scalar> ChurnEngine<S> {
         // relative order a full run over all live slots would use.
         self.affected.sort_unstable();
 
-        let sub = WaterfillInstance::<S>::compile_subset(self.clos.network(), &self.region);
+        let sub = WaterfillInstance::<S>::compile_subset(self.fabric.network(), &self.region);
         self.scratch.begin();
         for idx in 0..self.affected.len() {
             let slot = self.affected[idx] as usize;
             self.slot_mark[slot] = false;
-            let links = self.slots[slot].links.map(|d| {
-                let Some(sd) = sub.dense_index(self.instance.link_id(d as usize)) else {
+            let base = slot * self.stride;
+            let plen = self.slots[slot].len as usize;
+            self.flow_links.clear();
+            for j in 0..plen {
+                let d = self.slot_links[base + j] as usize;
+                let Some(sd) = sub.dense_index(self.instance.link_id(d)) else {
                     unreachable!("region is closed under incidence")
                 };
-                sd
-            });
-            self.scratch.push_flow(&links);
+                self.flow_links.push(sd);
+            }
+            self.scratch.push_flow(&self.flow_links);
         }
         sub.run(&mut self.scratch);
 
@@ -488,11 +542,17 @@ impl<S: Scalar> ChurnEngine<S> {
     /// over every live flow must agree bit for bit.
     fn check_against_oracle(&mut self) {
         self.oracle_scratch.begin();
-        for slot in &self.slots {
-            if slot.live {
-                self.oracle_scratch
-                    .push_flow(&slot.links.map(|d| d as usize));
+        for si in 0..self.slots.len() {
+            if !self.slots[si].live {
+                continue;
             }
+            let base = si * self.stride;
+            let plen = self.slots[si].len as usize;
+            self.flow_links.clear();
+            for j in 0..plen {
+                self.flow_links.push(self.slot_links[base + j] as usize);
+            }
+            self.oracle_scratch.push_flow(&self.flow_links);
         }
         self.instance.run(&mut self.oracle_scratch);
         let rates = self.oracle_scratch.rates();
@@ -540,7 +600,7 @@ impl<S: Scalar> ChurnEngine<S> {
     pub fn apply_failure(&mut self, overlay: &CapacityMap) {
         let changed: Vec<LinkId> = overlay
             .iter()
-            .filter(|&(&link, &cap)| self.clos.network().link(link).capacity() != cap)
+            .filter(|&(&link, &cap)| self.fabric.network().link(link).capacity() != cap)
             .map(|(&link, _)| link)
             .collect();
         if changed.is_empty() {
@@ -550,8 +610,8 @@ impl<S: Scalar> ChurnEngine<S> {
         counters::FAILURE_LINKS_DEGRADED.add(changed.len() as u64);
         self.stats.failures += 1;
         self.stats.degraded_links += changed.len() as u64;
-        self.clos = self.clos.with_capacities(overlay);
-        let instance = WaterfillInstance::<S>::compile(self.clos.network());
+        self.fabric = self.fabric.with_capacities(overlay);
+        let instance = WaterfillInstance::<S>::compile(self.fabric.network());
         debug_assert_eq!(
             instance.link_ids(),
             self.instance.link_ids(),
@@ -566,58 +626,40 @@ impl<S: Scalar> ChurnEngine<S> {
         }
     }
 
-    /// Moves the live flow in `slot` onto `middle`, updating member
-    /// lists, pod counts, and dirty marks on both the old and new
-    /// links. The recorded rate goes stale until the next flush.
-    fn relocate(&mut self, slot: u32, middle: usize) {
+    /// Moves the live flow in `slot` onto its path via `class`,
+    /// updating member lists, live counts, and dirty marks on both the
+    /// old and new links. The recorded rate goes stale until the next
+    /// flush.
+    fn relocate(&mut self, slot: u32, class: usize) {
         self.unlink_slot(slot);
-        let (flow, src, dst, old) = {
-            let s = &self.slots[slot as usize];
-            (
-                s.flow,
-                s.src_tor as usize,
-                s.dst_tor as usize,
-                s.middle as usize,
-            )
-        };
-        let n = self.middles;
-        self.up[src * n + old] -= 1;
-        self.down[dst * n + old] -= 1;
-        self.up[src * n + middle] += 1;
-        self.down[dst * n + middle] += 1;
-
-        let links = self.clos.links_via(flow, middle).map(|l| {
-            let Some(d) = self.instance.dense_index(l) else {
-                unreachable!("Clos links are finite")
-            };
-            d as u32
-        });
-        let mut pos = [0u32; 4];
-        for (i, &d) in links.iter().enumerate() {
-            let list = &mut self.members[d as usize];
-            pos[i] = list.len() as u32;
-            list.push(slot);
-            self.mark_dirty(d as usize);
-        }
+        let flow = self.slots[slot as usize].flow;
+        self.path_buf.clear();
+        self.fabric
+            .append_links_via(flow, class, &mut self.path_buf);
+        let len = self.path_buf.len();
+        debug_assert!(
+            len >= 1 && len <= self.stride,
+            "path length within the fabric's declared bound"
+        );
+        self.link_current_path(slot);
         let s = &mut self.slots[slot as usize];
-        s.middle = middle as u32;
-        s.links = links;
-        s.pos = pos;
+        s.class = class as u32;
+        s.len = len as u32;
     }
 
     /// Sweeps every live flow crossing a zero-capacity link and moves
     /// it, via the randomized local fast-reroute `policy`, onto a
-    /// middle switch whose uplink *and* downlink for the flow's ToR
-    /// pair both survive. A flow with a dead host link or no surviving
-    /// middle is left in place as *stuck* — its max-min rate is zero
-    /// and no reroute (local or global) can change that.
+    /// routing class whose interior links *all* survive. A flow with a
+    /// dead host access link or no surviving class is left in place as
+    /// *stuck* — its max-min rate is zero and no reroute (local or
+    /// global) can change that.
     ///
     /// The sweep runs in ascending slot order — a deterministic
     /// function of the event prefix — so the outcome depends only on
     /// engine state and the policy's seed. Call
     /// [`flush`](Self::flush) afterwards to publish recomputed rates.
     pub fn reroute_failed(&mut self, policy: &mut LocalReroute) -> RerouteOutcome {
-        let n = self.middles;
+        let n = self.classes;
         let mut outcome = RerouteOutcome::default();
         let mut candidates: Vec<usize> = Vec::with_capacity(n);
         for slot in 0..self.slots.len() as u32 {
@@ -625,30 +667,39 @@ impl<S: Scalar> ChurnEngine<S> {
             if !s.live {
                 continue;
             }
-            let dead = s
-                .links
-                .iter()
-                .any(|&d| self.instance.capacity(d as usize).is_zero());
+            let (flow, len) = (s.flow, s.len as usize);
+            let base = slot as usize * self.stride;
+            let dead = (0..len).any(|j| {
+                self.instance
+                    .capacity(self.slot_links[base + j] as usize)
+                    .is_zero()
+            });
             if !dead {
                 continue;
             }
-            // Host links are shared by every middle choice: if one is
-            // dead, no detour exists.
-            let host_dead = self.instance.capacity(s.links[0] as usize).is_zero()
-                || self.instance.capacity(s.links[3] as usize).is_zero();
-            let flow = s.flow;
+            // Host access links are shared by every class choice: if
+            // one is dead, no detour exists.
+            let host_dead = self
+                .instance
+                .capacity(self.slot_links[base] as usize)
+                .is_zero()
+                || self
+                    .instance
+                    .capacity(self.slot_links[base + len - 1] as usize)
+                    .is_zero();
             candidates.clear();
             if !host_dead {
-                for m in 0..n {
-                    let [_, uplink, downlink, _] = self.clos.links_via(flow, m);
-                    let alive = |l: LinkId| {
-                        let Some(d) = self.instance.dense_index(l) else {
-                            unreachable!("Clos links are finite")
-                        };
-                        !self.instance.capacity(d).is_zero()
-                    };
-                    if alive(uplink) && alive(downlink) {
-                        candidates.push(m);
+                for class in 0..n {
+                    self.path_buf.clear();
+                    self.fabric
+                        .append_links_via(flow, class, &mut self.path_buf);
+                    let plen = self.path_buf.len();
+                    let span = if plen >= 3 { 1..plen - 1 } else { 0..plen };
+                    let alive = self.path_buf[span]
+                        .iter()
+                        .all(|&l| !self.instance.capacity(self.dense(l)).is_zero());
+                    if alive {
+                        candidates.push(class);
                     }
                 }
             }
@@ -680,8 +731,8 @@ impl<S: Scalar> ChurnEngine<S> {
 
     /// The engine's topology.
     #[must_use]
-    pub fn clos(&self) -> &ClosNetwork {
-        &self.clos
+    pub fn fabric(&self) -> &F {
+        &self.fabric
     }
 
     /// The routing policy's short name.
@@ -718,16 +769,18 @@ impl<S: Scalar> ChurnEngine<S> {
         Some(self.slots[slot as usize].flow)
     }
 
-    /// The middle switch the live flow with `key` was placed on, or
-    /// `None` if no live flow has that key. Placement is final for the
-    /// flow's lifetime (unsplittable flows are never moved).
+    /// The routing class the live flow with `key` was placed on (on a
+    /// Clos fabric, the middle-switch index), or `None` if no live flow
+    /// has that key. Placement is final for the flow's lifetime
+    /// (unsplittable flows are never moved) except through
+    /// [`reroute_failed`](Self::reroute_failed).
     #[must_use]
-    pub fn middle(&self, key: FlowKey) -> Option<usize> {
+    pub fn class_of(&self, key: FlowKey) -> Option<usize> {
         let slot = *self.slot_of_key.get(key as usize)?;
         if slot == NO_SLOT {
             return None;
         }
-        Some(self.slots[slot as usize].middle as usize)
+        Some(self.slots[slot as usize].class as usize)
     }
 
     /// The bottleneck link of the live flow with `key` as of the last
@@ -803,6 +856,7 @@ impl<S: Scalar> ChurnEngine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clos_net::BenesNetwork;
     use clos_rational::TotalF64;
 
     fn engine(n: usize, batch: usize, verify: bool) -> ChurnEngine<Rational> {
@@ -816,7 +870,7 @@ mod tests {
     #[test]
     fn single_flow_gets_full_rate_and_departs_cleanly() {
         let mut e = engine(2, 1, true);
-        let flow = Flow::new(e.clos().source(0, 0), e.clos().destination(2, 0));
+        let flow = Flow::new(e.fabric().source(0, 0), e.fabric().destination(2, 0));
         e.apply(FlowEvent::Arrive { key: 0, flow });
         assert_eq!(e.rate(0), Some(Rational::ONE));
         assert_eq!(e.flow(0), Some(flow));
@@ -832,7 +886,7 @@ mod tests {
     #[test]
     fn batching_defers_recompute_until_flush() {
         let mut e = engine(2, 100, false);
-        let clos = e.clos().clone();
+        let clos = e.fabric().clone();
         for k in 0..4 {
             let flow = Flow::new(
                 clos.source(k % 2, (k / 2) % 2),
@@ -856,7 +910,7 @@ mod tests {
         // ToR pair (0 -> 2) and ToR pair (1 -> 3) never share fabric
         // links under greedy with one flow each per middle.
         let mut e = engine(2, 1, true);
-        let clos = e.clos().clone();
+        let clos = e.fabric().clone();
         e.apply(FlowEvent::Arrive {
             key: 0,
             flow: Flow::new(clos.source(0, 0), clos.destination(2, 0)),
@@ -913,11 +967,62 @@ mod tests {
         }
     }
 
+    /// The engine makes no 4-link/4-layer assumption: a Benes fabric of
+    /// order 3 has 6-link paths and 4 routing classes, and the verify
+    /// oracle pins the incremental allocation bit for bit across an
+    /// arrive/depart mix that reuses slots.
+    #[test]
+    fn benes_six_link_paths_match_oracle() {
+        let benes = BenesNetwork::standard(3);
+        assert_eq!(benes.max_path_len(), 6);
+        assert_eq!(benes.class_count(), 4);
+        let terminals = benes.terminal_count();
+        let mut e = ChurnEngine::<Rational, BenesNetwork>::new(
+            benes.clone(),
+            OnlinePolicy::greedy(),
+            ChurnConfig {
+                batch: 1,
+                verify: true,
+            },
+        );
+        // A full permutation load: terminal t -> terminal (t + 3) mod 8.
+        for t in 0..terminals {
+            let flow = Flow::new(benes.source(t), benes.destination((t + 3) % terminals));
+            e.apply(FlowEvent::Arrive {
+                key: t as u64,
+                flow,
+            });
+        }
+        assert_eq!(e.live(), terminals);
+        for t in 0..terminals {
+            let class = e.class_of(t as u64).expect("live flow has a placement");
+            assert!(class < 4);
+            assert!(e.rate(t as u64).expect("rate published").is_positive());
+        }
+        // Depart half (exercising swap-remove on 6-entry link sets),
+        // then re-arrive onto reused slots.
+        for t in (0..terminals).step_by(2) {
+            e.apply(FlowEvent::Depart { key: t as u64 });
+        }
+        assert_eq!(e.live(), terminals / 2);
+        for t in (0..terminals).step_by(2) {
+            let flow = Flow::new(benes.source(t), benes.destination((t + 5) % terminals));
+            e.apply(FlowEvent::Arrive {
+                key: (terminals + t) as u64,
+                flow,
+            });
+        }
+        assert_eq!(e.live(), terminals);
+        // Every epoch above ran with verify=true; a final flush after a
+        // batched tail double-checks the steady state.
+        e.flush();
+    }
+
     #[test]
     #[should_panic(expected = "duplicate arrival")]
     fn duplicate_arrival_panics() {
         let mut e = engine(2, 100, false);
-        let flow = Flow::new(e.clos().source(0, 0), e.clos().destination(2, 0));
+        let flow = Flow::new(e.fabric().source(0, 0), e.fabric().destination(2, 0));
         e.apply(FlowEvent::Arrive { key: 0, flow });
         e.apply(FlowEvent::Arrive { key: 0, flow });
     }

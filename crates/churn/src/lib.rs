@@ -14,7 +14,8 @@
 //! * [`policy`] — per-event online routing ([`OnlinePolicy`]): ECMP,
 //!   greedy, and first-fit mirrors of the `clos-core` batch routers
 //!   over persistent live-flow counts, never disturbing placed flows.
-//! * [`engine`] — the [`ChurnEngine`]: pod/ToR-sharded flow state with
+//! * [`engine`] — the [`ChurnEngine`]: per-link live-flow state over
+//!   any [`Fabric`](clos_net::Fabric) (Clos by default) with
 //!   event batching, where each recompute epoch re-runs water-filling
 //!   only over the *dirty region* (the components touched since the
 //!   last epoch) and provably reproduces a full recompute bit for bit

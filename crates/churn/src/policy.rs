@@ -14,11 +14,11 @@
 //!   `clos_core::routers::EcmpRouter`, so with equal seeds an
 //!   arrival-only trace reproduces ECMP's choices byte for byte (a
 //!   churn test pins this).
-//! * Greedy (cf. `GreedyRouter`) — the middle minimizing the path's
-//!   post-placement congestion, ties to the lowest index.
-//! * First fit (cf. `FirstFitRouter`) — the first middle whose uplink
-//!   and downlink both still have room for one more unit-demand flow,
-//!   falling back to the least congested middle.
+//! * Greedy (cf. `GreedyRouter`) — the routing class minimizing the
+//!   path's post-placement congestion, ties to the lowest index.
+//! * First fit (cf. `FirstFitRouter`) — the first routing class whose
+//!   interior links all still have room for one more unit-demand flow,
+//!   falling back to the least congested class.
 //!
 //! Placed flows are never moved: a policy decision is final until the
 //! flow departs, which is exactly the unsplittable-flow constraint the
@@ -87,42 +87,36 @@ impl OnlinePolicy {
         }
     }
 
-    /// Picks the middle switch for one arriving flow.
+    /// Picks the routing class for one arriving flow.
     ///
-    /// `up` holds the live-flow count of each uplink out of the flow's
-    /// source ToR (indexed by middle), `down` likewise for the
-    /// downlinks into its destination ToR; `capacity` is the fabric
-    /// link capacity consulted by first fit. Both slices have one entry
-    /// per middle switch and must be non-empty.
-    pub(crate) fn pick_middle(&mut self, up: &[u32], down: &[u32], capacity: Rational) -> usize {
-        let n = up.len();
-        debug_assert_eq!(n, down.len());
+    /// `loads[c]` is the maximum live-flow count over the interior
+    /// links of the flow's candidate path via class `c` (on Clos, the
+    /// larger of the uplink and downlink counts); `capacity` is the
+    /// nominal fabric link capacity consulted by first fit. The slice
+    /// has one entry per routing class and must be non-empty.
+    pub(crate) fn pick_class(&mut self, loads: &[u32], capacity: Rational) -> usize {
+        let n = loads.len();
         match self {
             OnlinePolicy::Ecmp { rng } => rng.gen_range(0..n),
             OnlinePolicy::Greedy => {
-                let best = (0..n).min_by_key(|&m| {
-                    // Path congestion after placing one unit-demand flow.
-                    let c = (up[m] + 1).max(down[m] + 1);
-                    (c, m)
-                });
+                // Path congestion after placing one unit-demand flow.
+                let best = (0..n).min_by_key(|&c| (loads[c] + 1, c));
                 let Some(best) = best else {
-                    unreachable!("middle count is positive")
+                    unreachable!("class count is positive")
                 };
                 best
             }
             OnlinePolicy::FirstFit => {
-                let fits = (0..n).find(|&m| {
-                    Rational::from_integer(i128::from(up[m]) + 1) <= capacity
-                        && Rational::from_integer(i128::from(down[m]) + 1) <= capacity
-                });
+                let fits =
+                    (0..n).find(|&c| Rational::from_integer(i128::from(loads[c]) + 1) <= capacity);
                 match fits {
-                    Some(m) => m,
+                    Some(c) => c,
                     None => {
-                        // No middle fits: fall back to least congestion,
+                        // No class fits: fall back to least congestion,
                         // as FirstFitRouter does.
-                        let least = (0..n).min_by_key(|&m| (up[m].max(down[m]), m));
+                        let least = (0..n).min_by_key(|&c| (loads[c], c));
                         let Some(least) = least else {
-                            unreachable!("middle count is positive")
+                            unreachable!("class count is positive")
                         };
                         least
                     }
@@ -150,21 +144,21 @@ mod tests {
         let mut p = OnlinePolicy::greedy();
         let cap = Rational::ONE;
         // All empty: lowest index wins.
-        assert_eq!(p.pick_middle(&[0, 0, 0], &[0, 0, 0], cap), 0);
-        // Middle 0 loaded on the uplink: spill to 1.
-        assert_eq!(p.pick_middle(&[2, 0, 0], &[0, 0, 0], cap), 1);
-        // Downlink congestion counts too.
-        assert_eq!(p.pick_middle(&[1, 1, 1], &[3, 3, 0], cap), 2);
+        assert_eq!(p.pick_class(&[0, 0, 0], cap), 0);
+        // Class 0 loaded: spill to 1.
+        assert_eq!(p.pick_class(&[2, 0, 0], cap), 1);
+        // The max over a path's interior links is what spills.
+        assert_eq!(p.pick_class(&[3, 3, 1], cap), 2);
     }
 
     #[test]
     fn first_fit_takes_first_fitting_then_falls_back() {
         let mut p = OnlinePolicy::first_fit();
         let cap = Rational::from_integer(2);
-        // Middle 0 is full on the uplink (2 live flows), 1 fits.
-        assert_eq!(p.pick_middle(&[2, 1, 0], &[0, 0, 0], cap), 1);
+        // Class 0 is full (2 live flows), 1 fits.
+        assert_eq!(p.pick_class(&[2, 1, 0], cap), 1);
         // Nothing fits: least-congested fallback, ties to lowest index.
-        assert_eq!(p.pick_middle(&[3, 2, 2], &[2, 4, 2], cap), 2);
+        assert_eq!(p.pick_class(&[3, 4, 2], cap), 2);
     }
 
     #[test]
@@ -173,10 +167,7 @@ mod tests {
         let mut a = OnlinePolicy::ecmp(9);
         let mut b = OnlinePolicy::ecmp(9);
         for _ in 0..64 {
-            assert_eq!(
-                a.pick_middle(&[0; 4], &[0; 4], cap),
-                b.pick_middle(&[0; 4], &[0; 4], cap)
-            );
+            assert_eq!(a.pick_class(&[0; 4], cap), b.pick_class(&[0; 4], cap));
         }
     }
 }

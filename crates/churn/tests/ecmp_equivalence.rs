@@ -6,7 +6,7 @@ use clos_churn::{
     ChurnConfig, ChurnEngine, FlowEvent, OnlinePolicy, Pattern, SizeDist, TraceConfig,
     TraceGenerator,
 };
-use clos_core::routers::{EcmpRouter, Router};
+use clos_core::routers::{macro_demands, EcmpRouter, Router};
 use clos_net::{ClosNetwork, MacroSwitch};
 use clos_rational::Rational;
 
@@ -37,9 +37,10 @@ fn online_ecmp_reproduces_batch_ecmp_on_arrival_only_traces() {
     assert_eq!(flows.len(), 200);
 
     let ms = MacroSwitch::standard(3);
-    let routing = EcmpRouter::new(99).route(&clos, &ms, &flows);
+    let demands = macro_demands(&clos, &ms, &flows);
+    let routing = EcmpRouter::new(99).route(&clos, &demands, &flows);
     for (k, (path, &flow)) in routing.paths().iter().zip(&flows).enumerate() {
-        let middle = engine.middle(k as u64).expect("all flows stay live");
+        let middle = engine.class_of(k as u64).expect("all flows stay live");
         assert_eq!(
             path,
             &clos.path_via(flow, middle),

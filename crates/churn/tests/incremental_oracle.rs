@@ -15,14 +15,14 @@ use proptest::prelude::*;
 /// asserts the engine's cached rates, bottlenecks, and levels match bit
 /// for bit.
 fn assert_matches_fresh_run<S: Scalar + std::fmt::Debug>(engine: &ChurnEngine<S>) {
-    let clos = engine.clos();
+    let clos = engine.fabric();
     let instance = WaterfillInstance::<S>::compile(clos.network());
     let mut scratch = WaterfillScratch::new();
     scratch.begin();
     let live: Vec<(u64, S)> = engine.live_flows().collect();
     for &(key, _) in &live {
         let flow = engine.flow(key).expect("live flow has endpoints");
-        let middle = engine.middle(key).expect("live flow has a placement");
+        let middle = engine.class_of(key).expect("live flow has a placement");
         let links: Vec<usize> = clos
             .links_via(flow, middle)
             .iter()

@@ -1,16 +1,18 @@
 //! Compiled search instances: dense flow→link incidence tables.
 //!
-//! The branch-and-bound engine evaluates thousands of middle-switch
-//! assignments against one `(Clos, flow collection)` pair. Building a
+//! The branch-and-bound engine evaluates thousands of routing-class
+//! assignments against one `(fabric, flow collection)` pair. Building a
 //! [`Routing`](clos_net::Routing) of heap-allocated paths per assignment,
 //! then letting the allocator re-derive which links each path crosses, is
 //! pure rediscovery of facts that never change during a search. This
 //! module compiles those facts once:
 //!
-//! * [`CompiledInstance`] — for every `(flow, middle)` pair, the four
-//!   dense finite-link indices of the path `s → I → M → O → t`, plus the
-//!   [`WaterfillInstance`] over exactly the links any assignment can use.
-//!   Applying an assignment is an O(flows) table walk.
+//! * [`CompiledInstance`] — for every `(flow, class)` pair, the dense
+//!   finite-link indices of the candidate path, stored CSR-style so
+//!   fabrics with different path lengths (4 links on Clos, `2r` on a
+//!   Benes of order `r`, 6 on a fat-tree) share one layout, plus the
+//!   [`WaterfillInstance`] over exactly the links any assignment can
+//!   use. Applying an assignment is an O(flows) table walk.
 //! * [`EvalScratch`] — the per-worker scratch: the water-filling buffers
 //!   plus reusable sort/cover buffers for objectives. One scratch per
 //!   block worker keeps evaluation allocation-free in the steady state
@@ -20,17 +22,18 @@
 //! the cost is paid once per search instead of once per evaluated
 //! routing.
 //!
-//! Finiteness of Clos links is a construction-time invariant here: every
-//! link of every compiled path must be finite (true of every
-//! [`ClosNetwork`]), checked once in [`CompiledInstance::new`] rather
-//! than re-`expect`ed on each of the thousands of per-leaf allocations.
+//! Finiteness of fabric links is a construction-time invariant here:
+//! every link of every compiled path must be finite (true of every
+//! [`Fabric`] implementation in `clos-net`), checked once in
+//! [`CompiledInstance::new`] rather than re-`expect`ed on each of the
+//! thousands of per-leaf allocations.
 
 use clos_fairness::{WaterfillInstance, WaterfillScratch};
-use clos_net::{ClosNetwork, Flow, LinkId};
+use clos_net::{Fabric, Flow, LinkId};
 use clos_rational::Rational;
 use clos_telemetry::timers;
 
-/// Dense incidence tables for one `(Clos, flow collection)` search
+/// Dense incidence tables for one `(fabric, flow collection)` search
 /// instance, built once and shared read-only by every worker.
 ///
 /// # Examples
@@ -57,60 +60,70 @@ use clos_telemetry::timers;
 /// ```
 #[derive(Clone, Debug)]
 pub struct CompiledInstance {
-    middle_count: usize,
+    class_count: usize,
     flow_count: usize,
     /// Water-filling over exactly the finite links some assignment uses.
     waterfill: WaterfillInstance<Rational>,
-    /// `quads[i * middle_count + m]`: dense link indices of flow `i`'s
-    /// path via middle `m`, in path order.
-    quads: Vec<[usize; 4]>,
+    /// CSR path table: the dense link indices of flow `i`'s path via
+    /// class `c` sit at `links[offsets[e]..offsets[e + 1]]` with
+    /// `e = i * class_count + c`, in path order.
+    links: Vec<usize>,
+    offsets: Vec<usize>,
 }
 
 impl CompiledInstance {
-    /// Compiles the incidence tables for `flows` in `clos`.
+    /// Compiles the incidence tables for `flows` in `fabric`.
     ///
     /// # Panics
     ///
-    /// Panics if a flow endpoint is not a source/destination of `clos`,
-    /// or if some path link is not finite — impossible for a
-    /// [`ClosNetwork`], whose links all carry the uniform finite
-    /// capacity; checking it here (once) is what lets every later
+    /// Panics if a flow endpoint is not a source/destination of
+    /// `fabric`, or if some path link is not finite — impossible for the
+    /// fabrics of `clos-net`, whose links all carry finite capacities;
+    /// checking it here (once) is what lets every later
     /// [`Self::evaluate`] run unchecked.
     #[must_use]
-    pub fn new(clos: &ClosNetwork, flows: &[Flow]) -> CompiledInstance {
+    pub fn new<F: Fabric>(fabric: &F, flows: &[Flow]) -> CompiledInstance {
         let _timer = timers::SEARCH_COMPILE.scope();
         let _span = clos_telemetry::span("search.compile");
-        let n = clos.middle_count();
-        let mut used: Vec<LinkId> = Vec::with_capacity(flows.len() * n * 4);
+        let n = fabric.class_count();
+        let len_bound = fabric.max_path_len();
+        let mut used: Vec<LinkId> = Vec::with_capacity(flows.len() * n * len_bound);
         for &f in flows {
-            for m in 0..n {
-                used.extend_from_slice(&clos.links_via(f, m));
+            for c in 0..n {
+                fabric.append_links_via(f, c, &mut used);
             }
         }
         used.sort_unstable();
         used.dedup();
-        let waterfill = WaterfillInstance::compile_subset(clos.network(), &used);
-        let mut quads = Vec::with_capacity(flows.len() * n);
+        let waterfill = WaterfillInstance::compile_subset(fabric.network(), &used);
+        let mut links = Vec::with_capacity(flows.len() * n * len_bound);
+        let mut offsets = Vec::with_capacity(flows.len() * n + 1);
+        offsets.push(0);
+        let mut path: Vec<LinkId> = Vec::with_capacity(len_bound);
         for &f in flows {
-            for m in 0..n {
-                quads.push(
-                    clos.links_via(f, m)
-                        .map(|l| waterfill.dense_index(l).expect("Clos links are finite")),
+            for c in 0..n {
+                path.clear();
+                fabric.append_links_via(f, c, &mut path);
+                links.extend(
+                    path.iter()
+                        .map(|&l| waterfill.dense_index(l).expect("fabric links are finite")),
                 );
+                offsets.push(links.len());
             }
         }
         CompiledInstance {
-            middle_count: n,
+            class_count: n,
             flow_count: flows.len(),
             waterfill,
-            quads,
+            links,
+            offsets,
         }
     }
 
-    /// Number of middle switches (valid assignment values are `0..n`).
+    /// Number of routing classes (valid assignment values are `0..n`).
     #[must_use]
-    pub fn middle_count(&self) -> usize {
-        self.middle_count
+    pub fn class_count(&self) -> usize {
+        self.class_count
     }
 
     /// Number of compiled flows (valid assignment length).
@@ -126,21 +139,37 @@ impl CompiledInstance {
         &self.waterfill
     }
 
+    /// Dense link indices of flow `i`'s candidate path via `class`, in
+    /// path order (the CSR row behind [`Self::evaluate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `class` is out of range.
+    #[must_use]
+    pub fn path_links(&self, i: usize, class: usize) -> &[usize] {
+        assert!(i < self.flow_count, "flow index out of range");
+        assert!(class < self.class_count, "routing class out of range");
+        let e = i * self.class_count + class;
+        &self.links[self.offsets[e]..self.offsets[e + 1]]
+    }
+
     /// Water-fills the routing selecting `assignment[i]` as flow `i`'s
-    /// middle switch; `assignment` may cover just a prefix of the flow
+    /// routing class; `assignment` may cover just a prefix of the flow
     /// collection. Rates (and trace) are readable from `scratch`
     /// afterwards; no heap allocation once the scratch is warm.
     ///
     /// # Panics
     ///
     /// Panics if `assignment` is longer than the flow collection or
-    /// assigns a middle `>= middle_count()`.
+    /// assigns a class `>= class_count()`.
     pub fn evaluate(&self, scratch: &mut EvalScratch, assignment: &[usize]) {
         assert!(assignment.len() <= self.flow_count, "assignment too long");
         let wf = &mut scratch.waterfill;
         wf.begin();
-        for (i, &m) in assignment.iter().enumerate() {
-            wf.push_flow(&self.quads[i * self.middle_count + m]);
+        for (i, &c) in assignment.iter().enumerate() {
+            debug_assert!(c < self.class_count, "routing class out of range");
+            let e = i * self.class_count + c;
+            wf.push_flow(&self.links[self.offsets[e]..self.offsets[e + 1]]);
         }
         self.waterfill.run(wf);
     }
@@ -191,7 +220,7 @@ impl EvalScratch {
 mod tests {
     use super::*;
     use clos_fairness::max_min_fair;
-    use clos_net::Routing;
+    use clos_net::{ClosNetwork, Routing};
 
     fn r(n: i128, d: i128) -> Rational {
         Rational::new(n, d)
@@ -231,7 +260,7 @@ mod tests {
         ];
         let compiled = CompiledInstance::new(&clos, &flows);
         assert_eq!(compiled.flow_count(), 2);
-        assert_eq!(compiled.middle_count(), 2);
+        assert_eq!(compiled.class_count(), 2);
         let mut scratch = EvalScratch::default();
         compiled.evaluate(&mut scratch, &[0]);
         assert_eq!(scratch.rates(), &[Rational::ONE]);

@@ -12,7 +12,7 @@
 //! (`s_1^2` in the paper is `source(0, 1)` here).
 
 use clos_fairness::{max_min_fair, Allocation};
-use clos_net::{ClosNetwork, Flow, FlowId, MacroSwitch, Routing};
+use clos_net::{expect_server_coords, ClosNetwork, Flow, FlowId, MacroSwitch, NodeKind, Routing};
 use clos_rational::Rational;
 
 use crate::RoutedAllocation;
@@ -321,7 +321,11 @@ impl Theorem43 {
             .map(|(&f, &ty)| {
                 let m = match ty {
                     FlowType::Type1 => {
-                        let (i, j) = clos.source_coords(f.src());
+                        let (i, j) = expect_server_coords(
+                            f.src(),
+                            NodeKind::Source,
+                            clos.source_coords(f.src()),
+                        );
                         (i + j) % self.n
                     }
                     FlowType::Type2a | FlowType::Type2b => clos.src_tor(f),

@@ -1,7 +1,7 @@
 //! The two bipartite multigraphs the paper derives from a flow collection.
 
 use clos_graph::BipartiteMultigraph;
-use clos_net::{ClosNetwork, Flow, MacroSwitch};
+use clos_net::{expect_server_coords, ClosNetwork, Flow, MacroSwitch, NodeKind};
 
 /// Builds `G^MS`, the bipartite multigraph pertaining to a flow collection
 /// in a macro-switch (§3): left nodes are sources, right nodes are
@@ -38,8 +38,13 @@ pub fn ms_flow_multigraph(ms: &MacroSwitch, flows: &[Flow]) -> BipartiteMultigra
     let edges = flows
         .iter()
         .map(|f| {
-            let (si, sj) = ms.source_coords(f.src());
-            let (ti, tj) = ms.destination_coords(f.dst());
+            let (si, sj) =
+                expect_server_coords(f.src(), NodeKind::Source, ms.source_coords(f.src()));
+            let (ti, tj) = expect_server_coords(
+                f.dst(),
+                NodeKind::Destination,
+                ms.destination_coords(f.dst()),
+            );
             (si * hosts + sj, ti * hosts + tj)
         })
         .collect();

@@ -489,8 +489,8 @@ mod tests {
             .flows
             .iter()
             .map(|f| {
-                let (si, sj) = t.ms.source_coords(f.src());
-                let (ti, tj) = t.ms.destination_coords(f.dst());
+                let (si, sj) = t.ms.source_coords(f.src()).unwrap();
+                let (ti, tj) = t.ms.destination_coords(f.dst()).unwrap();
                 Flow::new(clos.source(si, sj), clos.destination(ti, tj))
             })
             .collect();

@@ -38,7 +38,7 @@
 //! [`constructions`]: crate::constructions
 
 use clos_fairness::max_min_fair;
-use clos_net::{ClosNetwork, Flow, Routing};
+use clos_net::{Fabric, Flow, Routing};
 use clos_rational::Rational;
 use clos_telemetry::counters;
 
@@ -171,42 +171,43 @@ pub struct SampledBranch {
     pub improved: bool,
 }
 
-/// Invokes `visit` with every canonical middle-switch assignment for
-/// `flows` in `clos`, in lexicographic order.
+/// Invokes `visit` with every canonical routing-class assignment for
+/// `flows` in `fabric`, in lexicographic order.
 ///
-/// The assignment slice maps flow positions to middle-switch indices. At
-/// least one representative of every routing orbit (under middle-switch
-/// relabeling and identical-flow permutation) is visited: the
-/// lexicographically least element of each orbit is always emitted. The
-/// enumeration is iterative (explicit stack), so large flow collections
-/// cannot overflow the call stack.
+/// The assignment slice maps flow positions to routing-class indices
+/// (middle switches on Clos). At least one representative of every
+/// routing orbit (under interchange of equivalent routing classes and
+/// identical-flow permutation) is visited: the lexicographically least
+/// element of each orbit is always emitted. The enumeration is iterative
+/// (explicit stack), so large flow collections cannot overflow the call
+/// stack.
 ///
 /// # Panics
 ///
-/// Panics if any flow endpoint is not a source/destination of `clos`.
-pub fn for_each_canonical_assignment(
-    clos: &ClosNetwork,
+/// Panics if any flow endpoint is not a source/destination of `fabric`.
+pub fn for_each_canonical_assignment<F: Fabric>(
+    fabric: &F,
     flows: &[Flow],
     visit: impl FnMut(&[usize]),
 ) {
-    struct Each<F>(F);
-    impl<F: FnMut(&[usize])> Visitor for Each<F> {
+    struct Each<V>(V);
+    impl<V: FnMut(&[usize])> Visitor for Each<V> {
         fn leaf(&mut self, assignment: &[usize]) {
             counters::SEARCH_ASSIGNMENTS.incr();
             (self.0)(assignment);
         }
     }
-    let space = CanonicalSpace::new(clos, flows);
+    let space = CanonicalSpace::new(fabric, flows);
     let mut assignment = vec![0usize; flows.len()];
     let mut used = space.rows(flows.len());
     walk_completions(&space, &mut assignment, &mut used, 0, &mut Each(visit));
 }
 
-fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> Routing {
+fn routing_from_assignment<F: Fabric>(fabric: &F, flows: &[Flow], assignment: &[usize]) -> Routing {
     flows
         .iter()
         .zip(assignment)
-        .map(|(&f, &m)| clos.path_via(f, m))
+        .map(|(&f, &c)| fabric.path_via_class(f, c))
         .collect()
 }
 
@@ -215,10 +216,10 @@ fn routing_from_assignment(clos: &ClosNetwork, flows: &[Flow], assignment: &[usi
 /// The scan itself only tracks the best canonical assignment and key;
 /// materializing `Routing` + `Allocation` per improvement would allocate
 /// proportionally to the improvement count for no benefit.
-fn finish(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> RoutedAllocation {
-    let routing = routing_from_assignment(clos, flows, assignment);
-    let allocation =
-        max_min_fair::<Rational>(clos.network(), flows, &routing).expect("Clos links are finite");
+fn finish<F: Fabric>(fabric: &F, flows: &[Flow], assignment: &[usize]) -> RoutedAllocation {
+    let routing = routing_from_assignment(fabric, flows, assignment);
+    let allocation = max_min_fair::<Rational>(fabric.network(), flows, &routing)
+        .expect("fabric links are finite");
     RoutedAllocation {
         routing,
         allocation,
@@ -234,12 +235,15 @@ fn finish(clos: &ClosNetwork, flows: &[Flow], assignment: &[usize]) -> RoutedAll
 ///
 /// # Panics
 ///
-/// Panics if `flows` is empty-endpoint-invalid for `clos`. The search is
-/// exponential in the number of flows; see the module docs for intended
-/// instance sizes.
+/// Panics if `flows` is empty-endpoint-invalid for `fabric`. The search
+/// is exponential in the number of flows; see the module docs for
+/// intended instance sizes.
 #[must_use]
-pub fn search_lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> (RoutedAllocation, SearchStats) {
-    search_lex_max_min_with(clos, flows, SearchConfig::default())
+pub fn search_lex_max_min<F: Fabric + Sync>(
+    fabric: &F,
+    flows: &[Flow],
+) -> (RoutedAllocation, SearchStats) {
+    search_lex_max_min_with(fabric, flows, SearchConfig::default())
 }
 
 /// [`search_lex_max_min`] with explicit engine configuration (thread
@@ -250,13 +254,13 @@ pub fn search_lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> (RoutedAllocati
 ///
 /// See [`search_lex_max_min`].
 #[must_use]
-pub fn search_lex_max_min_with(
-    clos: &ClosNetwork,
+pub fn search_lex_max_min_with<F: Fabric + Sync>(
+    fabric: &F,
     flows: &[Flow],
     config: SearchConfig,
 ) -> (RoutedAllocation, SearchStats) {
-    let (assignment, stats) = run_search(clos, flows, &LexMaxMin, config);
-    (finish(clos, flows, &assignment), stats)
+    let (assignment, stats) = run_search(fabric, flows, &LexMaxMin, config);
+    (finish(fabric, flows, &assignment), stats)
 }
 
 /// Computes a lex-max-min fair allocation (Definition 2.4); convenience
@@ -286,8 +290,8 @@ pub fn search_lex_max_min_with(
 /// );
 /// ```
 #[must_use]
-pub fn lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
-    search_lex_max_min(clos, flows).0
+pub fn lex_max_min<F: Fabric + Sync>(fabric: &F, flows: &[Flow]) -> RoutedAllocation {
+    search_lex_max_min(fabric, flows).0
 }
 
 /// Computes a throughput-max-min fair allocation `a^T-MmF`
@@ -300,11 +304,11 @@ pub fn lex_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
 ///
 /// See [`search_lex_max_min`].
 #[must_use]
-pub fn search_throughput_max_min(
-    clos: &ClosNetwork,
+pub fn search_throughput_max_min<F: Fabric + Sync>(
+    fabric: &F,
     flows: &[Flow],
 ) -> (RoutedAllocation, SearchStats) {
-    search_throughput_max_min_with(clos, flows, SearchConfig::default())
+    search_throughput_max_min_with(fabric, flows, SearchConfig::default())
 }
 
 /// [`search_throughput_max_min`] with explicit engine configuration.
@@ -315,13 +319,13 @@ pub fn search_throughput_max_min(
 ///
 /// See [`search_lex_max_min`].
 #[must_use]
-pub fn search_throughput_max_min_with(
-    clos: &ClosNetwork,
+pub fn search_throughput_max_min_with<F: Fabric + Sync>(
+    fabric: &F,
     flows: &[Flow],
     config: SearchConfig,
 ) -> (RoutedAllocation, SearchStats) {
-    let (assignment, stats) = run_search(clos, flows, &ThroughputMaxMin, config);
-    (finish(clos, flows, &assignment), stats)
+    let (assignment, stats) = run_search(fabric, flows, &ThroughputMaxMin, config);
+    (finish(fabric, flows, &assignment), stats)
 }
 
 /// Computes a throughput-max-min fair allocation (Definition 2.5);
@@ -331,14 +335,15 @@ pub fn search_throughput_max_min_with(
 ///
 /// See [`search_lex_max_min`].
 #[must_use]
-pub fn throughput_max_min(clos: &ClosNetwork, flows: &[Flow]) -> RoutedAllocation {
-    search_throughput_max_min(clos, flows).0
+pub fn throughput_max_min<F: Fabric + Sync>(fabric: &F, flows: &[Flow]) -> RoutedAllocation {
+    search_throughput_max_min(fabric, flows).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use clos_fairness::verify_bottleneck_property;
+    use clos_net::ClosNetwork;
 
     fn r(n: i128, d: i128) -> Rational {
         Rational::new(n, d)

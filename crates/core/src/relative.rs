@@ -211,7 +211,8 @@ pub fn relative_local_search(
     let n = clos.middle_count();
     let reference = macro_reference_rates(clos, ms, flows);
 
-    let seed_routing = GreedyRouter::new().route(clos, ms, flows);
+    let demands = crate::routers::macro_demands(clos, ms, flows);
+    let seed_routing = GreedyRouter::new().route(clos, &demands, flows);
     let mut assignment: Vec<usize> = (0..flows.len())
         .map(|i| {
             clos.middle_of_path(&seed_routing.paths()[i])

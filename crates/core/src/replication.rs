@@ -12,7 +12,7 @@
 #![allow(clippy::too_many_arguments)]
 
 use clos_fairness::link_loads;
-use clos_net::{ClosNetwork, Flow, Routing};
+use clos_net::{expect_server_coords, ClosNetwork, Flow, NodeKind, Routing};
 use clos_rational::Rational;
 
 /// Searches for a feasible routing of `flows` at the given fixed rates.
@@ -74,8 +74,12 @@ pub fn find_feasible_routing(
     let mut host_up = vec![Rational::ZERO; tors * clos.hosts_per_tor()];
     let mut host_down = vec![Rational::ZERO; tors * clos.hosts_per_tor()];
     for (f, &rate) in flows.iter().zip(rates) {
-        let (si, sj) = clos.source_coords(f.src());
-        let (ti, tj) = clos.destination_coords(f.dst());
+        let (si, sj) = expect_server_coords(f.src(), NodeKind::Source, clos.source_coords(f.src()));
+        let (ti, tj) = expect_server_coords(
+            f.dst(),
+            NodeKind::Destination,
+            clos.destination_coords(f.dst()),
+        );
         host_up[si * clos.hosts_per_tor() + sj] += rate;
         host_down[ti * clos.hosts_per_tor() + tj] += rate;
     }

@@ -17,25 +17,141 @@
 //! control (the max-min fair allocation for that routing) is applied
 //! downstream by `clos-fairness`.
 
-use clos_net::{ClosNetwork, Flow, MacroSwitch, Routing};
+use clos_net::{ClosNetwork, Fabric, Flow, LinkId, MacroSwitch, NodeKind, Routing};
 use clos_rational::Rational;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::macro_switch::macro_max_min;
 
-/// A routing algorithm for Clos networks.
+/// A routing algorithm for multi-stage fabrics (Clos by default).
 ///
 /// Routers may be randomized (hence `&mut self`); deterministic routers
-/// simply ignore the mutability. The macro-switch is supplied because
-/// state-of-the-art algorithms use macro-switch rates as flow demands
-/// (§6).
-pub trait Router {
+/// simply ignore the mutability. Per-flow `demands` are supplied because
+/// state-of-the-art algorithms use macro-switch (host-limited) rates as
+/// flow demands (§6) — see [`macro_demands`] and
+/// [`host_limited_demands`].
+pub trait Router<F: Fabric = ClosNetwork> {
     /// A short human-readable name for reports ("ecmp", "greedy", ...).
     fn name(&self) -> &str;
 
-    /// Routes each flow onto one of its `n` middle-switch paths.
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing;
+    /// Whether [`Self::route`] reads the `demands` slice. Demand-oblivious
+    /// routers (ECMP) return `false` so callers can skip the macro-switch
+    /// water-fill entirely; an empty slice is then a valid argument.
+    fn uses_demands(&self) -> bool {
+        true
+    }
+
+    /// Routes each flow onto one of its `class_count` candidate paths.
+    fn route(&mut self, fabric: &F, demands: &[Rational], flows: &[Flow]) -> Routing;
+}
+
+/// Per-instance congestion-accounting view shared by the demand-aware
+/// routers: the interior (switch→switch) links of every candidate path,
+/// plus a per-link load table.
+///
+/// On the Clos fabric the interior links of flow `i` via middle `m` are
+/// exactly the ToR→middle uplink and middle→ToR downlink the historical
+/// routers tracked in `[tor][middle]` matrices, and [`Self::interior`]
+/// enumerates uplinks then downlinks in the same order — so every greedy
+/// / first-fit / local-search / annealing decision (including
+/// tie-breaks) is unchanged on Clos.
+struct RouteView {
+    n: usize,
+    /// Interior links of flow `i` via class `c`, flattened (CSR).
+    links: Vec<LinkId>,
+    offsets: Vec<usize>,
+    /// Every interior link of the fabric, in id order.
+    interior: Vec<LinkId>,
+    /// Load per link, indexed by `LinkId::index` (host links stay zero).
+    loads: Vec<Rational>,
+}
+
+impl RouteView {
+    fn new<F: Fabric>(fabric: &F, flows: &[Flow]) -> RouteView {
+        let n = fabric.class_count();
+        let mut links = Vec::with_capacity(flows.len() * n * 2);
+        let mut offsets = Vec::with_capacity(flows.len() * n + 1);
+        offsets.push(0);
+        let mut path: Vec<LinkId> = Vec::with_capacity(fabric.max_path_len());
+        for &f in flows {
+            for c in 0..n {
+                path.clear();
+                fabric.append_links_via(f, c, &mut path);
+                if path.len() >= 3 {
+                    links.extend_from_slice(&path[1..path.len() - 1]);
+                }
+                offsets.push(links.len());
+            }
+        }
+        let net = fabric.network();
+        let interior = net
+            .links()
+            .filter(|l| {
+                net.node(l.src()).kind() != NodeKind::Source
+                    && net.node(l.dst()).kind() != NodeKind::Destination
+            })
+            .map(|l| l.id())
+            .collect();
+        RouteView {
+            n,
+            links,
+            offsets,
+            interior,
+            loads: vec![Rational::ZERO; net.link_count()],
+        }
+    }
+
+    fn interior_links(&self, flow: usize, class: usize) -> &[LinkId] {
+        let row = flow * self.n + class;
+        &self.links[self.offsets[row]..self.offsets[row + 1]]
+    }
+
+    /// Max interior-link load of `(flow, class)` after adding `demand`.
+    fn congestion_after(&self, flow: usize, class: usize, demand: Rational) -> Rational {
+        self.interior_links(flow, class)
+            .iter()
+            .map(|&l| self.loads[l.index()] + demand)
+            .fold(Rational::ZERO, Rational::max)
+    }
+
+    /// Max interior-link load of `(flow, class)` as placed.
+    fn congestion_at(&self, flow: usize, class: usize) -> Rational {
+        self.interior_links(flow, class)
+            .iter()
+            .map(|&l| self.loads[l.index()])
+            .fold(Rational::ZERO, Rational::max)
+    }
+
+    fn fits(&self, flow: usize, class: usize, demand: Rational, cap: Rational) -> bool {
+        self.interior_links(flow, class)
+            .iter()
+            .all(|&l| self.loads[l.index()] + demand <= cap)
+    }
+
+    fn place(&mut self, flow: usize, class: usize, demand: Rational) {
+        let row = flow * self.n + class;
+        for &l in &self.links[self.offsets[row]..self.offsets[row + 1]] {
+            self.loads[l.index()] += demand;
+        }
+    }
+
+    fn remove(&mut self, flow: usize, class: usize, demand: Rational) {
+        let row = flow * self.n + class;
+        for &l in &self.links[self.offsets[row]..self.offsets[row + 1]] {
+            self.loads[l.index()] -= demand;
+        }
+    }
+
+    /// Fills `out` with the sorted-descending congestion vector of the
+    /// interior links, reusing `out`'s capacity — the local-search and
+    /// annealing inner loops recompute this per candidate move, so a
+    /// fresh `Vec` per call was the routers' dominant allocation churn.
+    fn congestion_vector_into(&self, out: &mut Vec<Rational>) {
+        out.clear();
+        out.extend(self.interior.iter().map(|&l| self.loads[l.index()]));
+        out.sort_unstable_by(|a, b| b.cmp(a));
+    }
 }
 
 /// ECMP: every flow independently hashes to a uniformly random middle
@@ -44,14 +160,15 @@ pub trait Router {
 /// # Examples
 ///
 /// ```
-/// use clos_core::routers::{EcmpRouter, Router};
+/// use clos_core::routers::{macro_demands, EcmpRouter, Router};
 /// use clos_net::{ClosNetwork, Flow, MacroSwitch};
 ///
 /// let clos = ClosNetwork::standard(2);
 /// let ms = MacroSwitch::standard(2);
 /// let flows = vec![Flow::new(clos.source(0, 0), clos.destination(2, 0))];
+/// let demands = macro_demands(&clos, &ms, &flows);
 /// let mut router = EcmpRouter::new(42);
-/// let routing = router.route(&clos, &ms, &flows);
+/// let routing = router.route(&clos, &demands, &flows);
 /// assert!(routing.validate(clos.network(), &flows).is_ok());
 /// ```
 #[derive(Clone, Debug)]
@@ -70,25 +187,61 @@ impl EcmpRouter {
     }
 }
 
-impl Router for EcmpRouter {
+impl<F: Fabric> Router<F> for EcmpRouter {
     fn name(&self) -> &str {
         "ecmp"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, _ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let n = clos.middle_count();
+    fn uses_demands(&self) -> bool {
+        false
+    }
+
+    fn route(&mut self, fabric: &F, _demands: &[Rational], flows: &[Flow]) -> Routing {
+        let n = fabric.class_count();
         flows
             .iter()
-            .map(|&f| clos.path_via(f, self.rng.gen_range(0..n)))
+            .map(|&f| fabric.path_via_class(f, self.rng.gen_range(0..n)))
             .collect()
     }
 }
 
 /// Computes per-flow demands as macro-switch max-min rates (§6: flows "are
 /// offered to the data-center with their macro-switch rates").
-fn macro_demands(clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Vec<Rational> {
+#[must_use]
+pub fn macro_demands(clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Vec<Rational> {
     let ms_flows = ms.translate_flows(clos, flows);
     macro_max_min(ms, &ms_flows).rates().to_vec()
+}
+
+/// The generic-fabric counterpart of [`macro_demands`]: the max-min fair
+/// rates when only the host access links constrain (every interior link
+/// lifted to infinite capacity) — the macro-switch abstraction applied
+/// to an arbitrary [`Fabric`].
+///
+/// On a pristine Clos fabric this equals [`macro_demands`] exactly.
+///
+/// # Panics
+///
+/// Panics if a flow endpoint is invalid for `fabric`.
+#[must_use]
+pub fn host_limited_demands<F: Fabric>(fabric: &F, flows: &[Flow]) -> Vec<Rational> {
+    let net = fabric.network();
+    let overlay: clos_net::CapacityMap = net
+        .links()
+        .filter(|l| {
+            net.node(l.src()).kind() != NodeKind::Source
+                && net.node(l.dst()).kind() != NodeKind::Destination
+        })
+        .map(|l| (l.id(), clos_net::Capacity::Infinite))
+        .collect();
+    let lifted = fabric.with_capacities(&overlay);
+    let routing: Routing = flows.iter().map(|&f| lifted.path_via_class(f, 0)).collect();
+    match clos_fairness::max_min_fair::<Rational>(lifted.network(), flows, &routing) {
+        Ok(allocation) => allocation.rates().to_vec(),
+        // Host access links keep their finite capacities, so every flow
+        // crosses a finite link and the water-filling terminates.
+        Err(_) => unreachable!("host access links are finite"),
+    }
 }
 
 /// Greedy congestion-aware routing: flows in decreasing-demand order, each
@@ -104,46 +257,39 @@ impl GreedyRouter {
         GreedyRouter
     }
 
-    fn assignment(clos: &ClosNetwork, demands: &[Rational], flows: &[Flow]) -> Vec<usize> {
-        let n = clos.middle_count();
-        let tors = clos.tor_count();
-        let mut up = vec![vec![Rational::ZERO; n]; tors];
-        let mut down = vec![vec![Rational::ZERO; tors]; n];
+    fn assignment(view: &mut RouteView, demands: &[Rational], flows: &[Flow]) -> Vec<usize> {
+        let n = view.n;
         let mut order: Vec<usize> = (0..flows.len()).collect();
         order.sort_by(|&a, &b| demands[b].cmp(&demands[a]).then(a.cmp(&b)));
         let mut assignment = vec![0usize; flows.len()];
         for &i in &order {
-            let f = flows[i];
-            let src = clos.src_tor(f);
-            let dst = clos.dst_tor(f);
             let demand = demands[i];
             let best = (0..n)
-                .min_by_key(|&m| {
-                    // Path congestion after placement (unit capacities).
-                    let c = (up[src][m] + demand).max(down[m][dst] + demand);
-                    (c, m)
+                .min_by_key(|&c| {
+                    // Path congestion after placement: the max load over
+                    // the candidate path's interior links.
+                    (view.congestion_after(i, c, demand), c)
                 })
                 .expect("n >= 1");
-            up[src][best] += demand;
-            down[best][dst] += demand;
+            view.place(i, best, demand);
             assignment[i] = best;
         }
         assignment
     }
 }
 
-impl Router for GreedyRouter {
+impl<F: Fabric> Router<F> for GreedyRouter {
     fn name(&self) -> &str {
         "greedy"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let demands = macro_demands(clos, ms, flows);
-        let assignment = GreedyRouter::assignment(clos, &demands, flows);
+    fn route(&mut self, fabric: &F, demands: &[Rational], flows: &[Flow]) -> Routing {
+        let mut view = RouteView::new(fabric, flows);
+        let assignment = GreedyRouter::assignment(&mut view, demands, flows);
         flows
             .iter()
             .zip(&assignment)
-            .map(|(&f, &m)| clos.path_via(f, m))
+            .map(|(&f, &c)| fabric.path_via_class(f, c))
             .collect()
     }
 }
@@ -173,84 +319,53 @@ impl Default for LocalSearchRouter {
     }
 }
 
-/// Fills `out` with the sorted-descending congestion vector of the fabric
-/// links, reusing `out`'s capacity — the local-search and annealing inner
-/// loops recompute this per candidate move, so a fresh `Vec` per call was
-/// the routers' dominant allocation churn.
-fn congestion_vector_into(up: &[Vec<Rational>], down: &[Vec<Rational>], out: &mut Vec<Rational>) {
-    out.clear();
-    for row in up {
-        out.extend(row.iter().copied());
-    }
-    for row in down {
-        out.extend(row.iter().copied());
-    }
-    out.sort_unstable_by(|a, b| b.cmp(a));
-}
-
-impl Router for LocalSearchRouter {
+impl<F: Fabric> Router<F> for LocalSearchRouter {
     fn name(&self) -> &str {
         "local-search"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let n = clos.middle_count();
-        let tors = clos.tor_count();
-        let demands = macro_demands(clos, ms, flows);
-        let mut assignment = GreedyRouter::assignment(clos, &demands, flows);
-
-        let mut up = vec![vec![Rational::ZERO; n]; tors];
-        let mut down = vec![vec![Rational::ZERO; tors]; n];
-        for (i, &f) in flows.iter().enumerate() {
-            up[clos.src_tor(f)][assignment[i]] += demands[i];
-            down[assignment[i]][clos.dst_tor(f)] += demands[i];
-        }
+    fn route(&mut self, fabric: &F, demands: &[Rational], flows: &[Flow]) -> Routing {
+        let mut view = RouteView::new(fabric, flows);
+        let n = view.n;
+        let mut assignment = GreedyRouter::assignment(&mut view, demands, flows);
 
         // One congestion buffer each for the current assignment, the
         // candidate move, and the best move seen, swapped rather than
         // reallocated.
-        let mut current = Vec::with_capacity(2 * tors * n);
-        let mut candidate = Vec::with_capacity(2 * tors * n);
-        let mut best_vec = Vec::with_capacity(2 * tors * n);
+        let mut current = Vec::with_capacity(view.interior.len());
+        let mut candidate = Vec::with_capacity(view.interior.len());
+        let mut best_vec = Vec::with_capacity(view.interior.len());
         for _ in 0..self.max_rounds {
             let mut improved = false;
-            for (i, &f) in flows.iter().enumerate() {
+            for i in 0..flows.len() {
                 if demands[i].is_zero() {
                     continue;
                 }
-                let src = clos.src_tor(f);
-                let dst = clos.dst_tor(f);
-                congestion_vector_into(&up, &down, &mut current);
+                view.congestion_vector_into(&mut current);
                 let from = assignment[i];
                 let mut best_move = None;
-                for m in 0..n {
-                    if m == from {
+                for c in 0..n {
+                    if c == from {
                         continue;
                     }
-                    up[src][from] -= demands[i];
-                    down[from][dst] -= demands[i];
-                    up[src][m] += demands[i];
-                    down[m][dst] += demands[i];
-                    congestion_vector_into(&up, &down, &mut candidate);
+                    view.remove(i, from, demands[i]);
+                    view.place(i, c, demands[i]);
+                    view.congestion_vector_into(&mut candidate);
                     let better = match best_move {
                         None => candidate < current,
                         Some(_) => candidate < best_vec,
                     };
                     if better {
-                        best_move = Some(m);
+                        best_move = Some(c);
                         std::mem::swap(&mut best_vec, &mut candidate);
                     }
-                    up[src][m] -= demands[i];
-                    down[m][dst] -= demands[i];
-                    up[src][from] += demands[i];
-                    down[from][dst] += demands[i];
+                    view.remove(i, c, demands[i]);
+                    view.place(i, from, demands[i]);
                 }
-                if let Some(m) = best_move {
-                    up[src][from] -= demands[i];
-                    down[from][dst] -= demands[i];
-                    up[src][m] += demands[i];
-                    down[m][dst] += demands[i];
-                    assignment[i] = m;
+                if let Some(c) = best_move {
+                    view.remove(i, from, demands[i]);
+                    view.place(i, c, demands[i]);
+                    assignment[i] = c;
                     improved = true;
                 }
             }
@@ -262,7 +377,7 @@ impl Router for LocalSearchRouter {
         flows
             .iter()
             .zip(&assignment)
-            .map(|(&f, &m)| clos.path_via(f, m))
+            .map(|(&f, &c)| fabric.path_via_class(f, c))
             .collect()
     }
 }
@@ -282,43 +397,36 @@ impl FirstFitRouter {
     }
 }
 
-impl Router for FirstFitRouter {
+impl<F: Fabric> Router<F> for FirstFitRouter {
     fn name(&self) -> &str {
         "first-fit"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let n = clos.middle_count();
-        let tors = clos.tor_count();
-        let cap = clos.params().link_capacity;
-        let demands = macro_demands(clos, ms, flows);
+    fn route(&mut self, fabric: &F, demands: &[Rational], flows: &[Flow]) -> Routing {
+        let mut view = RouteView::new(fabric, flows);
+        let n = view.n;
+        let cap = fabric.nominal_capacity();
         let mut order: Vec<usize> = (0..flows.len()).collect();
         order.sort_by(|&a, &b| demands[b].cmp(&demands[a]).then(a.cmp(&b)));
 
-        let mut up = vec![vec![Rational::ZERO; n]; tors];
-        let mut down = vec![vec![Rational::ZERO; tors]; n];
         let mut assignment = vec![0usize; flows.len()];
         for &i in &order {
-            let f = flows[i];
-            let src = clos.src_tor(f);
-            let dst = clos.dst_tor(f);
             let demand = demands[i];
             let chosen = (0..n)
-                .find(|&m| up[src][m] + demand <= cap && down[m][dst] + demand <= cap)
+                .find(|&c| view.fits(i, c, demand, cap))
                 .unwrap_or_else(|| {
-                    // No middle fits: fall back to least congestion.
+                    // No class fits: fall back to least congestion.
                     (0..n)
-                        .min_by_key(|&m| (up[src][m].max(down[m][dst]), m))
+                        .min_by_key(|&c| (view.congestion_at(i, c), c))
                         .expect("n >= 1")
                 });
-            up[src][chosen] += demand;
-            down[chosen][dst] += demand;
+            view.place(i, chosen, demand);
             assignment[i] = chosen;
         }
         flows
             .iter()
             .zip(&assignment)
-            .map(|(&f, &m)| clos.path_via(f, m))
+            .map(|(&f, &c)| fabric.path_via_class(f, c))
             .collect()
     }
 }
@@ -348,36 +456,29 @@ impl Default for AnnealingRouter {
     }
 }
 
-impl Router for AnnealingRouter {
+impl<F: Fabric> Router<F> for AnnealingRouter {
     fn name(&self) -> &str {
         "annealing"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let n = clos.middle_count();
-        let tors = clos.tor_count();
-        let demands = macro_demands(clos, ms, flows);
+    fn route(&mut self, fabric: &F, demands: &[Rational], flows: &[Flow]) -> Routing {
+        let mut view = RouteView::new(fabric, flows);
+        let n = view.n;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Seed with greedy, then anneal.
-        let mut assignment = GreedyRouter::assignment(clos, &demands, flows);
-        let mut up = vec![vec![Rational::ZERO; n]; tors];
-        let mut down = vec![vec![Rational::ZERO; tors]; n];
-        for (i, &f) in flows.iter().enumerate() {
-            up[clos.src_tor(f)][assignment[i]] += demands[i];
-            down[assignment[i]][clos.dst_tor(f)] += demands[i];
-        }
-        let mut current_score = Vec::with_capacity(2 * tors * n);
-        congestion_vector_into(&up, &down, &mut current_score);
+        let mut assignment = GreedyRouter::assignment(&mut view, demands, flows);
+        let mut current_score = Vec::with_capacity(view.interior.len());
+        view.congestion_vector_into(&mut current_score);
         let mut best = assignment.clone();
         let mut best_score = current_score.clone();
-        let mut candidate = Vec::with_capacity(2 * tors * n);
+        let mut candidate = Vec::with_capacity(view.interior.len());
 
         if flows.is_empty() || n < 2 {
             return flows
                 .iter()
                 .zip(&assignment)
-                .map(|(&f, &m)| clos.path_via(f, m))
+                .map(|(&f, &c)| fabric.path_via_class(f, c))
                 .collect();
         }
         for step in 0..self.iterations {
@@ -387,13 +488,9 @@ impl Router for AnnealingRouter {
             }
             let from = assignment[i];
             let to = (from + rng.gen_range(1..n)) % n;
-            let f = flows[i];
-            let (src, dst) = (clos.src_tor(f), clos.dst_tor(f));
-            up[src][from] -= demands[i];
-            down[from][dst] -= demands[i];
-            up[src][to] += demands[i];
-            down[to][dst] += demands[i];
-            congestion_vector_into(&up, &down, &mut candidate);
+            view.remove(i, from, demands[i]);
+            view.place(i, to, demands[i]);
+            view.congestion_vector_into(&mut candidate);
             // Acceptance: always when improving, with decaying probability
             // otherwise (temperature halves every eighth of the budget).
             let phase = 8 * step / self.iterations.max(1);
@@ -407,16 +504,14 @@ impl Router for AnnealingRouter {
                 }
                 std::mem::swap(&mut current_score, &mut candidate);
             } else {
-                up[src][to] -= demands[i];
-                down[to][dst] -= demands[i];
-                up[src][from] += demands[i];
-                down[from][dst] += demands[i];
+                view.remove(i, to, demands[i]);
+                view.place(i, from, demands[i]);
             }
         }
         flows
             .iter()
             .zip(&best)
-            .map(|(&f, &m)| clos.path_via(f, m))
+            .map(|(&f, &c)| fabric.path_via_class(f, c))
             .collect()
     }
 }
@@ -445,17 +540,24 @@ impl Router for ReplicationFirstRouter {
         "replication-first"
     }
 
-    fn route(&mut self, clos: &ClosNetwork, ms: &MacroSwitch, flows: &[Flow]) -> Routing {
-        let demands = macro_demands(clos, ms, flows);
-        match crate::replication::first_fit_routing(clos, flows, &demands) {
+    fn route(&mut self, clos: &ClosNetwork, demands: &[Rational], flows: &[Flow]) -> Routing {
+        match crate::replication::first_fit_routing(clos, flows, demands) {
             Some(routing) => routing,
-            None => GreedyRouter::new().route(clos, ms, flows),
+            None => {
+                // Historically the fallback was a self-contained greedy run
+                // that re-derived its own demands from the macro-switch
+                // abstraction; keep that two-pass telemetry profile.
+                let ms = MacroSwitch::with_params(clos.params());
+                let demands = macro_demands(clos, &ms, flows);
+                GreedyRouter::new().route(clos, &demands, flows)
+            }
         }
     }
 }
 
-/// Evaluates a router: routes the flows and computes the resulting max-min
-/// fair allocation.
+/// Evaluates a router on the Clos fabric: computes the macro-switch
+/// demands, routes the flows, and computes the resulting max-min fair
+/// allocation.
 ///
 /// # Panics
 ///
@@ -467,7 +569,12 @@ pub fn route_and_allocate(
     ms: &MacroSwitch,
     flows: &[Flow],
 ) -> crate::RoutedAllocation {
-    let routing = router.route(clos, ms, flows);
+    let demands = if router.uses_demands() {
+        macro_demands(clos, ms, flows)
+    } else {
+        Vec::new()
+    };
+    let routing = router.route(clos, &demands, flows);
     let allocation = clos_fairness::max_min_fair::<Rational>(clos.network(), flows, &routing)
         .expect("Clos links are finite");
     crate::RoutedAllocation {
@@ -502,9 +609,10 @@ mod tests {
     fn ecmp_is_seed_deterministic() {
         let (clos, ms) = setup(3);
         let flows = permutation_flows(&clos);
-        let r1 = EcmpRouter::new(7).route(&clos, &ms, &flows);
-        let r2 = EcmpRouter::new(7).route(&clos, &ms, &flows);
-        let r3 = EcmpRouter::new(8).route(&clos, &ms, &flows);
+        let demands = macro_demands(&clos, &ms, &flows);
+        let r1 = EcmpRouter::new(7).route(&clos, &demands, &flows);
+        let r2 = EcmpRouter::new(7).route(&clos, &demands, &flows);
+        let r3 = EcmpRouter::new(8).route(&clos, &demands, &flows);
         assert_eq!(r1, r2);
         assert!(r1.validate(clos.network(), &flows).is_ok());
         assert!(r3.validate(clos.network(), &flows).is_ok());
@@ -541,11 +649,20 @@ mod tests {
 
     #[test]
     fn routers_report_names() {
-        assert_eq!(EcmpRouter::new(0).name(), "ecmp");
-        assert_eq!(GreedyRouter::new().name(), "greedy");
-        assert_eq!(LocalSearchRouter::default().name(), "local-search");
-        assert_eq!(FirstFitRouter::new().name(), "first-fit");
-        assert_eq!(AnnealingRouter::default().name(), "annealing");
+        assert_eq!(Router::<ClosNetwork>::name(&EcmpRouter::new(0)), "ecmp");
+        assert_eq!(Router::<ClosNetwork>::name(&GreedyRouter::new()), "greedy");
+        assert_eq!(
+            Router::<ClosNetwork>::name(&LocalSearchRouter::default()),
+            "local-search"
+        );
+        assert_eq!(
+            Router::<ClosNetwork>::name(&FirstFitRouter::new()),
+            "first-fit"
+        );
+        assert_eq!(
+            Router::<ClosNetwork>::name(&AnnealingRouter::default()),
+            "annealing"
+        );
     }
 
     #[test]
@@ -578,9 +695,13 @@ mod tests {
     fn annealing_is_seed_deterministic_and_no_worse_than_greedy() {
         let (clos, ms) = setup(2);
         let flows = permutation_flows(&clos);
+        let demands = macro_demands(&clos, &ms, &flows);
         let mut a1 = AnnealingRouter::new(5, 500);
         let mut a2 = AnnealingRouter::new(5, 500);
-        assert_eq!(a1.route(&clos, &ms, &flows), a2.route(&clos, &ms, &flows));
+        assert_eq!(
+            a1.route(&clos, &demands, &flows),
+            a2.route(&clos, &demands, &flows)
+        );
         // Annealing keeps the best-seen assignment, which starts at
         // greedy's, so its final max congestion cannot be worse.
         let g = route_and_allocate(&mut GreedyRouter::new(), &clos, &ms, &flows);
@@ -624,7 +745,7 @@ mod tests {
         let out = route_and_allocate(&mut AnnealingRouter::default(), &clos, &ms, &flows);
         assert_eq!(out.allocation.rates(), &[Rational::ONE]);
         // Empty collection.
-        let out = AnnealingRouter::default().route(&clos, &ms, &[]);
+        let out = AnnealingRouter::default().route(&clos, &[], &[]);
         assert!(out.is_empty());
     }
 
@@ -632,8 +753,12 @@ mod tests {
     fn greedy_is_deterministic() {
         let (clos, ms) = setup(2);
         let flows = permutation_flows(&clos);
+        let demands = macro_demands(&clos, &ms, &flows);
         let mut g = GreedyRouter::new();
-        assert_eq!(g.route(&clos, &ms, &flows), g.route(&clos, &ms, &flows));
+        assert_eq!(
+            g.route(&clos, &demands, &flows),
+            g.route(&clos, &demands, &flows)
+        );
     }
 
     #[test]

@@ -2,20 +2,25 @@
 //!
 //! Both routing objectives of §2.3 (and the relative objective of §7)
 //! reduce to the same problem: over the `n^F` routings of `F` flows in
-//! `C_n`, maximize a key derived from the max-min fair allocation. This
-//! module is the shared engine. It improves on naive enumeration three
-//! ways, without leaving exact territory:
+//! a fabric with `n` routing classes (the paper's `C_n`, where a class
+//! is a middle switch; a Benes network, where it is a top/bottom
+//! descent; an oversubscribed fat-tree, where it is a core switch),
+//! maximize a key derived from the max-min fair allocation. This
+//! module is the shared engine, generic over [`Fabric`]. It improves on
+//! naive enumeration three ways, without leaving exact territory:
 //!
 //! 1. **Combined symmetry reduction, capacity-class aware.** Permuting
-//!    identical flows always preserves allocations; relabeling middle
-//!    switches preserves them only within a *capacity equivalence
-//!    class* — middles whose per-ToR uplink and downlink capacity
-//!    vectors are identical (on a pristine fabric every middle is in
-//!    one class; failures split classes). The enumerator emits only
+//!    identical flows always preserves allocations; relabeling routing
+//!    classes preserves them only within a *capacity equivalence
+//!    class* — classes whose interchange signatures
+//!    ([`Fabric::class_signature`]) are identical (on a pristine Clos
+//!    fabric every middle switch is in one class; failures split
+//!    classes, and fabrics with smaller symmetry groups report
+//!    singleton signatures). The enumerator emits only
 //!    assignments that are simultaneously *group-sorted*
 //!    (non-decreasing within each set of identical flows) and
 //!    *first-use canonical per class* (the `j`-th distinct member of a
-//!    class to appear is the `j`-th member of that class in middle
+//!    class to appear is the `j`-th member of that class in class
 //!    order). Every orbit keeps a representative: its lexicographically
 //!    least element satisfies both constraints at once — if it violated
 //!    group-sortedness, sorting within groups would produce a
@@ -63,7 +68,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use clos_fairness::{max_min_fair, Allocation, SortedRates};
-use clos_net::{ClosNetwork, Flow, LinkId, Routing};
+use clos_net::{ClosNetwork, Fabric, Flow, LinkId, Routing};
 use clos_rational::Rational;
 use clos_telemetry::counters;
 
@@ -144,14 +149,16 @@ pub struct SearchConfig {
 /// construction time: applying an assignment is a dense table walk into
 /// a caller-provided [`EvalScratch`], never a fresh `Routing`.
 #[derive(Debug)]
-pub struct Problem<'a> {
-    clos: &'a ClosNetwork,
+pub struct Problem<'a, F: Fabric = ClosNetwork> {
+    fabric: &'a F,
     flows: &'a [Flow],
     /// Dense flow→link incidence tables (built under `search.compile`).
     compiled: CompiledInstance,
-    /// Fabric uplink of flow `i` via middle `m` (throughput cover bound).
+    /// Up-side cover link of flow `i` via class `c`: the interior link
+    /// right after the source host link (the host link itself on
+    /// two-link paths) — on Clos, the ToR→middle uplink.
     uplinks: Vec<Vec<LinkId>>,
-    /// Fabric downlink of flow `i` via middle `m`.
+    /// Down-side mirror of [`Self::uplinks`].
     downlinks: Vec<Vec<LinkId>>,
     /// Finite capacity of every link, indexed by dense [`LinkId`] — the
     /// per-link generalization that keeps both bounds admissible on
@@ -163,45 +170,65 @@ pub struct Problem<'a> {
     /// Capacity sum of the distinct destination host-downlinks among
     /// `flows[k..]`.
     suffix_dst_cap: Vec<Rational>,
-    /// Per-flow rate cap: `min(source host-uplink, destination
-    /// host-downlink, best fabric pair over all middles)` — what a flow
-    /// can carry under *any* assignment.
+    /// Per-flow rate cap: `min(source host link, destination host link,
+    /// best interior cover pair over all classes)` — what a flow can
+    /// carry under *any* assignment.
     flow_caps: Vec<Rational>,
-    /// The nominal construction capacity ([`ClosParams::link_capacity`];
-    /// individual links may have been degraded below it).
-    ///
-    /// [`ClosParams::link_capacity`]: clos_net::ClosParams
+    /// The nominal construction capacity
+    /// ([`Fabric::nominal_capacity`]; individual links may have been
+    /// degraded below it).
     capacity: Rational,
 }
 
-impl<'a> Problem<'a> {
-    /// Compiles the search instance for `flows` in `clos` (public so
+impl<'a, F: Fabric> Problem<'a, F> {
+    /// Compiles the search instance for `flows` in `fabric` (public so
     /// custom [`Objective`] implementations can be developed and tested
     /// against the same view the engine uses).
     ///
     /// # Panics
     ///
-    /// Panics if a flow endpoint is not a source/destination of `clos`.
+    /// Panics if a flow endpoint is not a source/destination of
+    /// `fabric`.
     #[must_use]
-    pub fn new(clos: &'a ClosNetwork, flows: &'a [Flow]) -> Problem<'a> {
-        let n = clos.middle_count();
-        let compiled = CompiledInstance::new(clos, flows);
-        let mut uplinks = Vec::with_capacity(flows.len());
-        let mut downlinks = Vec::with_capacity(flows.len());
-        for &f in flows {
-            let st = clos.src_tor(f);
-            let dt = clos.dst_tor(f);
-            uplinks.push((0..n).map(|m| clos.uplink(st, m)).collect::<Vec<_>>());
-            downlinks.push((0..n).map(|m| clos.downlink(m, dt)).collect::<Vec<_>>());
-        }
-        let link_cap: Vec<Rational> = clos
+    pub fn new(fabric: &'a F, flows: &'a [Flow]) -> Problem<'a, F> {
+        let n = fabric.class_count();
+        let compiled = CompiledInstance::new(fabric, flows);
+        let link_cap: Vec<Rational> = fabric
             .network()
             .links()
-            .map(|l| l.capacity().finite().expect("Clos links are finite"))
+            .map(|l| l.capacity().finite().expect("fabric links are finite"))
             .collect();
+        let mut uplinks = Vec::with_capacity(flows.len());
+        let mut downlinks = Vec::with_capacity(flows.len());
+        let mut src_host = Vec::with_capacity(flows.len());
+        let mut dst_host = Vec::with_capacity(flows.len());
+        let mut path: Vec<LinkId> = Vec::with_capacity(fabric.max_path_len());
+        for &f in flows {
+            let mut ups = Vec::with_capacity(n);
+            let mut downs = Vec::with_capacity(n);
+            for c in 0..n {
+                path.clear();
+                fabric.append_links_via(f, c, &mut path);
+                let len = path.len();
+                if len >= 3 {
+                    ups.push(path[1]);
+                    downs.push(path[len - 2]);
+                } else {
+                    ups.push(path[0]);
+                    downs.push(path[len - 1]);
+                }
+            }
+            // The first/last links are class-independent host access
+            // links by the Fabric contract, so reading them off the last
+            // enumerated class is sound.
+            src_host.push(path[0]);
+            dst_host.push(path[path.len() - 1]);
+            uplinks.push(ups);
+            downlinks.push(downs);
+        }
         // Suffix capacity sums of distinct host links (a flow crosses its
-        // source host-uplink and destination host-downlink no matter the
-        // middle). Sums of per-link capacities, not counts x capacity, so
+        // source host link and destination host link no matter the
+        // class). Sums of per-link capacities, not counts x capacity, so
         // the cover bounds stay admissible when host links are degraded.
         let mut suffix_src_cap = vec![Rational::ZERO; flows.len() + 1];
         let mut suffix_dst_cap = vec![Rational::ZERO; flows.len() + 1];
@@ -209,37 +236,29 @@ impl<'a> Problem<'a> {
         let mut seen_dst = std::collections::BTreeSet::new();
         let (mut src_acc, mut dst_acc) = (Rational::ZERO, Rational::ZERO);
         for k in (0..flows.len()).rev() {
-            let (st, sh) = clos.source_coords(flows[k].src());
-            let (dt, dh) = clos.destination_coords(flows[k].dst());
-            let src_link = clos.host_uplink(st, sh);
-            let dst_link = clos.host_downlink(dt, dh);
-            if seen_src.insert(src_link) {
-                src_acc += link_cap[src_link.index()];
+            if seen_src.insert(src_host[k]) {
+                src_acc += link_cap[src_host[k].index()];
             }
-            if seen_dst.insert(dst_link) {
-                dst_acc += link_cap[dst_link.index()];
+            if seen_dst.insert(dst_host[k]) {
+                dst_acc += link_cap[dst_host[k].index()];
             }
             suffix_src_cap[k] = src_acc;
             suffix_dst_cap[k] = dst_acc;
         }
-        let flow_caps: Vec<Rational> = flows
-            .iter()
-            .enumerate()
-            .map(|(i, f)| {
-                let (st, sh) = clos.source_coords(f.src());
-                let (dt, dh) = clos.destination_coords(f.dst());
+        let flow_caps: Vec<Rational> = (0..flows.len())
+            .map(|i| {
                 // Fold from zero: capacities are nonnegative, so the
                 // identity is exact even for the n = 1 fabric.
-                let fabric = (0..n)
-                    .map(|m| link_cap[uplinks[i][m].index()].min(link_cap[downlinks[i][m].index()]))
+                let interior = (0..n)
+                    .map(|c| link_cap[uplinks[i][c].index()].min(link_cap[downlinks[i][c].index()]))
                     .fold(Rational::ZERO, Rational::max);
-                link_cap[clos.host_uplink(st, sh).index()]
-                    .min(link_cap[clos.host_downlink(dt, dh).index()])
-                    .min(fabric)
+                link_cap[src_host[i].index()]
+                    .min(link_cap[dst_host[i].index()])
+                    .min(interior)
             })
             .collect();
         Problem {
-            clos,
+            fabric,
             flows,
             compiled,
             uplinks,
@@ -248,14 +267,14 @@ impl<'a> Problem<'a> {
             suffix_src_cap,
             suffix_dst_cap,
             flow_caps,
-            capacity: clos.params().link_capacity,
+            capacity: fabric.nominal_capacity(),
         }
     }
 
-    /// The network being searched.
+    /// The fabric being searched.
     #[must_use]
-    pub fn clos(&self) -> &'a ClosNetwork {
-        self.clos
+    pub fn fabric(&self) -> &'a F {
+        self.fabric
     }
 
     /// The flow collection being routed.
@@ -272,19 +291,19 @@ impl<'a> Problem<'a> {
     }
 
     /// Water-fills the routing selecting `assignment[i]` as flow `i`'s
-    /// middle (a prefix of the flow collection is allowed, evaluating the
+    /// class (a prefix of the flow collection is allowed, evaluating the
     /// prefix flows alone) into `scratch` — the compiled fast path: an
     /// O(flows) incidence-table walk with no steady-state allocation.
     ///
     /// # Panics
     ///
     /// Panics if `assignment` is longer than the flow collection or
-    /// assigns an out-of-range middle.
+    /// assigns an out-of-range class.
     pub fn evaluate(&self, scratch: &mut EvalScratch, assignment: &[usize]) {
         self.compiled.evaluate(scratch, assignment);
     }
 
-    /// Builds the routing selecting `assignment[i]` as flow `i`'s middle;
+    /// Builds the routing selecting `assignment[i]` as flow `i`'s class;
     /// `assignment` may cover just a prefix of the flow collection.
     #[must_use]
     pub fn partial_routing(&self, assignment: &[usize]) -> Routing {
@@ -292,7 +311,7 @@ impl<'a> Problem<'a> {
             assignment
                 .iter()
                 .enumerate()
-                .map(|(i, &m)| self.clos.path_via(self.flows[i], m))
+                .map(|(i, &c)| self.fabric.path_via_class(self.flows[i], c))
                 .collect(),
         )
     }
@@ -305,20 +324,20 @@ impl<'a> Problem<'a> {
     pub fn prefix_allocation(&self, assignment: &[usize]) -> Allocation<Rational> {
         let routing = self.partial_routing(assignment);
         max_min_fair::<Rational>(
-            self.clos.network(),
+            self.fabric.network(),
             &self.flows[..assignment.len()],
             &routing,
         )
-        .expect("Clos links are finite")
+        .expect("fabric links are finite")
     }
 
     /// Admissible upper bound on the *total throughput* of any completion
     /// of `prefix` (a cover argument): every flow's rate crosses its
-    /// source host-uplink and its destination host-downlink, every
-    /// assigned flow's rate crosses its chosen fabric uplink and downlink,
-    /// and each link carries at most its capacity. Summing capacities over
-    /// either cover — assigned fabric uplinks plus unassigned source
-    /// host-uplinks, or the downlink-side mirror — bounds the total.
+    /// source host link and its destination host link, every assigned
+    /// flow's rate crosses its chosen class's interior cover links, and
+    /// each link carries at most its capacity. Summing capacities over
+    /// either cover — assigned up-side cover links plus unassigned
+    /// source host links, or the down-side mirror — bounds the total.
     #[must_use]
     pub fn throughput_cover_bound(&self, prefix: &[usize]) -> Rational {
         self.throughput_cover_bound_with(&mut EvalScratch::default(), prefix)
@@ -337,9 +356,9 @@ impl<'a> Problem<'a> {
         let (up, down) = scratch.link_buffers();
         up.clear();
         down.clear();
-        for (i, &m) in prefix.iter().enumerate() {
-            up.push(self.uplinks[i][m]);
-            down.push(self.downlinks[i][m]);
+        for (i, &c) in prefix.iter().enumerate() {
+            up.push(self.uplinks[i][c]);
+            down.push(self.downlinks[i][c]);
         }
         up.sort_unstable();
         up.dedup();
@@ -372,7 +391,7 @@ impl<'a> Problem<'a> {
 /// [`Self::key`] only when an improvement must be materialized. The two
 /// must agree: `beats(incumbent, scratch)` iff
 /// `key(scratch) > incumbent` under [`PartialOrd`].
-pub trait Objective: Sync {
+pub trait Objective<F: Fabric = ClosNetwork>: Sync {
     /// Comparison key; the search maximizes it. Ties are broken toward
     /// the lexicographically first canonical assignment. (`Sync` because
     /// the seed key is shared with every worker by reference.)
@@ -397,7 +416,7 @@ pub trait Objective: Sync {
     /// contents may be clobbered.
     fn prefix_bound(
         &self,
-        problem: &Problem<'_>,
+        problem: &Problem<'_, F>,
         prefix: &[usize],
         scratch: &mut EvalScratch,
     ) -> Option<Self::Key>;
@@ -409,7 +428,7 @@ pub trait Objective: Sync {
     /// decide exactly as the default does, or pruning statistics change).
     fn prefix_cannot_beat(
         &self,
-        problem: &Problem<'_>,
+        problem: &Problem<'_, F>,
         prefix: &[usize],
         incumbent: &Self::Key,
         scratch: &mut EvalScratch,
@@ -443,7 +462,7 @@ fn lex_bound_worthwhile(k: usize, f: usize) -> bool {
     k >= 2 && f - k >= 2
 }
 
-impl Objective for LexMaxMin {
+impl<F: Fabric> Objective<F> for LexMaxMin {
     type Key = SortedRates<Rational>;
 
     fn key(&self, scratch: &mut EvalScratch) -> Self::Key {
@@ -456,7 +475,7 @@ impl Objective for LexMaxMin {
 
     fn prefix_bound(
         &self,
-        problem: &Problem<'_>,
+        problem: &Problem<'_, F>,
         prefix: &[usize],
         scratch: &mut EvalScratch,
     ) -> Option<Self::Key> {
@@ -473,7 +492,7 @@ impl Objective for LexMaxMin {
 
     fn prefix_cannot_beat(
         &self,
-        problem: &Problem<'_>,
+        problem: &Problem<'_, F>,
         prefix: &[usize],
         incumbent: &Self::Key,
         scratch: &mut EvalScratch,
@@ -502,7 +521,7 @@ impl Objective for LexMaxMin {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ThroughputMaxMin;
 
-impl Objective for ThroughputMaxMin {
+impl<F: Fabric> Objective<F> for ThroughputMaxMin {
     type Key = Rational;
 
     fn key(&self, scratch: &mut EvalScratch) -> Self::Key {
@@ -514,12 +533,12 @@ impl Objective for ThroughputMaxMin {
     }
 
     fn beats(&self, incumbent: &Self::Key, scratch: &mut EvalScratch) -> bool {
-        self.key(scratch) > *incumbent
+        Objective::<F>::key(self, scratch) > *incumbent
     }
 
     fn prefix_bound(
         &self,
-        problem: &Problem<'_>,
+        problem: &Problem<'_, F>,
         prefix: &[usize],
         scratch: &mut EvalScratch,
     ) -> Option<Self::Key> {
@@ -529,14 +548,16 @@ impl Objective for ThroughputMaxMin {
 
 /// The canonical assignment space: per-position admissible values
 /// encoding the combined symmetry reduction (see the module docs),
-/// organized around *capacity equivalence classes* of middle switches.
+/// organized around *capacity equivalence classes* of routing classes.
 ///
-/// Two middles are equivalent iff their per-ToR uplink capacity vectors
-/// and per-ToR downlink capacity vectors both agree — exactly when
-/// swapping them maps every routing to one with the same allocation.
-/// First-use canonicalization applies per class: along any path of the
-/// enumeration tree, the `j`-th distinct member of class `c` to appear
-/// must be the `j`-th member of `c` in ascending middle order. The
+/// Two routing classes are equivalent iff their interchange signatures
+/// ([`Fabric::class_signature`]) agree — the fabric's certificate that
+/// swapping them maps every routing to one with the same allocation (on
+/// Clos, middles whose per-ToR uplink and downlink capacity vectors
+/// both agree). First-use canonicalization applies per class: along any
+/// path of the enumeration tree, the `j`-th distinct member of
+/// equivalence class `c` to appear must be the `j`-th member of `c` in
+/// ascending routing-class order. The
 /// walker tracks, per position, how many members of each class the
 /// prefix has used (a row of [`Self::classes`] counters); a value is
 /// admissible iff its within-class rank does not exceed its class's
@@ -546,41 +567,36 @@ impl Objective for ThroughputMaxMin {
 /// historical uniform-only reduction.
 pub(crate) struct CanonicalSpace {
     n: usize,
-    /// Number of capacity equivalence classes (1 on uniform fabrics).
+    /// Number of capacity equivalence classes (1 on a pristine Clos).
     classes: usize,
-    /// Middle -> its class; classes numbered by smallest member.
+    /// Routing class -> its equivalence class, numbered by smallest member.
     class_of: Vec<u32>,
-    /// Middle -> rank among its class's members in ascending order.
+    /// Routing class -> rank among its equivalence class's members in
+    /// ascending order.
     rank_in_class: Vec<u32>,
     /// Previous position holding an identical flow, if any.
     prev_in_group: Vec<Option<usize>>,
 }
 
 impl CanonicalSpace {
-    pub(crate) fn new(clos: &ClosNetwork, flows: &[Flow]) -> CanonicalSpace {
+    pub(crate) fn new<F: Fabric>(fabric: &F, flows: &[Flow]) -> CanonicalSpace {
         use std::collections::BTreeMap;
         let mut last: BTreeMap<(clos_net::NodeId, clos_net::NodeId), usize> = BTreeMap::new();
         let mut prev_in_group = vec![None; flows.len()];
         for (i, f) in flows.iter().enumerate() {
             prev_in_group[i] = last.insert((f.src(), f.dst()), i);
         }
-        let n = clos.middle_count();
-        let tors = clos.tor_count();
-        // Capacity signature of a middle: its uplink and downlink
-        // capacities over every ToR, in ToR order. Equal signature ==
-        // interchangeable under every flow collection.
-        let signature = |m: usize| -> Vec<clos_net::Capacity> {
-            (0..tors)
-                .map(|t| clos.network().link(clos.uplink(t, m)).capacity())
-                .chain((0..tors).map(|t| clos.network().link(clos.downlink(m, t)).capacity()))
-                .collect()
-        };
-        let mut reprs: Vec<Vec<clos_net::Capacity>> = Vec::new();
+        let n = fabric.class_count();
+        // Interchange signature of a routing class, as certified by the
+        // fabric: equal signature == interchangeable under every flow
+        // collection (on Clos, the per-ToR uplink and downlink capacity
+        // vectors; fabrics with less symmetry tag classes apart).
+        let mut reprs: Vec<(usize, Vec<clos_net::Capacity>)> = Vec::new();
         let mut class_of = Vec::with_capacity(n);
         let mut rank_in_class = Vec::with_capacity(n);
         let mut class_sizes: Vec<u32> = Vec::new();
         for m in 0..n {
-            let sig = signature(m);
+            let sig = fabric.class_signature(m);
             let class = match reprs.iter().position(|r| *r == sig) {
                 Some(c) => c,
                 None => {
@@ -595,15 +611,20 @@ impl CanonicalSpace {
         }
         // Degenerate-case guard (successor of the hard "all links have
         // equal capacity" assumption this reduction once silently made):
-        // a fabric whose links all carry one capacity must collapse to a
-        // single class, or the reduction would enumerate a wrong orbit
-        // set. Kept as a debug assertion now that non-uniform fabrics
-        // are first-class.
+        // a fabric whose links all carry one capacity and whose classes
+        // share a structural tag must collapse to a single equivalence
+        // class, or the reduction would enumerate a wrong orbit set.
+        // Kept as a debug assertion now that non-uniform fabrics are
+        // first-class. (Fabrics like the Benes network deliberately tag
+        // classes apart — their symmetry group is smaller than the full
+        // symmetric group — and are exempt via the tag check.)
         debug_assert!(
             {
-                let mut caps = clos.network().links().map(|l| l.capacity());
+                let mut caps = fabric.network().links().map(|l| l.capacity());
                 let first = caps.next();
-                !caps.all(|c| Some(c) == first) || reprs.len() == 1
+                let uniform = caps.all(|c| Some(c) == first);
+                let tags_equal = reprs.iter().all(|r| r.0 == reprs[0].0);
+                !(uniform && tags_equal) || reprs.len() == 1
             },
             "uniform fabric produced {} capacity classes; the symmetry \
              reduction would enumerate a wrong orbit set",
@@ -816,9 +837,9 @@ fn bound_cannot_beat<K: PartialOrd>(bound: &K, incumbent: &K) -> bool {
 }
 
 /// Read-only state shared by every block of one search run.
-struct SearchContext<'a, O: Objective> {
+struct SearchContext<'a, F: Fabric, O: Objective<F>> {
     space: CanonicalSpace,
-    problem: Problem<'a>,
+    problem: Problem<'a, F>,
     objective: &'a O,
     config: SearchConfig,
     /// The all-zeros seed assignment and its key.
@@ -828,8 +849,8 @@ struct SearchContext<'a, O: Objective> {
 
 /// The per-block worker: walks one block with block-local pruning,
 /// evaluating into a per-worker [`EvalScratch`].
-struct BlockVisitor<'a, 'p, 's, O: Objective> {
-    ctx: &'a SearchContext<'p, O>,
+struct BlockVisitor<'a, 'p, 's, F: Fabric, O: Objective<F>> {
+    ctx: &'a SearchContext<'p, F, O>,
     scratch: &'s mut EvalScratch,
     /// The seed leaf lives in the first block; skip its re-evaluation
     /// there (it was examined up front).
@@ -841,7 +862,7 @@ struct BlockVisitor<'a, 'p, 's, O: Objective> {
 // seed key, borrowed straight out of `outcome.best` (field-disjoint from
 // the scratch). Holding it by reference instead of cloning into a shadow
 // field is what lets improvements store their key exactly once.
-impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
+impl<F: Fabric, O: Objective<F>> Visitor for BlockVisitor<'_, '_, '_, F, O> {
     fn prune(&mut self, prefix: &[usize]) -> bool {
         if self.ctx.config.no_prune {
             return false;
@@ -920,8 +941,8 @@ impl<O: Objective> Visitor for BlockVisitor<'_, '_, '_, O> {
     }
 }
 
-fn process_block<O: Objective>(
-    ctx: &SearchContext<'_, O>,
+fn process_block<F: Fabric, O: Objective<F>>(
+    ctx: &SearchContext<'_, F, O>,
     index: usize,
     prefix: &[usize],
     scratch: &mut EvalScratch,
@@ -967,10 +988,10 @@ fn process_block<O: Objective>(
 ///
 /// # Panics
 ///
-/// Panics if a flow endpoint is invalid for `clos`, or if evaluation
+/// Panics if a flow endpoint is invalid for `fabric`, or if evaluation
 /// itself panicked on a worker thread.
-pub fn run_search<O: Objective>(
-    clos: &ClosNetwork,
+pub fn run_search<F: Fabric + Sync, O: Objective<F>>(
+    fabric: &F,
     flows: &[Flow],
     objective: &O,
     config: SearchConfig,
@@ -979,8 +1000,8 @@ pub fn run_search<O: Objective>(
     let _span = clos_telemetry::span("search");
     counters::SEARCH_RUNS.incr();
 
-    let problem = Problem::new(clos, flows);
-    let space = CanonicalSpace::new(clos, flows);
+    let problem = Problem::new(fabric, flows);
+    let space = CanonicalSpace::new(fabric, flows);
     let (_, blocks) = prefix_blocks(&space, flows.len());
 
     // Seed incumbent: the lexicographically first canonical leaf — all
@@ -1152,17 +1173,19 @@ mod tests {
             problem.evaluate(&mut scratch, &leaf);
             // Compiled evaluation == fresh Routing + max_min_fair.
             assert_eq!(scratch.rates(), alloc.rates(), "compiled pipeline diverged");
-            let lex_key = LexMaxMin.key(&mut scratch);
-            let tput_key = ThroughputMaxMin.key(&mut scratch);
+            let lex_key = Objective::<ClosNetwork>::key(&LexMaxMin, &mut scratch);
+            let tput_key = Objective::<ClosNetwork>::key(&ThroughputMaxMin, &mut scratch);
             assert_eq!(lex_key.rates(), alloc.sorted().rates());
             assert_eq!(tput_key, alloc.throughput());
             // beats == strict key comparison against itself (never) and
             // against a strictly smaller key (always: rates are positive).
-            assert!(!LexMaxMin.beats(&lex_key, &mut scratch));
-            assert!(!ThroughputMaxMin.beats(&tput_key, &mut scratch));
+            let lex = &LexMaxMin as &dyn Objective<ClosNetwork, Key = SortedRates<Rational>>;
+            let tput = &ThroughputMaxMin as &dyn Objective<ClosNetwork, Key = Rational>;
+            assert!(!lex.beats(&lex_key, &mut scratch));
+            assert!(!tput.beats(&tput_key, &mut scratch));
             let zeros = SortedRates::from_unsorted(vec![Rational::ZERO; flows.len()]);
-            assert!(LexMaxMin.beats(&zeros, &mut scratch));
-            assert!(ThroughputMaxMin.beats(&Rational::ZERO, &mut scratch));
+            assert!(lex.beats(&zeros, &mut scratch));
+            assert!(tput.beats(&Rational::ZERO, &mut scratch));
             for k in 0..flows.len() {
                 let lex_bound = LexMaxMin.prefix_bound(&problem, &leaf[..k], &mut scratch);
                 if let Some(bound) = lex_bound {
@@ -1205,7 +1228,7 @@ mod tests {
         let mut expect: Option<(Vec<usize>, Rational)> = None;
         for leaf in all_leaves(&clos, &flows) {
             problem.evaluate(&mut scratch, &leaf);
-            let key = ThroughputMaxMin.key(&mut scratch);
+            let key = Objective::<ClosNetwork>::key(&ThroughputMaxMin, &mut scratch);
             if expect.as_ref().is_none_or(|(_, b)| key > *b) {
                 expect = Some((leaf, key));
             }

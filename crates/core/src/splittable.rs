@@ -22,7 +22,7 @@
 use std::error::Error;
 use std::fmt;
 
-use clos_net::{ClosNetwork, Flow, LinkId, NodeId};
+use clos_net::{expect_server_coords, ClosNetwork, Flow, LinkId, NodeId, NodeKind};
 use clos_rational::Rational;
 
 /// Aggregate ToR-pair demands of a rated flow collection.
@@ -215,8 +215,12 @@ pub fn demand_satisfaction(
     let mut src_load = vec![Rational::ZERO; clos.tor_count() * hosts];
     let mut dst_load = vec![Rational::ZERO; clos.tor_count() * hosts];
     for (f, &rate) in flows.iter().zip(rates) {
-        let (si, sj) = clos.source_coords(f.src());
-        let (ti, tj) = clos.destination_coords(f.dst());
+        let (si, sj) = expect_server_coords(f.src(), NodeKind::Source, clos.source_coords(f.src()));
+        let (ti, tj) = expect_server_coords(
+            f.dst(),
+            NodeKind::Destination,
+            clos.destination_coords(f.dst()),
+        );
         src_load[si * hosts + sj] += rate;
         dst_load[ti * hosts + tj] += rate;
     }

@@ -1,0 +1,175 @@
+//! Degenerate-equivalence pins for the [`Fabric`] abstraction: fabrics
+//! that collapse to a three-stage Clos must search *exactly* like one.
+//!
+//! Two degenerations are pinned:
+//!
+//! * `FatTree::collapsed(4)` — the 1:1 fat-tree with the pod layer
+//!   collapsed builds a network byte-identical to the `(4, 4, 4)` Clos,
+//!   so both exact searches must return byte-identical routings, rates,
+//!   and search statistics;
+//! * `BenesNetwork::standard(2)` — the order-2 Benes network is a
+//!   three-stage Clos of 2×2 modules up to node naming, so the searches
+//!   must agree on class assignments, rate vectors, and statistics
+//!   under the terminal ↔ `(tor, host)` correspondence.
+//!
+//! Each degeneration gets a proptest over random small flow sets plus a
+//! pinned golden on a fixed instance (exact winners and statistics
+//! captured from the Clos side, which predates the refactor).
+
+use clos_core::objectives::{search_lex_max_min, search_throughput_max_min};
+use clos_net::{BenesNetwork, ClosNetwork, ClosParams, Fabric, FatTree, Flow};
+use clos_rational::Rational;
+use proptest::prelude::*;
+
+fn clos444() -> ClosNetwork {
+    ClosNetwork::with_params(ClosParams {
+        middle_switches: 4,
+        tor_pairs: 4,
+        hosts_per_tor: 4,
+        link_capacity: Rational::ONE,
+    })
+}
+
+fn clos222() -> ClosNetwork {
+    ClosNetwork::with_params(ClosParams {
+        middle_switches: 2,
+        tor_pairs: 2,
+        hosts_per_tor: 2,
+        link_capacity: Rational::ONE,
+    })
+}
+
+/// Class assignment of every routed path, for cross-network comparison.
+fn classes<F: Fabric>(fabric: &F, out: &clos_core::RoutedAllocation) -> Vec<usize> {
+    out.routing
+        .paths()
+        .iter()
+        .map(|p| {
+            fabric
+                .class_of_path(p)
+                .expect("searched paths are candidate paths")
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case runs four exact searches; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn collapsed_fat_tree_searches_byte_identically_to_clos(
+        picks in prop::collection::vec(
+            (0..4usize, 0..4usize, 0..4usize, 0..4usize),
+            1..6,
+        )
+    ) {
+        let ft = FatTree::collapsed(4);
+        let clos = clos444();
+        let flows_ft: Vec<Flow> = picks
+            .iter()
+            .map(|&(st, sh, dt, dh)| Flow::new(ft.source(st, sh), ft.destination(dt, dh)))
+            .collect();
+        let flows_clos: Vec<Flow> = picks
+            .iter()
+            .map(|&(st, sh, dt, dh)| Flow::new(clos.source(st, sh), clos.destination(dt, dh)))
+            .collect();
+        // The networks are byte-identical, so the flows coincide and the
+        // searches must as well — routings, rates, and statistics.
+        prop_assert_eq!(&flows_ft, &flows_clos);
+        let (lex_ft, lex_ft_stats) = search_lex_max_min(&ft, &flows_ft);
+        let (lex_clos, lex_clos_stats) = search_lex_max_min(&clos, &flows_clos);
+        prop_assert_eq!(&lex_ft.routing, &lex_clos.routing);
+        prop_assert_eq!(lex_ft.allocation.rates(), lex_clos.allocation.rates());
+        prop_assert_eq!(lex_ft_stats.routings_examined, lex_clos_stats.routings_examined);
+        prop_assert_eq!(lex_ft_stats.pruned, lex_clos_stats.pruned);
+        let (tput_ft, tput_ft_stats) = search_throughput_max_min(&ft, &flows_ft);
+        let (tput_clos, tput_clos_stats) = search_throughput_max_min(&clos, &flows_clos);
+        prop_assert_eq!(&tput_ft.routing, &tput_clos.routing);
+        prop_assert_eq!(tput_ft.allocation.rates(), tput_clos.allocation.rates());
+        prop_assert_eq!(tput_ft_stats.routings_examined, tput_clos_stats.routings_examined);
+    }
+
+    #[test]
+    fn minimal_benes_searches_byte_identically_to_clos(
+        picks in prop::collection::vec((0..4usize, 0..4usize), 1..6)
+    ) {
+        let benes = BenesNetwork::standard(2);
+        let clos = clos222();
+        // Terminal a ↔ host (a / 2, a % 2): the order-2 Benes wires its
+        // first/last columns exactly like the 2-pair Clos ToR stage.
+        let flows_b: Vec<Flow> = picks
+            .iter()
+            .map(|&(a, b)| Flow::new(benes.source(a), benes.destination(b)))
+            .collect();
+        let flows_c: Vec<Flow> = picks
+            .iter()
+            .map(|&(a, b)| Flow::new(clos.source(a / 2, a % 2), clos.destination(b / 2, b % 2)))
+            .collect();
+        let (lex_b, lex_b_stats) = search_lex_max_min(&benes, &flows_b);
+        let (lex_c, lex_c_stats) = search_lex_max_min(&clos, &flows_c);
+        prop_assert_eq!(classes(&benes, &lex_b), classes(&clos, &lex_c));
+        prop_assert_eq!(lex_b.allocation.rates(), lex_c.allocation.rates());
+        prop_assert_eq!(lex_b_stats.routings_examined, lex_c_stats.routings_examined);
+        prop_assert_eq!(lex_b_stats.pruned, lex_c_stats.pruned);
+        let (tput_b, tput_b_stats) = search_throughput_max_min(&benes, &flows_b);
+        let (tput_c, tput_c_stats) = search_throughput_max_min(&clos, &flows_c);
+        prop_assert_eq!(classes(&benes, &tput_b), classes(&clos, &tput_c));
+        prop_assert_eq!(tput_b.allocation.rates(), tput_c.allocation.rates());
+        prop_assert_eq!(tput_b_stats.routings_examined, tput_c_stats.routings_examined);
+    }
+}
+
+/// Pinned golden: a fixed 6-flow hot-ToR instance on the collapsed
+/// fat-tree must reproduce the Clos winner and statistics exactly.
+#[test]
+fn collapsed_fat_tree_pinned_golden() {
+    let ft = FatTree::collapsed(4);
+    let clos = clos444();
+    let picks = [
+        (0, 0, 1, 0),
+        (0, 1, 1, 1),
+        (0, 2, 1, 2),
+        (2, 0, 1, 3),
+        (2, 1, 3, 0),
+        (3, 0, 0, 0),
+    ];
+    let flows: Vec<Flow> = picks
+        .iter()
+        .map(|&(st, sh, dt, dh)| Flow::new(ft.source(st, sh), ft.destination(dt, dh)))
+        .collect();
+    let (lex_ft, stats_ft) = search_lex_max_min(&ft, &flows);
+    let (lex_clos, stats_clos) = search_lex_max_min(&clos, &flows);
+    assert_eq!(lex_ft.routing, lex_clos.routing);
+    assert_eq!(lex_ft.allocation.rates(), lex_clos.allocation.rates());
+    assert_eq!(stats_ft.routings_examined, stats_clos.routings_examined);
+    // A disjoint placement exists: everyone runs at rate 1.
+    assert!(lex_ft
+        .allocation
+        .rates()
+        .iter()
+        .all(|&r| r == Rational::ONE));
+}
+
+/// Pinned golden: the full shift-by-one terminal permutation on the
+/// order-2 Benes network matches the equivalent Clos bit for bit.
+#[test]
+fn minimal_benes_pinned_golden() {
+    let benes = BenesNetwork::standard(2);
+    let clos = clos222();
+    let flows_b: Vec<Flow> = (0..4)
+        .map(|a| Flow::new(benes.source(a), benes.destination((a + 1) % 4)))
+        .collect();
+    let flows_c: Vec<Flow> = (0..4)
+        .map(|a| {
+            let b = (a + 1) % 4;
+            Flow::new(clos.source(a / 2, a % 2), clos.destination(b / 2, b % 2))
+        })
+        .collect();
+    let (lex_b, stats_b) = search_lex_max_min(&benes, &flows_b);
+    let (lex_c, stats_c) = search_lex_max_min(&clos, &flows_c);
+    assert_eq!(classes(&benes, &lex_b), classes(&clos, &lex_c));
+    assert_eq!(lex_b.allocation.rates(), lex_c.allocation.rates());
+    assert_eq!(stats_b.routings_examined, stats_c.routings_examined);
+    // Rearrangeability: the permutation runs at unit rates.
+    assert!(lex_b.allocation.rates().iter().all(|&r| r == Rational::ONE));
+}

@@ -10,4 +10,7 @@ fn main() {
     if id == "e14" {
         let _ = fx_bench::experiments::e14_failures::verdicts();
     }
+    if id == "e15" {
+        let _ = fx_bench::experiments::e15_topologies::verdicts();
+    }
 }

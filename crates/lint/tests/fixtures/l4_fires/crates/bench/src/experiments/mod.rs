@@ -1,4 +1,5 @@
 //! Experiment modules.
 pub mod e13_churn;
 pub mod e14_failures;
+pub mod e15_topologies;
 pub mod e1_good;

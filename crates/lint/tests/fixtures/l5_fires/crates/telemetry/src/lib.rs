@@ -114,3 +114,21 @@ pub fn touch_failure() {
     counters::FAILURE_EVENTS.incr();
     counters::REROUTE_FLOWS.incr();
 }
+
+/// Registered statics of the topology builders — the production
+/// `topology.builds` / `fabric.classes` names (non-Clos fabric
+/// constructions and their routing-class counts) must pass the scheme,
+/// uniqueness, and snapshot-key collision checks.
+pub mod topology {
+    use super::Counter;
+    /// Non-Clos fabric constructions (Benes and fat-tree builders).
+    pub static TOPOLOGY_BUILDS: Counter = Counter::new("topology.builds");
+    /// Routing classes exposed by constructed non-Clos fabrics.
+    pub static FABRIC_CLASSES: Counter = Counter::new("fabric.classes");
+}
+
+/// Instrumentation site referencing a topology static registered above.
+pub fn touch_topology() {
+    counters::TOPOLOGY_BUILDS.incr();
+    counters::FABRIC_CLASSES.incr();
+}

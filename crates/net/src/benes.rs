@@ -1,0 +1,554 @@
+//! The rearrangeably non-blocking Benes network `B_r`.
+
+#![allow(clippy::needless_range_loop)]
+
+use clos_rational::Rational;
+use clos_telemetry::counters;
+
+use crate::{Capacity, CapacityMap, Fabric, Flow, LinkId, Network, NodeId, NodeKind, Path};
+
+/// Orders above this would overflow the fixed recursion scratch (and a
+/// `B_16` already has 65 536 terminals — far beyond exhaustive search).
+const MAX_ORDER: usize = 16;
+
+/// Where a node sits within a Benes network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BenesNodeLoc {
+    Source { terminal: usize },
+    Switch,
+    Destination { terminal: usize },
+}
+
+/// Where a link sits within a Benes network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BenesLinkRole {
+    HostUp,
+    /// Left-half link chosen at recursion `level` when the class's bit
+    /// at that level equals `bit` (the top/bottom sub-network choice).
+    Forward {
+        level: usize,
+        bit: usize,
+    },
+    Backward,
+    HostDown,
+}
+
+/// The Benes network `B_r` of order `r`: `2^r` source and destination
+/// terminals over `2r - 1` columns of 2×2 switch modules (cf. Huang &
+/// Walrand, arXiv 1208.0561).
+///
+/// The network is built by the classical recursion: a first and last
+/// column of `2^(r-1)` switches sandwich a *top* and a *bottom* copy of
+/// `B_(r-1)`. Routing a flow is choosing top or bottom at each of the
+/// `r - 1` recursion levels, so the fabric exposes `2^(r-1)` routing
+/// classes — class `c`'s bit `k` is the sub-network taken at level `k` —
+/// and every candidate path has `2r` links (log-depth, against the Clos
+/// network's constant four).
+///
+/// `B_r` is rearrangeably non-blocking: every permutation of terminals
+/// can be routed with unit rates. Unlike the Clos middle stage, the
+/// automorphism group on classes is the bit-flip group `(Z/2)^(r-1)`,
+/// **not** the full symmetric group, so for `r >= 3` the fabric reports
+/// pairwise-distinct [class signatures](Fabric::class_signature) and the
+/// search engines forgo symmetry reduction rather than unsoundly apply
+/// it.
+///
+/// # Examples
+///
+/// ```
+/// use clos_net::{BenesNetwork, Fabric, Flow};
+///
+/// let benes = BenesNetwork::standard(3);
+/// assert_eq!(benes.terminal_count(), 8);
+/// assert_eq!(benes.class_count(), 4);
+/// let f = Flow::new(benes.source(0), benes.destination(7));
+/// let p = benes.path_via_class(f, 2);
+/// assert_eq!(p.len(), 6); // 2r links
+/// assert!(p.is_valid(benes.network(), f).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BenesNetwork {
+    net: Network,
+    order: usize,
+    link_capacity: Rational,
+    sources: Vec<NodeId>,
+    destinations: Vec<NodeId>,
+    host_uplinks: Vec<LinkId>,
+    host_downlinks: Vec<LinkId>,
+    /// `forward[k][row][t]`: the link leaving column `k`'s switch `row`
+    /// into the top (`t = 0`) or bottom (`t = 1`) sub-network at
+    /// recursion level `k`.
+    forward: Vec<Vec<[LinkId; 2]>>,
+    /// `backward[k][row][t]`: the link entering column `2r-2-k`'s switch
+    /// `row` from sub-network `t` (mirror of `forward`).
+    backward: Vec<Vec<[LinkId; 2]>>,
+    node_locs: Vec<BenesNodeLoc>,
+    link_roles: Vec<BenesLinkRole>,
+}
+
+impl BenesNetwork {
+    /// Builds `B_r` with unit link capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero or exceeds 16.
+    #[must_use]
+    pub fn standard(order: usize) -> BenesNetwork {
+        BenesNetwork::with_capacity(order, Rational::ONE)
+    }
+
+    /// Builds `B_r` with the given uniform link capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero or exceeds 16, or the capacity is
+    /// non-positive.
+    #[must_use]
+    pub fn with_capacity(order: usize, link_capacity: Rational) -> BenesNetwork {
+        assert!(order >= 1, "Benes order must be at least 1");
+        assert!(
+            order <= MAX_ORDER,
+            "Benes order must be at most {MAX_ORDER}"
+        );
+        assert!(
+            link_capacity.is_positive(),
+            "link capacity must be positive"
+        );
+        let cap = Capacity::finite_value(link_capacity);
+        let terminals = 1usize << order;
+        let rows = terminals / 2;
+        let columns = 2 * order - 1;
+
+        let mut net = Network::new();
+        let mut node_locs = Vec::new();
+        let mut link_roles = Vec::new();
+
+        let mut sources = Vec::with_capacity(terminals);
+        for a in 0..terminals {
+            sources.push(net.add_node(NodeKind::Source, format!("s_{}^{}", a / 2, a % 2)));
+            node_locs.push(BenesNodeLoc::Source { terminal: a });
+        }
+        let mut switches: Vec<Vec<NodeId>> = Vec::with_capacity(columns);
+        for col in 0..columns {
+            let kind = if col == 0 {
+                NodeKind::InputTor
+            } else if col == columns - 1 {
+                NodeKind::OutputTor
+            } else {
+                NodeKind::Middle
+            };
+            let mut column = Vec::with_capacity(rows);
+            for row in 0..rows {
+                let label = match kind {
+                    NodeKind::InputTor => format!("I_{row}"),
+                    NodeKind::OutputTor => format!("O_{row}"),
+                    _ => format!("B_{col}^{row}"),
+                };
+                column.push(net.add_node(kind, label));
+                node_locs.push(BenesNodeLoc::Switch);
+            }
+            switches.push(column);
+        }
+        let mut destinations = Vec::with_capacity(terminals);
+        for b in 0..terminals {
+            destinations
+                .push(net.add_node(NodeKind::Destination, format!("t_{}^{}", b / 2, b % 2)));
+            node_locs.push(BenesNodeLoc::Destination { terminal: b });
+        }
+
+        let mut host_uplinks = Vec::with_capacity(terminals);
+        for a in 0..terminals {
+            let e = net
+                .add_link(sources[a], switches[0][a / 2], cap)
+                .expect("endpoints exist");
+            link_roles.push(BenesLinkRole::HostUp);
+            host_uplinks.push(e);
+        }
+
+        let mut forward = vec![vec![[LinkId::new(0); 2]; rows]; order.saturating_sub(1)];
+        let mut backward = vec![vec![[LinkId::new(0); 2]; rows]; order.saturating_sub(1)];
+        if order >= 2 {
+            BenesNetwork::wire(
+                &mut net,
+                &switches,
+                &mut forward,
+                &mut backward,
+                &mut link_roles,
+                cap,
+                order,
+                order,
+                0,
+                0,
+            );
+        }
+
+        let mut host_downlinks = Vec::with_capacity(terminals);
+        for b in 0..terminals {
+            let e = net
+                .add_link(switches[columns - 1][b / 2], destinations[b], cap)
+                .expect("endpoints exist");
+            link_roles.push(BenesLinkRole::HostDown);
+            host_downlinks.push(e);
+        }
+
+        counters::TOPOLOGY_BUILDS.incr();
+        counters::FABRIC_CLASSES.add(1 << (order - 1));
+
+        BenesNetwork {
+            net,
+            order,
+            link_capacity,
+            sources,
+            destinations,
+            host_uplinks,
+            host_downlinks,
+            forward,
+            backward,
+            node_locs,
+            link_roles,
+        }
+    }
+
+    /// Recursively wires the sub-Benes of order `q >= 2` at recursion
+    /// `level` whose switch rows start at `row_off`: first column
+    /// fan-out into the top/bottom copies of `B_(q-1)`, mirrored
+    /// fan-in on the last column, then both sub-copies.
+    #[allow(clippy::too_many_arguments)]
+    fn wire(
+        net: &mut Network,
+        switches: &[Vec<NodeId>],
+        forward: &mut [Vec<[LinkId; 2]>],
+        backward: &mut [Vec<[LinkId; 2]>],
+        link_roles: &mut Vec<BenesLinkRole>,
+        cap: Capacity,
+        order: usize,
+        q: usize,
+        level: usize,
+        row_off: usize,
+    ) {
+        let col_lo = level;
+        let col_hi = 2 * order - 2 - level;
+        // Rows per sub-copy and first/last-column switches of this sub.
+        let half = 1usize << (q - 2);
+        let rows = 1usize << (q - 1);
+        for t in 0..2 {
+            let sub_off = row_off + t * half;
+            for s in 0..rows {
+                let e = net
+                    .add_link(
+                        switches[col_lo][row_off + s],
+                        switches[col_lo + 1][sub_off + s / 2],
+                        cap,
+                    )
+                    .expect("endpoints exist");
+                forward[level][row_off + s][t] = e;
+                link_roles.push(BenesLinkRole::Forward { level, bit: t });
+                let e = net
+                    .add_link(
+                        switches[col_hi - 1][sub_off + s / 2],
+                        switches[col_hi][row_off + s],
+                        cap,
+                    )
+                    .expect("endpoints exist");
+                backward[level][row_off + s][t] = e;
+                link_roles.push(BenesLinkRole::Backward);
+            }
+            if q > 2 {
+                BenesNetwork::wire(
+                    net,
+                    switches,
+                    forward,
+                    backward,
+                    link_roles,
+                    cap,
+                    order,
+                    q - 1,
+                    level + 1,
+                    sub_off,
+                );
+            }
+        }
+    }
+
+    /// Returns the order `r` of this `B_r`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Returns the number of terminals `2^r` on each side.
+    #[must_use]
+    pub fn terminal_count(&self) -> usize {
+        1 << self.order
+    }
+
+    /// Returns the source terminal with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminal` is out of range.
+    #[must_use]
+    pub fn source(&self, terminal: usize) -> NodeId {
+        self.sources[terminal]
+    }
+
+    /// Returns the destination terminal with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminal` is out of range.
+    #[must_use]
+    pub fn destination(&self, terminal: usize) -> NodeId {
+        self.destinations[terminal]
+    }
+
+    /// Returns the terminal index of a source node, or `None` if `node`
+    /// is not a source of this network.
+    #[must_use]
+    pub fn source_terminal(&self, node: NodeId) -> Option<usize> {
+        match self.node_locs.get(node.index()) {
+            Some(&BenesNodeLoc::Source { terminal }) => Some(terminal),
+            _ => None,
+        }
+    }
+
+    /// Returns the terminal index of a destination node, or `None` if
+    /// `node` is not a destination of this network.
+    #[must_use]
+    pub fn destination_terminal(&self, node: NodeId) -> Option<usize> {
+        match self.node_locs.get(node.index()) {
+            Some(&BenesNodeLoc::Destination { terminal }) => Some(terminal),
+            _ => None,
+        }
+    }
+}
+
+impl Fabric for BenesNetwork {
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn class_count(&self) -> usize {
+        1 << (self.order - 1)
+    }
+
+    fn append_links_via(&self, flow: Flow, class: usize, out: &mut Vec<LinkId>) {
+        assert!(
+            class < self.class_count(),
+            "routing class {class} out of range (have {})",
+            self.class_count()
+        );
+        let a = match self.source_terminal(flow.src()) {
+            Some(a) => a,
+            None => panic!("node {} is not a {}", flow.src(), NodeKind::Source),
+        };
+        let b = match self.destination_terminal(flow.dst()) {
+            Some(b) => b,
+            None => panic!("node {} is not a {}", flow.dst(), NodeKind::Destination),
+        };
+        out.push(self.host_uplinks[a]);
+        let r = self.order;
+        if r >= 2 {
+            // Descend: the class's bit at level `k` picks top/bottom; the
+            // entered sub-copy's row offset accumulates the chosen halves.
+            let mut offs = [0usize; MAX_ORDER];
+            let mut off = 0usize;
+            for k in 0..r - 1 {
+                offs[k] = off;
+                let t = (class >> k) & 1;
+                out.push(self.forward[k][off + (a >> (k + 1))][t]);
+                off += t << (r - k - 2);
+            }
+            // Ascend: the exit switches sit in the same sub-copies, so the
+            // offsets are reused in reverse with the destination terminal.
+            for k in (0..r - 1).rev() {
+                let t = (class >> k) & 1;
+                out.push(self.backward[k][offs[k] + (b >> (k + 1))][t]);
+            }
+        }
+        out.push(self.host_downlinks[b]);
+    }
+
+    fn class_of_path(&self, path: &Path) -> Option<usize> {
+        let mut class = 0usize;
+        let mut seen = 0usize;
+        let mut known = false;
+        for &e in path.links() {
+            match self.link_roles.get(e.index()) {
+                Some(&BenesLinkRole::Forward { level, bit }) => {
+                    class |= bit << level;
+                    seen |= 1 << level;
+                    known = true;
+                }
+                Some(_) => known = true,
+                None => {}
+            }
+        }
+        let all = (1usize << (self.order - 1)) - 1;
+        if known && seen == all {
+            Some(class)
+        } else {
+            None
+        }
+    }
+
+    fn source_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        self.source_terminal(node).map(|a| (a / 2, a % 2))
+    }
+
+    fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        self.destination_terminal(node).map(|b| (b / 2, b % 2))
+    }
+
+    fn class_signature(&self, class: usize) -> (usize, Vec<Capacity>) {
+        assert!(
+            class < self.class_count(),
+            "routing class {class} out of range (have {})",
+            self.class_count()
+        );
+        if self.order >= 3 {
+            // The class symmetry group is the bit-flip group (Z/2)^(r-1),
+            // not the full symmetric group, so the reduction contract
+            // cannot be met: every class is its own singleton.
+            return (class, Vec::new());
+        }
+        // r <= 2: at most two classes, exchanged by swapping the two
+        // middle-column switches — a host-fixing automorphism realizing
+        // the full S_2 when the touched capacities agree. Capacity order
+        // matches the Clos signature: uplinks by row, then downlinks.
+        let caps = self
+            .forward
+            .iter()
+            .flat_map(|col| col.iter().map(|pair| self.net.link(pair[class]).capacity()))
+            .chain(
+                self.backward
+                    .iter()
+                    .flat_map(|col| col.iter().map(|pair| self.net.link(pair[class]).capacity())),
+            )
+            .collect();
+        (0, caps)
+    }
+
+    fn with_capacities(&self, overlay: &CapacityMap) -> BenesNetwork {
+        let mut out = self.clone();
+        for (&link, &capacity) in overlay {
+            out.net.set_link_capacity(link, capacity);
+        }
+        out
+    }
+
+    fn nominal_capacity(&self) -> Rational {
+        self.link_capacity
+    }
+
+    fn max_path_len(&self) -> usize {
+        2 * self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_the_recursion() {
+        for r in 1..=4 {
+            let benes = BenesNetwork::standard(r);
+            let n = 1usize << r;
+            // 2^r terminals each side + (2r-1) columns of 2^(r-1) switches.
+            assert_eq!(benes.net.node_count(), 2 * n + (2 * r - 1) * (n / 2));
+            // 2^r host links each side + N links per inter-column gap.
+            assert_eq!(benes.net.link_count(), 2 * n + (2 * r - 2) * n);
+            assert_eq!(benes.class_count(), 1 << (r - 1));
+            assert_eq!(benes.max_path_len(), 2 * r);
+        }
+    }
+
+    #[test]
+    fn every_candidate_path_is_valid_with_shared_host_links() {
+        let benes = BenesNetwork::standard(3);
+        for a in 0..8 {
+            for b in 0..8 {
+                let f = Flow::new(benes.source(a), benes.destination(b));
+                let paths = benes.candidate_paths(f);
+                assert_eq!(paths.len(), 4);
+                for (c, p) in paths.iter().enumerate() {
+                    assert!(p.is_valid(benes.network(), f).is_ok(), "a={a} b={b} c={c}");
+                    assert_eq!(p.len(), 6);
+                    assert_eq!(benes.class_of_path(p), Some(c));
+                    // Host access links are class-independent.
+                    assert_eq!(p.links()[0], paths[0].links()[0]);
+                    assert_eq!(p.links()[5], paths[0].links()[5]);
+                }
+                // Classes give pairwise-distinct interiors.
+                for c in 1..4 {
+                    assert_ne!(paths[0].links()[1..5], paths[c].links()[1..5]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_one_is_a_single_switch() {
+        let benes = BenesNetwork::standard(1);
+        assert_eq!(benes.class_count(), 1);
+        let f = Flow::new(benes.source(0), benes.destination(1));
+        let p = benes.path_via_class(f, 0);
+        assert_eq!(p.len(), 2);
+        assert!(p.is_valid(benes.network(), f).is_ok());
+        assert_eq!(benes.class_of_path(&p), Some(0));
+    }
+
+    #[test]
+    fn coords_round_trip_and_reject_switches() {
+        let benes = BenesNetwork::standard(2);
+        assert_eq!(benes.source_coords(benes.source(3)), Some((1, 1)));
+        assert_eq!(benes.destination_coords(benes.destination(2)), Some((1, 0)));
+        let switch = benes.net.nodes_of_kind(NodeKind::Middle)[0];
+        assert_eq!(benes.source_coords(switch), None);
+        assert_eq!(benes.destination_coords(switch), None);
+        assert_eq!(benes.source_coords(benes.destination(0)), None);
+    }
+
+    #[test]
+    fn signatures_shared_at_order_two_distinct_above() {
+        let b2 = BenesNetwork::standard(2);
+        assert_eq!(b2.class_signature(0), b2.class_signature(1));
+        let b3 = BenesNetwork::standard(3);
+        for c in 0..4 {
+            for d in (c + 1)..4 {
+                assert_ne!(b3.class_signature(c), b3.class_signature(d));
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_preserves_identifiers() {
+        let benes = BenesNetwork::standard(2);
+        let mut overlay = CapacityMap::new();
+        overlay.insert(
+            benes.host_uplinks[0],
+            Capacity::finite_value(Rational::ZERO),
+        );
+        let degraded = benes.with_capacities(&overlay);
+        assert_eq!(degraded.net.link_count(), benes.net.link_count());
+        assert_eq!(
+            degraded.net.link(benes.host_uplinks[0]).capacity(),
+            Capacity::finite_value(Rational::ZERO)
+        );
+        // Untouched links keep their capacity.
+        assert_eq!(
+            degraded.net.link(benes.host_uplinks[1]).capacity(),
+            Capacity::unit()
+        );
+    }
+
+    #[test]
+    fn class_of_foreign_path_is_none() {
+        let benes = BenesNetwork::standard(3);
+        let p = Path::new(vec![benes.host_uplinks[0]]);
+        assert_eq!(benes.class_of_path(&p), None);
+        let p = Path::new(vec![LinkId::new(99_999)]);
+        assert_eq!(benes.class_of_path(&p), None);
+    }
+}

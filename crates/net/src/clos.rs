@@ -393,34 +393,24 @@ impl ClosNetwork {
         self.host_downlinks[tor][host]
     }
 
-    /// Returns the `(tor, host)` coordinates of a source server.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a source of this network.
+    /// Returns the `(tor, host)` coordinates of a source server, or
+    /// `None` if `node` is not a source of this network.
     #[must_use]
-    pub fn source_coords(&self, node: NodeId) -> (usize, usize) {
-        let loc = self.node_locs[node.index()];
-        let coords = match loc {
-            NodeLoc::Source { tor, host } => Some((tor, host)),
+    pub fn source_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.node_locs.get(node.index()) {
+            Some(&NodeLoc::Source { tor, host }) => Some((tor, host)),
             _ => None,
-        };
-        crate::network::expect_server_coords(node, NodeKind::Source, &loc, coords)
+        }
     }
 
-    /// Returns the `(tor, host)` coordinates of a destination server.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a destination of this network.
+    /// Returns the `(tor, host)` coordinates of a destination server, or
+    /// `None` if `node` is not a destination of this network.
     #[must_use]
-    pub fn destination_coords(&self, node: NodeId) -> (usize, usize) {
-        let loc = self.node_locs[node.index()];
-        let coords = match loc {
-            NodeLoc::Destination { tor, host } => Some((tor, host)),
+    pub fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.node_locs.get(node.index()) {
+            Some(&NodeLoc::Destination { tor, host }) => Some((tor, host)),
             _ => None,
-        };
-        crate::network::expect_server_coords(node, NodeKind::Destination, &loc, coords)
+        }
     }
 
     /// Returns the path for `flow` through middle switch `middle`:
@@ -451,8 +441,16 @@ impl ClosNetwork {
             "middle switch {middle} out of range (have {})",
             self.params.middle_switches
         );
-        let (si, sj) = self.source_coords(flow.src());
-        let (ti, tj) = self.destination_coords(flow.dst());
+        let (si, sj) = crate::network::expect_server_coords(
+            flow.src(),
+            NodeKind::Source,
+            self.source_coords(flow.src()),
+        );
+        let (ti, tj) = crate::network::expect_server_coords(
+            flow.dst(),
+            NodeKind::Destination,
+            self.destination_coords(flow.dst()),
+        );
         [
             self.host_uplinks[si][sj],
             self.uplinks[si][middle],
@@ -494,7 +492,12 @@ impl ClosNetwork {
     /// Panics if the flow's source is not a source of this network.
     #[must_use]
     pub fn src_tor(&self, flow: Flow) -> usize {
-        self.source_coords(flow.src()).0
+        crate::network::expect_server_coords(
+            flow.src(),
+            NodeKind::Source,
+            self.source_coords(flow.src()),
+        )
+        .0
     }
 
     /// Returns the output ToR index of a flow's destination.
@@ -504,7 +507,65 @@ impl ClosNetwork {
     /// Panics if the flow's destination is not a destination of this network.
     #[must_use]
     pub fn dst_tor(&self, flow: Flow) -> usize {
-        self.destination_coords(flow.dst()).0
+        crate::network::expect_server_coords(
+            flow.dst(),
+            NodeKind::Destination,
+            self.destination_coords(flow.dst()),
+        )
+        .0
+    }
+}
+
+impl crate::Fabric for ClosNetwork {
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn class_count(&self) -> usize {
+        self.params.middle_switches
+    }
+
+    fn append_links_via(&self, flow: Flow, class: usize, out: &mut Vec<LinkId>) {
+        out.extend_from_slice(&self.links_via(flow, class));
+    }
+
+    fn class_of_path(&self, path: &Path) -> Option<usize> {
+        self.middle_of_path(path)
+    }
+
+    fn source_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        ClosNetwork::source_coords(self, node)
+    }
+
+    fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        ClosNetwork::destination_coords(self, node)
+    }
+
+    fn class_signature(&self, class: usize) -> (usize, Vec<Capacity>) {
+        // A middle switch's orbit is determined by the capacities of its
+        // uplinks and downlinks in ToR order: two middles with equal
+        // vectors are exchanged by the relabeling automorphism, which
+        // realizes the full symmetric group on each capacity class.
+        let caps = (0..self.params.tor_pairs)
+            .map(|t| self.net.link(self.uplinks[t][class]).capacity())
+            .chain(
+                (0..self.params.tor_pairs)
+                    .map(|t| self.net.link(self.downlinks[class][t]).capacity()),
+            )
+            .collect();
+        (0, caps)
+    }
+
+    fn with_capacities(&self, overlay: &crate::CapacityMap) -> ClosNetwork {
+        ClosNetwork::with_capacities(self, overlay)
+    }
+
+    fn nominal_capacity(&self) -> Rational {
+        self.params.link_capacity
+    }
+
+    fn max_path_len(&self) -> usize {
+        4
     }
 }
 
@@ -599,18 +660,23 @@ mod tests {
     #[test]
     fn coordinate_round_trips() {
         let clos = ClosNetwork::standard(3);
-        assert_eq!(clos.source_coords(clos.source(4, 2)), (4, 2));
-        assert_eq!(clos.destination_coords(clos.destination(1, 0)), (1, 0));
+        assert_eq!(clos.source_coords(clos.source(4, 2)), Some((4, 2)));
+        assert_eq!(
+            clos.destination_coords(clos.destination(1, 0)),
+            Some((1, 0))
+        );
         let f = Flow::new(clos.source(4, 2), clos.destination(1, 0));
         assert_eq!(clos.src_tor(f), 4);
         assert_eq!(clos.dst_tor(f), 1);
     }
 
     #[test]
-    #[should_panic(expected = "not a source")]
     fn source_coords_rejects_non_source() {
         let clos = ClosNetwork::standard(2);
-        let _ = clos.source_coords(clos.middle(0));
+        assert_eq!(clos.source_coords(clos.middle(0)), None);
+        assert_eq!(clos.source_coords(clos.destination(0, 0)), None);
+        assert_eq!(clos.destination_coords(clos.source(0, 0)), None);
+        assert_eq!(clos.source_coords(NodeId::new(u32::MAX)), None);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! The multi-stage fabric abstraction behind every topology.
+//!
+//! The paper proves its impossibility results on three-stage Clos
+//! fabrics, where routing a flow is exactly one middle-switch choice.
+//! Every layer above `clos-net` — the exhaustive searches, the compiled
+//! waterfill evaluation, the churn engine, the routing heuristics —
+//! needs only a weaker contract than "Clos": a finite menu of candidate
+//! paths per flow, indexed by a **routing class** that plays the role
+//! of the middle index. [`Fabric`] captures that contract so the same
+//! engines run unchanged over [`ClosNetwork`], the rearrangeably
+//! non-blocking [`BenesNetwork`] (Huang & Walrand, arXiv 1208.0561),
+//! and oversubscribed [`FatTree`] fabrics (cf. Dai, Dinitz, Foerster,
+//! Luo & Schmid, arXiv 2401.04638).
+//!
+//! # Routing classes
+//!
+//! A fabric exposes `class_count()` routing classes. For every flow,
+//! class `c` names one candidate path (`path_via`/`append_links_via`),
+//! and an unsplittable routing is one class choice per flow — exactly
+//! the paper's "routing = middle choice" once `ClosNetwork` maps class
+//! `c` to middle switch `c`. Class menus are *global*: every flow has
+//! the same class count, so a routing is a dense `Vec<usize>` and the
+//! search engines can enumerate class vectors without per-flow tables.
+//! Candidate paths may have different lengths across fabrics (4 links
+//! on Clos, `2r` on a Benes of order `r`, 6 on a fat-tree), and the
+//! compiled pipeline stores them CSR-style rather than as fixed quads.
+//!
+//! # Path shape contract
+//!
+//! Implementors guarantee, for every flow between a [`NodeKind::Source`]
+//! and a [`NodeKind::Destination`] of the fabric:
+//!
+//! * every class yields a valid path (`Path::is_valid`) from the flow's
+//!   source to its destination;
+//! * the **first and last links are class-independent**: they are the
+//!   flow's host access links, shared by all candidate paths (the
+//!   engines use them for host-capacity bounds and liveness checks);
+//! * paths never repeat a link, and `max_path_len()` bounds every
+//!   candidate path's length.
+//!
+//! # Class interchange signatures
+//!
+//! The search engine prunes symmetric routings: two classes that an
+//! automorphism of the fabric exchanges (fixing all hosts) produce
+//! identical allocations under any relabeling, so only canonical
+//! representatives are enumerated. [`Fabric::class_signature`] is the
+//! sound over-approximation of "interchangeable": classes whose
+//! signatures are **equal** must be exchangeable by an automorphism of
+//! the capacitied fabric that fixes every host and every other class's
+//! path set — and the full symmetric group on each signature group must
+//! be realized, because the reduction canonicalises by arbitrary
+//! within-group permutations. A fabric whose symmetry group on classes
+//! is smaller (the Benes bit-flip group for order `r >= 3`) must return
+//! pairwise-distinct signatures and forgo the reduction rather than
+//! unsoundly enable it. The first component is a structural tag (e.g.
+//! the fat-tree core group); the second lists the capacities an
+//! exchange must preserve, in a fixed fabric-defined order.
+
+use clos_rational::Rational;
+
+use crate::{Capacity, CapacityMap, Flow, LinkId, Network, NodeId, Path};
+
+/// A multi-stage data-center fabric with per-flow candidate paths
+/// indexed by routing class (see the module docs for the contract).
+pub trait Fabric {
+    /// The underlying directed network.
+    fn network(&self) -> &Network;
+
+    /// Number of routing classes (candidate paths per flow).
+    fn class_count(&self) -> usize;
+
+    /// Appends the links of `flow`'s candidate path for `class` to
+    /// `out`, in path order, without clearing `out` — the
+    /// allocation-free primitive behind compiled tables and scratch
+    /// reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or the flow endpoints are not
+    /// a source/destination of this fabric.
+    fn append_links_via(&self, flow: Flow, class: usize, out: &mut Vec<LinkId>);
+
+    /// Returns `flow`'s candidate path for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`Fabric::append_links_via`].
+    #[must_use]
+    fn path_via_class(&self, flow: Flow, class: usize) -> Path {
+        let mut links = Vec::new();
+        self.append_links_via(flow, class, &mut links);
+        Path::new(links)
+    }
+
+    /// Returns all `class_count()` candidate paths for `flow`, indexed
+    /// by class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow endpoints are not a source/destination of
+    /// this fabric.
+    #[must_use]
+    fn candidate_paths(&self, flow: Flow) -> Vec<Path> {
+        (0..self.class_count())
+            .map(|c| self.path_via_class(flow, c))
+            .collect()
+    }
+
+    /// Returns the routing class a path follows, or `None` if the path
+    /// does not identify one (e.g. it never enters this fabric).
+    fn class_of_path(&self, path: &Path) -> Option<usize>;
+
+    /// Returns the `(group, host)` coordinates of a source server, or
+    /// `None` if `node` is not a source of this fabric.
+    ///
+    /// The group index is fabric-specific (input-ToR index on Clos and
+    /// Benes, pod-global edge index on a fat-tree); within a group,
+    /// hosts are numbered densely from zero.
+    fn source_coords(&self, node: NodeId) -> Option<(usize, usize)>;
+
+    /// Returns the `(group, host)` coordinates of a destination server,
+    /// or `None` if `node` is not a destination of this fabric.
+    fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)>;
+
+    /// Returns the class-interchange signature of `class`: a structural
+    /// tag plus the capacities (in a fixed fabric-defined order) that
+    /// an automorphism exchanging two classes must preserve. Classes
+    /// with **equal** signatures must be exchangeable by host-fixing
+    /// automorphisms realizing the full symmetric group on their
+    /// signature group; see the module docs for why smaller symmetry
+    /// groups must return distinct signatures.
+    #[must_use]
+    fn class_signature(&self, class: usize) -> (usize, Vec<Capacity>);
+
+    /// Returns a copy of this fabric with the capacities in `overlay`
+    /// substituted; every node, link, and coordinate of the copy
+    /// matches the original identifier-for-identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlay` names a link outside this fabric.
+    #[must_use]
+    fn with_capacities(&self, overlay: &CapacityMap) -> Self
+    where
+        Self: Sized;
+
+    /// The fabric's nominal (pristine, undegraded) link capacity — the
+    /// capacity heuristics use as "room on one link" when they have no
+    /// per-link overlay to consult.
+    #[must_use]
+    fn nominal_capacity(&self) -> Rational;
+
+    /// An upper bound on the length (in links) of every candidate path.
+    #[must_use]
+    fn max_path_len(&self) -> usize;
+}

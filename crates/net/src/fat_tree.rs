@@ -1,0 +1,770 @@
+//! k-ary fat-trees with configurable edge-layer oversubscription.
+
+#![allow(clippy::needless_range_loop)]
+
+use clos_rational::Rational;
+use clos_telemetry::counters;
+
+use crate::{Capacity, CapacityMap, Fabric, Flow, LinkId, Network, NodeId, NodeKind, Path};
+
+/// Where a node sits within a fat-tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FtNodeLoc {
+    Source { group: usize, host: usize },
+    Switch,
+    Destination { group: usize, host: usize },
+}
+
+/// Where a link sits within a fat-tree (full mode only records what
+/// class identification needs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FtLinkLoc {
+    Other,
+    /// in-agg(p, g) -> core(g, j); identifies routing class `g*(k/2)+j`.
+    AggUp {
+        group: usize,
+        core: usize,
+    },
+    /// Collapsed mode: pod switch -> core `m`.
+    Up {
+        core: usize,
+    },
+}
+
+/// Per-mode link tables.
+#[derive(Clone, Debug)]
+enum Mode {
+    /// The unfolded three-tier fat-tree: edge, aggregation, core.
+    Full {
+        /// in-edge(ge) -> in-agg(pod(ge), g), indexed `[ge][g]`.
+        edge_up: Vec<Vec<LinkId>>,
+        /// in-agg(p, g) -> core(g, j), indexed `[p][g][j]`.
+        agg_up: Vec<Vec<Vec<LinkId>>>,
+        /// core(g, j) -> out-agg(p, g), indexed `[g][j][p]`.
+        core_down: Vec<Vec<Vec<LinkId>>>,
+        /// out-agg(pod(ge), g) -> out-edge(ge), indexed `[ge][g]`.
+        edge_down: Vec<Vec<LinkId>>,
+    },
+    /// Edge and aggregation merged into one pod switch per side; exactly
+    /// the three-stage Clos construction.
+    Collapsed {
+        /// pod switch `i` -> core `m`, indexed `[i][m]`.
+        up: Vec<Vec<LinkId>>,
+        /// core `m` -> pod switch `i`, indexed `[m][i]`.
+        down: Vec<Vec<LinkId>>,
+    },
+}
+
+/// A `k`-ary fat-tree (Dai, Dinitz, Foerster, Luo & Schmid,
+/// arXiv 2401.04638), unfolded into a directed source→destination
+/// fabric like the paper's Clos unfolding.
+///
+/// `k` pods each hold `k/2` edge and `k/2` aggregation switches per
+/// direction; `(k/2)^2` core switches come in `k/2` groups of `k/2`,
+/// group `g` reachable only through aggregation switch `g` of each pod.
+/// Every source pins to one input edge switch (its *group* coordinate is
+/// the pod-global edge index `p*(k/2)+e`), and a candidate path has six
+/// links: host → edge → aggregation → core → aggregation → edge → host.
+/// Routing class `c = g*(k/2)+j` names core `j` of group `g`, so there
+/// are `(k/2)^2` classes.
+///
+/// **Oversubscription** `rho: 1` scales every edge↔aggregation link down
+/// to `link_capacity / rho` while host and aggregation↔core links keep
+/// the full `link_capacity` — the classic under-provisioned edge layer.
+///
+/// [`FatTree::collapsed`] instead merges each pod's edge and aggregation
+/// layers into a single pod switch (valid only at 1:1): the result *is*
+/// the three-stage Clos network with `(k/2)^2` middles, `k` ToR pairs
+/// and `(k/2)^2` hosts per ToR, built in the identical node/link
+/// insertion order so the two networks compare equal and searches over
+/// them are byte-identical. No such equivalence exists for the full
+/// fat-tree even at 1:1 — concentrating flows of one edge switch onto
+/// its shared edge→aggregation links yields rate vectors no Clos
+/// reproduces — which is exactly why the oversubscribed experiments need
+/// the real topology.
+///
+/// # Examples
+///
+/// ```
+/// use clos_net::{Fabric, FatTree, Flow};
+/// use clos_rational::Rational;
+///
+/// let ft = FatTree::new(4, Rational::TWO); // 2:1 oversubscribed
+/// assert_eq!(ft.class_count(), 4);
+/// let f = Flow::new(ft.source(0, 1), ft.destination(7, 0));
+/// let p = ft.path_via_class(f, 3);
+/// assert_eq!(p.len(), 6);
+/// assert!(p.is_valid(ft.network(), f).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    net: Network,
+    k: usize,
+    oversubscription: Rational,
+    link_capacity: Rational,
+    /// `[group][host]`; groups are pod-global edge indices in full mode,
+    /// pod indices in collapsed mode.
+    sources: Vec<Vec<NodeId>>,
+    destinations: Vec<Vec<NodeId>>,
+    host_uplinks: Vec<Vec<LinkId>>,
+    host_downlinks: Vec<Vec<LinkId>>,
+    mode: Mode,
+    node_locs: Vec<FtNodeLoc>,
+    link_locs: Vec<FtLinkLoc>,
+}
+
+impl FatTree {
+    /// Builds the full `k`-ary fat-tree with unit base capacity and the
+    /// given oversubscription ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2, or `oversubscription < 1`.
+    #[must_use]
+    pub fn new(k: usize, oversubscription: Rational) -> FatTree {
+        FatTree::with_capacity(k, oversubscription, Rational::ONE)
+    }
+
+    /// Builds the full `k`-ary fat-tree with the given base link
+    /// capacity; edge↔aggregation links get `link_capacity /
+    /// oversubscription`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2, `oversubscription < 1`, or
+    /// the capacity is non-positive.
+    #[must_use]
+    pub fn with_capacity(k: usize, oversubscription: Rational, link_capacity: Rational) -> FatTree {
+        FatTree::validate(k, oversubscription, link_capacity);
+        let half = k / 2;
+        let cap = Capacity::finite_value(link_capacity);
+        let edge_cap = Capacity::finite_value(link_capacity / oversubscription);
+        let groups = k * half; // pod-global edge switches per side
+        let hosts = half;
+
+        let mut net = Network::new();
+        let mut node_locs = Vec::new();
+        let mut link_locs = Vec::new();
+
+        let mut sources = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let mut row = Vec::with_capacity(hosts);
+            for h in 0..hosts {
+                row.push(net.add_node(NodeKind::Source, format!("s_{ge}^{h}")));
+                node_locs.push(FtNodeLoc::Source { group: ge, host: h });
+            }
+            sources.push(row);
+        }
+        let mut in_edges = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            in_edges.push(net.add_node(NodeKind::InputTor, format!("IE_{ge}")));
+            node_locs.push(FtNodeLoc::Switch);
+        }
+        let mut in_aggs = Vec::with_capacity(k);
+        for p in 0..k {
+            let mut row = Vec::with_capacity(half);
+            for g in 0..half {
+                row.push(net.add_node(NodeKind::Middle, format!("IA_{p}.{g}")));
+                node_locs.push(FtNodeLoc::Switch);
+            }
+            in_aggs.push(row);
+        }
+        let mut cores = Vec::with_capacity(half);
+        for g in 0..half {
+            let mut row = Vec::with_capacity(half);
+            for j in 0..half {
+                row.push(net.add_node(NodeKind::Middle, format!("C_{g}.{j}")));
+                node_locs.push(FtNodeLoc::Switch);
+            }
+            cores.push(row);
+        }
+        let mut out_aggs = Vec::with_capacity(k);
+        for p in 0..k {
+            let mut row = Vec::with_capacity(half);
+            for g in 0..half {
+                row.push(net.add_node(NodeKind::Middle, format!("OA_{p}.{g}")));
+                node_locs.push(FtNodeLoc::Switch);
+            }
+            out_aggs.push(row);
+        }
+        let mut out_edges = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            out_edges.push(net.add_node(NodeKind::OutputTor, format!("OE_{ge}")));
+            node_locs.push(FtNodeLoc::Switch);
+        }
+        let mut destinations = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let mut row = Vec::with_capacity(hosts);
+            for h in 0..hosts {
+                row.push(net.add_node(NodeKind::Destination, format!("t_{ge}^{h}")));
+                node_locs.push(FtNodeLoc::Destination { group: ge, host: h });
+            }
+            destinations.push(row);
+        }
+
+        let mut host_uplinks = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let mut row = Vec::with_capacity(hosts);
+            for h in 0..hosts {
+                row.push(FatTree::link(&mut net, sources[ge][h], in_edges[ge], cap));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            host_uplinks.push(row);
+        }
+        let mut edge_up = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let p = ge / half;
+            let mut row = Vec::with_capacity(half);
+            for g in 0..half {
+                row.push(FatTree::link(
+                    &mut net,
+                    in_edges[ge],
+                    in_aggs[p][g],
+                    edge_cap,
+                ));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            edge_up.push(row);
+        }
+        let mut agg_up = Vec::with_capacity(k);
+        for p in 0..k {
+            let mut rows = Vec::with_capacity(half);
+            for g in 0..half {
+                let mut row = Vec::with_capacity(half);
+                for j in 0..half {
+                    row.push(FatTree::link(&mut net, in_aggs[p][g], cores[g][j], cap));
+                    link_locs.push(FtLinkLoc::AggUp { group: g, core: j });
+                }
+                rows.push(row);
+            }
+            agg_up.push(rows);
+        }
+        let mut core_down = Vec::with_capacity(half);
+        for g in 0..half {
+            let mut rows = Vec::with_capacity(half);
+            for j in 0..half {
+                let mut row = Vec::with_capacity(k);
+                for p in 0..k {
+                    row.push(FatTree::link(&mut net, cores[g][j], out_aggs[p][g], cap));
+                    link_locs.push(FtLinkLoc::Other);
+                }
+                rows.push(row);
+            }
+            core_down.push(rows);
+        }
+        let mut edge_down = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let p = ge / half;
+            let mut row = Vec::with_capacity(half);
+            for g in 0..half {
+                row.push(FatTree::link(
+                    &mut net,
+                    out_aggs[p][g],
+                    out_edges[ge],
+                    edge_cap,
+                ));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            edge_down.push(row);
+        }
+        let mut host_downlinks = Vec::with_capacity(groups);
+        for ge in 0..groups {
+            let mut row = Vec::with_capacity(hosts);
+            for h in 0..hosts {
+                row.push(FatTree::link(
+                    &mut net,
+                    out_edges[ge],
+                    destinations[ge][h],
+                    cap,
+                ));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            host_downlinks.push(row);
+        }
+
+        counters::TOPOLOGY_BUILDS.incr();
+        counters::FABRIC_CLASSES.add((half * half) as u64);
+
+        FatTree {
+            net,
+            k,
+            oversubscription,
+            link_capacity,
+            sources,
+            destinations,
+            host_uplinks,
+            host_downlinks,
+            mode: Mode::Full {
+                edge_up,
+                agg_up,
+                core_down,
+                edge_down,
+            },
+            node_locs,
+            link_locs,
+        }
+    }
+
+    /// Builds the **collapsed** `k`-ary fat-tree with unit capacity:
+    /// each pod's edge and aggregation layers merge into one pod switch,
+    /// yielding exactly the three-stage Clos network with `(k/2)^2`
+    /// middle switches, `k` ToR pairs, and `(k/2)^2` hosts per ToR — in
+    /// the identical insertion order, so the underlying [`Network`]s
+    /// compare equal. Only valid at 1:1 oversubscription (the collapse
+    /// erases the edge↔aggregation links the ratio would scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2.
+    #[must_use]
+    pub fn collapsed(k: usize) -> FatTree {
+        FatTree::collapsed_with_capacity(k, Rational::ONE)
+    }
+
+    /// Builds the collapsed fat-tree with the given uniform capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2, or the capacity is
+    /// non-positive.
+    #[must_use]
+    pub fn collapsed_with_capacity(k: usize, link_capacity: Rational) -> FatTree {
+        FatTree::validate(k, Rational::ONE, link_capacity);
+        let half = k / 2;
+        let cap = Capacity::finite_value(link_capacity);
+        let middles_n = half * half;
+        let hosts = half * half;
+
+        let mut net = Network::new();
+        let mut node_locs = Vec::new();
+        let mut link_locs = Vec::new();
+
+        // Node and link insertion mirror ClosNetwork::with_params
+        // byte-for-byte (labels included) so `Network` equality holds.
+        let mut sources = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(hosts);
+            for j in 0..hosts {
+                row.push(net.add_node(NodeKind::Source, format!("s_{i}^{j}")));
+                node_locs.push(FtNodeLoc::Source { group: i, host: j });
+            }
+            sources.push(row);
+        }
+        let mut pods_in = Vec::with_capacity(k);
+        for i in 0..k {
+            pods_in.push(net.add_node(NodeKind::InputTor, format!("I_{i}")));
+            node_locs.push(FtNodeLoc::Switch);
+        }
+        let mut middles = Vec::with_capacity(middles_n);
+        for m in 0..middles_n {
+            middles.push(net.add_node(NodeKind::Middle, format!("M_{m}")));
+            node_locs.push(FtNodeLoc::Switch);
+        }
+        let mut pods_out = Vec::with_capacity(k);
+        for i in 0..k {
+            pods_out.push(net.add_node(NodeKind::OutputTor, format!("O_{i}")));
+            node_locs.push(FtNodeLoc::Switch);
+        }
+        let mut destinations = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(hosts);
+            for j in 0..hosts {
+                row.push(net.add_node(NodeKind::Destination, format!("t_{i}^{j}")));
+                node_locs.push(FtNodeLoc::Destination { group: i, host: j });
+            }
+            destinations.push(row);
+        }
+
+        let mut host_uplinks = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(hosts);
+            for j in 0..hosts {
+                row.push(FatTree::link(&mut net, sources[i][j], pods_in[i], cap));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            host_uplinks.push(row);
+        }
+        let mut up = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(middles_n);
+            for m in 0..middles_n {
+                row.push(FatTree::link(&mut net, pods_in[i], middles[m], cap));
+                link_locs.push(FtLinkLoc::Up { core: m });
+            }
+            up.push(row);
+        }
+        let mut down = Vec::with_capacity(middles_n);
+        for m in 0..middles_n {
+            let mut row = Vec::with_capacity(k);
+            for i in 0..k {
+                row.push(FatTree::link(&mut net, middles[m], pods_out[i], cap));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            down.push(row);
+        }
+        let mut host_downlinks = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(hosts);
+            for j in 0..hosts {
+                row.push(FatTree::link(
+                    &mut net,
+                    pods_out[i],
+                    destinations[i][j],
+                    cap,
+                ));
+                link_locs.push(FtLinkLoc::Other);
+            }
+            host_downlinks.push(row);
+        }
+
+        counters::TOPOLOGY_BUILDS.incr();
+        counters::FABRIC_CLASSES.add(middles_n as u64);
+
+        FatTree {
+            net,
+            k,
+            oversubscription: Rational::ONE,
+            link_capacity,
+            sources,
+            destinations,
+            host_uplinks,
+            host_downlinks,
+            mode: Mode::Collapsed { up, down },
+            node_locs,
+            link_locs,
+        }
+    }
+
+    fn validate(k: usize, oversubscription: Rational, link_capacity: Rational) {
+        assert!(k >= 2, "fat-tree arity must be at least 2");
+        assert!(k.is_multiple_of(2), "fat-tree arity must be even");
+        assert!(
+            oversubscription >= Rational::ONE,
+            "oversubscription ratio must be at least 1:1"
+        );
+        assert!(
+            link_capacity.is_positive(),
+            "link capacity must be positive"
+        );
+    }
+
+    fn link(net: &mut Network, src: NodeId, dst: NodeId, cap: Capacity) -> LinkId {
+        match net.add_link(src, dst, cap) {
+            Ok(e) => e,
+            Err(_) => unreachable!("endpoints exist by construction"),
+        }
+    }
+
+    /// Returns the arity `k`.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the oversubscription ratio (always 1 in collapsed mode).
+    #[must_use]
+    pub fn oversubscription(&self) -> Rational {
+        self.oversubscription
+    }
+
+    /// Returns `true` for the collapsed (Clos-equivalent) variant.
+    #[must_use]
+    pub fn is_collapsed(&self) -> bool {
+        matches!(self.mode, Mode::Collapsed { .. })
+    }
+
+    /// Number of source groups: pod-global edge switches (`k^2/2`) in
+    /// full mode, pods (`k`) in collapsed mode.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Hosts per source group: `k/2` in full mode, `(k/2)^2` collapsed.
+    #[must_use]
+    pub fn hosts_per_group(&self) -> usize {
+        self.sources[0].len()
+    }
+
+    /// Returns the source server at `(group, host)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn source(&self, group: usize, host: usize) -> NodeId {
+        self.sources[group][host]
+    }
+
+    /// Returns the destination server at `(group, host)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn destination(&self, group: usize, host: usize) -> NodeId {
+        self.destinations[group][host]
+    }
+}
+
+impl Fabric for FatTree {
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn class_count(&self) -> usize {
+        (self.k / 2) * (self.k / 2)
+    }
+
+    fn append_links_via(&self, flow: Flow, class: usize, out: &mut Vec<LinkId>) {
+        assert!(
+            class < self.class_count(),
+            "routing class {class} out of range (have {})",
+            self.class_count()
+        );
+        let Some((ga, ha)) = Fabric::source_coords(self, flow.src()) else {
+            panic!("node {} is not a {}", flow.src(), NodeKind::Source);
+        };
+        let Some((gb, hb)) = Fabric::destination_coords(self, flow.dst()) else {
+            panic!("node {} is not a {}", flow.dst(), NodeKind::Destination);
+        };
+        out.push(self.host_uplinks[ga][ha]);
+        match &self.mode {
+            Mode::Full {
+                edge_up,
+                agg_up,
+                core_down,
+                edge_down,
+            } => {
+                let half = self.k / 2;
+                let (g, j) = (class / half, class % half);
+                let (pa, pb) = (ga / half, gb / half);
+                out.push(edge_up[ga][g]);
+                out.push(agg_up[pa][g][j]);
+                out.push(core_down[g][j][pb]);
+                out.push(edge_down[gb][g]);
+            }
+            Mode::Collapsed { up, down } => {
+                out.push(up[ga][class]);
+                out.push(down[class][gb]);
+            }
+        }
+        out.push(self.host_downlinks[gb][hb]);
+    }
+
+    fn class_of_path(&self, path: &Path) -> Option<usize> {
+        let half = self.k / 2;
+        for &e in path.links() {
+            match self.link_locs.get(e.index()) {
+                Some(&FtLinkLoc::AggUp { group, core }) => return Some(group * half + core),
+                Some(&FtLinkLoc::Up { core }) => return Some(core),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn source_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.node_locs.get(node.index()) {
+            Some(&FtNodeLoc::Source { group, host }) => Some((group, host)),
+            _ => None,
+        }
+    }
+
+    fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.node_locs.get(node.index()) {
+            Some(&FtNodeLoc::Destination { group, host }) => Some((group, host)),
+            _ => None,
+        }
+    }
+
+    fn class_signature(&self, class: usize) -> (usize, Vec<Capacity>) {
+        assert!(
+            class < self.class_count(),
+            "routing class {class} out of range (have {})",
+            self.class_count()
+        );
+        match &self.mode {
+            Mode::Full {
+                agg_up, core_down, ..
+            } => {
+                // Cores of one group are exchangeable by relabeling
+                // (swapping cores j1, j2 of group g fixes every class of
+                // the other groups); cross-group swaps would move other
+                // classes' aggregation hops, so the group is a structural
+                // tag. An exchange must preserve the swapped cores'
+                // incident capacities, listed up-by-pod then down-by-pod
+                // — the analogue of the Clos uplink/downlink order.
+                let half = self.k / 2;
+                let (g, j) = (class / half, class % half);
+                let caps = (0..self.k)
+                    .map(|p| self.net.link(agg_up[p][g][j]).capacity())
+                    .chain((0..self.k).map(|p| self.net.link(core_down[g][j][p]).capacity()))
+                    .collect();
+                (g, caps)
+            }
+            Mode::Collapsed { up, down } => {
+                // Exactly the Clos signature: all cores are symmetric.
+                let caps = (0..self.k)
+                    .map(|i| self.net.link(up[i][class]).capacity())
+                    .chain((0..self.k).map(|i| self.net.link(down[class][i]).capacity()))
+                    .collect();
+                (0, caps)
+            }
+        }
+    }
+
+    fn with_capacities(&self, overlay: &CapacityMap) -> FatTree {
+        let mut out = self.clone();
+        for (&link, &capacity) in overlay {
+            out.net.set_link_capacity(link, capacity);
+        }
+        out
+    }
+
+    fn nominal_capacity(&self) -> Rational {
+        self.link_capacity
+    }
+
+    fn max_path_len(&self) -> usize {
+        if self.is_collapsed() {
+            4
+        } else {
+            6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_counts() {
+        let ft = FatTree::new(4, Rational::ONE);
+        // 16 hosts/side, 8 edges/side, 8 aggs/side, 4 cores.
+        assert_eq!(ft.net.node_count(), 2 * 16 + 2 * 8 + 2 * 8 + 4);
+        // 16 host + 16 edge-agg + 16 agg-core links per side.
+        assert_eq!(ft.net.link_count(), 2 * (16 + 16 + 16));
+        assert_eq!(ft.class_count(), 4);
+        assert_eq!(ft.group_count(), 8);
+        assert_eq!(ft.hosts_per_group(), 2);
+        assert_eq!(ft.max_path_len(), 6);
+    }
+
+    #[test]
+    fn every_candidate_path_is_valid_with_shared_host_links() {
+        let ft = FatTree::new(4, Rational::TWO);
+        for ga in 0..8 {
+            for gb in 0..8 {
+                let f = Flow::new(ft.source(ga, 1), ft.destination(gb, 0));
+                let paths = ft.candidate_paths(f);
+                assert_eq!(paths.len(), 4);
+                for (c, p) in paths.iter().enumerate() {
+                    assert!(p.is_valid(ft.network(), f).is_ok(), "ga={ga} gb={gb} c={c}");
+                    assert_eq!(p.len(), 6);
+                    assert_eq!(ft.class_of_path(p), Some(c));
+                    assert_eq!(p.links()[0], paths[0].links()[0]);
+                    assert_eq!(p.links()[5], paths[0].links()[5]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscription_scales_only_edge_layer() {
+        let ft = FatTree::new(4, Rational::TWO);
+        let f = Flow::new(ft.source(0, 0), ft.destination(5, 1));
+        let p = ft.path_via_class(f, 2);
+        let caps: Vec<_> = p
+            .links()
+            .iter()
+            .map(|&e| ft.net.link(e).capacity())
+            .collect();
+        let half_cap = Capacity::finite_value(Rational::new(1, 2));
+        assert_eq!(
+            caps,
+            vec![
+                Capacity::unit(), // host up
+                half_cap,         // edge -> agg
+                Capacity::unit(), // agg -> core
+                Capacity::unit(), // core -> agg
+                half_cap,         // agg -> edge
+                Capacity::unit(), // host down
+            ]
+        );
+    }
+
+    #[test]
+    fn signatures_group_within_core_groups_only() {
+        let ft = FatTree::new(4, Rational::TWO);
+        // Classes 0,1 (group 0) and 2,3 (group 1) are internally
+        // symmetric but not across groups.
+        assert_eq!(ft.class_signature(0), ft.class_signature(1));
+        assert_eq!(ft.class_signature(2), ft.class_signature(3));
+        assert_ne!(ft.class_signature(0), ft.class_signature(2));
+    }
+
+    #[test]
+    fn collapsed_mode_is_clos_shaped() {
+        let ft = FatTree::collapsed(4);
+        assert!(ft.is_collapsed());
+        assert_eq!(ft.group_count(), 4);
+        assert_eq!(ft.hosts_per_group(), 4);
+        assert_eq!(ft.class_count(), 4);
+        assert_eq!(ft.max_path_len(), 4);
+        let f = Flow::new(ft.source(0, 3), ft.destination(2, 1));
+        for c in 0..4 {
+            let p = ft.path_via_class(f, c);
+            assert_eq!(p.len(), 4);
+            assert!(p.is_valid(ft.network(), f).is_ok());
+            assert_eq!(ft.class_of_path(&p), Some(c));
+        }
+        assert_eq!(ft.class_signature(1), ft.class_signature(3));
+    }
+
+    #[test]
+    fn collapsed_network_equals_clos() {
+        use crate::{ClosNetwork, ClosParams};
+        let ft = FatTree::collapsed(4);
+        let clos = ClosNetwork::with_params(ClosParams {
+            middle_switches: 4,
+            tor_pairs: 4,
+            hosts_per_tor: 4,
+            link_capacity: Rational::ONE,
+        });
+        assert_eq!(ft.network(), clos.network());
+        // Candidate paths agree link-for-link under matching coords.
+        let f_ft = Flow::new(ft.source(1, 2), ft.destination(3, 0));
+        let f_clos = Flow::new(clos.source(1, 2), clos.destination(3, 0));
+        assert_eq!(f_ft, f_clos);
+        for c in 0..4 {
+            assert_eq!(ft.path_via_class(f_ft, c), clos.path_via(f_clos, c));
+        }
+    }
+
+    #[test]
+    fn coords_round_trip_and_reject_switches() {
+        let ft = FatTree::new(4, Rational::ONE);
+        assert_eq!(Fabric::source_coords(&ft, ft.source(6, 1)), Some((6, 1)));
+        assert_eq!(
+            Fabric::destination_coords(&ft, ft.destination(2, 0)),
+            Some((2, 0))
+        );
+        let core = ft.net.nodes_of_kind(NodeKind::Middle)[0];
+        assert_eq!(Fabric::source_coords(&ft, core), None);
+        assert_eq!(Fabric::destination_coords(&ft, ft.source(0, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription")]
+    fn undersubscription_rejected() {
+        let _ = FatTree::new(4, Rational::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_arity_rejected() {
+        let _ = FatTree::new(3, Rational::ONE);
+    }
+}

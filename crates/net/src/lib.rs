@@ -13,6 +13,12 @@
 //!   is replaced by a complete bipartite mesh of infinite-capacity links, so
 //!   only the server↔ToR links constrain rates.
 //!
+//! Beyond the paper's topologies, the [`Fabric`] trait abstracts any
+//! multi-stage fabric with per-flow candidate paths indexed by routing
+//! class; [`BenesNetwork`] (log-depth, rearrangeably non-blocking) and
+//! [`FatTree`] (k-ary, with edge-layer oversubscription and a collapsed
+//! Clos-equivalent mode) implement it alongside [`ClosNetwork`].
+//!
 //! On top of the topologies it defines the traffic model: [`Flow`]s
 //! (unsplittable source→destination demands, possibly many per pair),
 //! [`Path`]s, and [`Routing`]s (an assignment of each flow to one path).
@@ -33,9 +39,12 @@
 
 pub mod dot;
 
+mod benes;
 mod capacity;
 mod clos;
+mod fabric;
 pub mod failure;
+mod fat_tree;
 mod flow;
 mod ids;
 mod macro_switch;
@@ -43,12 +52,15 @@ mod network;
 mod path;
 mod routing;
 
+pub use crate::benes::BenesNetwork;
 pub use crate::capacity::Capacity;
 pub use crate::clos::{ClosNetwork, ClosParams};
+pub use crate::fabric::Fabric;
 pub use crate::failure::{apply_event, CapacityMap, FailureEvent, FailureSchedule};
+pub use crate::fat_tree::FatTree;
 pub use crate::flow::{validate_flows, Flow, FlowError};
 pub use crate::ids::{FlowId, LinkId, NodeId};
 pub use crate::macro_switch::MacroSwitch;
-pub use crate::network::{Network, Node, NodeKind, TopologyError};
+pub use crate::network::{expect_server_coords, Network, Node, NodeKind, TopologyError};
 pub use crate::path::{Path, PathError};
 pub use crate::routing::{Routing, RoutingError};

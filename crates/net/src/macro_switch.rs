@@ -253,34 +253,24 @@ impl MacroSwitch {
         self.host_downlinks[tor][host]
     }
 
-    /// Returns the `(tor, host)` coordinates of a source server.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a source of this macro-switch.
+    /// Returns the `(tor, host)` coordinates of a source server, or
+    /// `None` if `node` is not a source of this macro-switch.
     #[must_use]
-    pub fn source_coords(&self, node: NodeId) -> (usize, usize) {
-        let loc = self.coords[node.index()];
-        let coords = match loc {
-            MsLoc::Source { tor, host } => Some((tor, host)),
+    pub fn source_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.coords.get(node.index()) {
+            Some(&MsLoc::Source { tor, host }) => Some((tor, host)),
             _ => None,
-        };
-        crate::network::expect_server_coords(node, NodeKind::Source, &loc, coords)
+        }
     }
 
-    /// Returns the `(tor, host)` coordinates of a destination server.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a destination of this macro-switch.
+    /// Returns the `(tor, host)` coordinates of a destination server, or
+    /// `None` if `node` is not a destination of this macro-switch.
     #[must_use]
-    pub fn destination_coords(&self, node: NodeId) -> (usize, usize) {
-        let loc = self.coords[node.index()];
-        let coords = match loc {
-            MsLoc::Destination { tor, host } => Some((tor, host)),
+    pub fn destination_coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        match self.coords.get(node.index()) {
+            Some(&MsLoc::Destination { tor, host }) => Some((tor, host)),
             _ => None,
-        };
-        crate::network::expect_server_coords(node, NodeKind::Destination, &loc, coords)
+        }
     }
 
     /// Returns the unique path for `flow`: `s → I → O → t` (three links).
@@ -291,8 +281,16 @@ impl MacroSwitch {
     /// macro-switch.
     #[must_use]
     pub fn path(&self, flow: Flow) -> Path {
-        let (si, sj) = self.source_coords(flow.src());
-        let (ti, tj) = self.destination_coords(flow.dst());
+        let (si, sj) = crate::network::expect_server_coords(
+            flow.src(),
+            NodeKind::Source,
+            self.source_coords(flow.src()),
+        );
+        let (ti, tj) = crate::network::expect_server_coords(
+            flow.dst(),
+            NodeKind::Destination,
+            self.destination_coords(flow.dst()),
+        );
         Path::new(vec![
             self.host_uplinks[si][sj],
             self.mesh[si][ti],
@@ -340,8 +338,16 @@ impl MacroSwitch {
     /// [`ClosNetwork`]: crate::ClosNetwork
     #[must_use]
     pub fn translate_flow(&self, clos: &crate::ClosNetwork, flow: Flow) -> Flow {
-        let (si, sj) = clos.source_coords(flow.src());
-        let (ti, tj) = clos.destination_coords(flow.dst());
+        let (si, sj) = crate::network::expect_server_coords(
+            flow.src(),
+            NodeKind::Source,
+            clos.source_coords(flow.src()),
+        );
+        let (ti, tj) = crate::network::expect_server_coords(
+            flow.dst(),
+            NodeKind::Destination,
+            clos.destination_coords(flow.dst()),
+        );
         Flow::new(self.source(si, sj), self.destination(ti, tj))
     }
 
@@ -440,15 +446,15 @@ mod tests {
     #[test]
     fn coords_round_trip() {
         let ms = MacroSwitch::standard(2);
-        assert_eq!(ms.source_coords(ms.source(3, 1)), (3, 1));
-        assert_eq!(ms.destination_coords(ms.destination(2, 0)), (2, 0));
+        assert_eq!(ms.source_coords(ms.source(3, 1)), Some((3, 1)));
+        assert_eq!(ms.destination_coords(ms.destination(2, 0)), Some((2, 0)));
     }
 
     #[test]
-    #[should_panic(expected = "not a destination")]
     fn destination_coords_rejects_tor() {
         let ms = MacroSwitch::standard(2);
-        let _ = ms.destination_coords(ms.input_tor(0));
+        assert_eq!(ms.destination_coords(ms.input_tor(0)), None);
+        assert_eq!(ms.source_coords(ms.output_tor(0)), None);
     }
 
     #[test]

@@ -40,19 +40,28 @@ impl fmt::Display for NodeKind {
     }
 }
 
-/// Extracts server `(tor, host)` coordinates resolved by a typed accessor
-/// (`source_coords`/`destination_coords` on `ClosNetwork` and
-/// `MacroSwitch`), panicking with one consistent message when the node is
-/// not of the expected kind.
-pub(crate) fn expect_server_coords(
+/// Unwraps server `(group, host)` coordinates resolved by an
+/// `Option`-returning accessor (`source_coords`/`destination_coords` on
+/// the fabric types), panicking with one consistent message when the
+/// node is not of the expected kind.
+///
+/// Callers that can recover from a foreign node should match on the
+/// `Option` directly; this helper is for the documented-panic call
+/// sites (path construction, flow translation) where a wrong-kind node
+/// means the caller mixed up fabrics.
+///
+/// # Panics
+///
+/// Panics if `coords` is `None`.
+#[must_use]
+pub fn expect_server_coords(
     node: NodeId,
     expected: NodeKind,
-    found: &dyn fmt::Debug,
     coords: Option<(usize, usize)>,
 ) -> (usize, usize) {
     match coords {
         Some(c) => c,
-        None => panic!("node {node} is not a {expected} (found {found:?})"),
+        None => panic!("node {node} is not a {expected}"),
     }
 }
 

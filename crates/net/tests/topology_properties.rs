@@ -78,8 +78,8 @@ proptest! {
         let (dt, dh) = (dt % p.tor_pairs, dh % p.hosts_per_tor);
         let clos_flow = Flow::new(clos.source(st, sh), clos.destination(dt, dh));
         let ms_flow = ms.translate_flow(&clos, clos_flow);
-        prop_assert_eq!(ms.source_coords(ms_flow.src()), (st, sh));
-        prop_assert_eq!(ms.destination_coords(ms_flow.dst()), (dt, dh));
+        prop_assert_eq!(ms.source_coords(ms_flow.src()), Some((st, sh)));
+        prop_assert_eq!(ms.destination_coords(ms_flow.dst()), Some((dt, dh)));
         let path = ms.path(ms_flow);
         prop_assert!(path.is_valid(ms.network(), ms_flow).is_ok());
         prop_assert_eq!(path.len(), 3);

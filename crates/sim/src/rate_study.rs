@@ -114,7 +114,12 @@ pub fn rate_ratio_study(
     router: &mut dyn Router,
 ) -> RateStudy {
     assert!(!flows.is_empty(), "rate study needs at least one flow");
-    let routing = router.route(clos, ms, flows);
+    let demands = if router.uses_demands() {
+        clos_core::routers::macro_demands(clos, ms, flows)
+    } else {
+        Vec::new()
+    };
+    let routing = router.route(clos, &demands, flows);
     // Both water-fillings go through the compiled pipeline with one shared
     // scratch: the scratch is instance-independent, so the macro-switch run
     // reuses the buffers the Clos run warmed up.

@@ -248,10 +248,17 @@ pub mod counters {
     /// Flows the reroute policy could not save (no middle with a
     /// surviving uplink and downlink, or a dead host link).
     pub static REROUTE_DEAD_ENDS: Counter = Counter::new("reroute.dead_ends");
+    /// Non-Clos fabric constructions (Benes and fat-tree builders; the
+    /// Clos constructor predates the `Fabric` trait and stays silent so
+    /// historical experiment telemetry is unchanged).
+    pub static TOPOLOGY_BUILDS: Counter = Counter::new("topology.builds");
+    /// Routing classes exposed by constructed non-Clos fabrics
+    /// (accumulated over `topology.builds`).
+    pub static FABRIC_CLASSES: Counter = Counter::new("fabric.classes");
 
     /// Every registered counter, in a stable order.
     #[must_use]
-    pub fn all() -> [&'static Counter; 28] {
+    pub fn all() -> [&'static Counter; 30] {
         [
             &WATERFILL_CALLS,
             &WATERFILL_ROUNDS,
@@ -281,6 +288,8 @@ pub mod counters {
             &FAILURE_LINKS_DEGRADED,
             &REROUTE_FLOWS,
             &REROUTE_DEAD_ENDS,
+            &TOPOLOGY_BUILDS,
+            &FABRIC_CLASSES,
         ]
     }
 

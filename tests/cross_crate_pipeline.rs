@@ -2,7 +2,7 @@
 //! verification, exercising the public APIs the way a downstream user
 //! would.
 
-use clos_core::routers::{EcmpRouter, GreedyRouter, LocalSearchRouter, Router};
+use clos_core::routers::{macro_demands, EcmpRouter, GreedyRouter, LocalSearchRouter, Router};
 use clos_fairness::{is_feasible, max_min_fair, verify_bottleneck_property};
 use clos_net::{validate_flows, ClosNetwork, MacroSwitch};
 use clos_rational::{Rational, TotalF64};
@@ -40,8 +40,9 @@ fn full_pipeline_certifies() {
             Box::new(GreedyRouter::new()),
             Box::new(LocalSearchRouter::new(4)),
         ];
+        let demands = macro_demands(&clos, &ms, &flows);
         for router in &mut routers {
-            let routing = router.route(&clos, &ms, &flows);
+            let routing = router.route(&clos, &demands, &flows);
             routing
                 .validate(clos.network(), &flows)
                 .expect("routers produce valid routings");
@@ -143,7 +144,8 @@ fn mode_consistent_router_ranking() {
     let ms = MacroSwitch::standard(2);
     let flows = Workload::UniformRandom { flows: 10 }.generate(&clos, 21);
     let mut greedy = GreedyRouter::new();
-    let routing = greedy.route(&clos, &ms, &flows);
+    let demands = macro_demands(&clos, &ms, &flows);
+    let routing = greedy.route(&clos, &demands, &flows);
     let exact = max_min_fair::<Rational>(clos.network(), &flows, &routing).unwrap();
     let fast = max_min_fair::<TotalF64>(clos.network(), &flows, &routing).unwrap();
     assert!((exact.throughput().to_f64() - fast.throughput().get()).abs() < 1e-9);

@@ -4,7 +4,7 @@
 //! timing.
 
 use clos_core::doom_switch::doom_switch;
-use clos_core::routers::{GreedyRouter, Router};
+use clos_core::routers::{macro_demands, GreedyRouter, Router};
 use clos_fairness::{max_min_fair, verify_bottleneck_property};
 use clos_net::{ClosNetwork, MacroSwitch};
 use clos_rational::TotalF64;
@@ -18,7 +18,8 @@ fn c8_thousand_flows_fast_path() {
     let flows = Workload::UniformRandom { flows: 8 * hosts }.generate(&clos, 3);
     assert_eq!(flows.len(), 1024);
 
-    let routing = GreedyRouter::new().route(&clos, &ms, &flows);
+    let demands = macro_demands(&clos, &ms, &flows);
+    let routing = GreedyRouter::new().route(&clos, &demands, &flows);
     let alloc = max_min_fair::<TotalF64>(clos.network(), &flows, &routing).unwrap();
     assert_eq!(alloc.len(), 1024);
     // Sanity at scale: rates in (0, 1], allocation certified max-min fair
